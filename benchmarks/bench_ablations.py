@@ -1,0 +1,77 @@
+"""E6 — ablations of the design choices §3 calls out.
+
+* guide-table staging vs per-construction split recomputation,
+* uniqueness checking on/off,
+* language-cache capacity sweep (OnTheFly / out-of-memory behaviour),
+* power-of-two padding (reported, structural).
+"""
+
+from __future__ import annotations
+
+from conftest import is_full, save_artifact
+from repro import Spec
+from repro.eval.tables import (
+    ERROR_TABLE_SPEC,
+    ablation_cache_capacity,
+    ablation_guide_table,
+    ablation_uniqueness,
+)
+from repro.language.universe import Universe
+
+ABLATION_SPEC = Spec(
+    positive=["10", "101", "100", "1010", "1011"],
+    negative=["", "0", "1", "00", "11", "010"],
+)
+
+
+def test_regenerate_guide_table_ablation(benchmark, results_dir):
+    def run():
+        return ablation_guide_table(ABLATION_SPEC,
+                                    repeats=3 if is_full() else 1)
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_artifact(results_dir, "ablation_guide_table.txt", table.render())
+    staged, naive = table.rows
+    # Identical search outcome; staging is never slower at this size.
+    assert staged[2] == naive[2]
+    assert staged[1] <= naive[1] * 1.2
+
+
+def test_regenerate_uniqueness_ablation(benchmark, results_dir):
+    def run():
+        return ablation_uniqueness(ABLATION_SPEC, max_generated=2_000_000)
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_artifact(results_dir, "ablation_uniqueness.txt", table.render())
+    on, off = table.rows
+    assert on[1] == "success"
+    # Without deduplication the cache blows up (or the budget expires).
+    assert off[4] > 3 * on[4] or off[1] == "budget"
+
+
+def test_regenerate_cache_capacity_ablation(benchmark, results_dir):
+    def run():
+        return ablation_cache_capacity(
+            ERROR_TABLE_SPEC if is_full() else ABLATION_SPEC
+        )
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_artifact(results_dir, "ablation_cache_capacity.txt", table.render())
+    statuses = [row[1] for row in table.rows]
+    assert statuses[0] == "success"
+    assert "oom" in statuses  # the smallest capacity must exhaust
+
+
+def test_report_power_of_two_padding(results_dir):
+    """Structural ablation: report the padding waste of the second
+    space-time trade-off for growing universes."""
+    lines = ["words  padded_bits  lanes  waste_bits"]
+    for base in (["01"], ["0101"], ["010101"], ["01010101"],
+                 ["0101010101", "1111000011"]):
+        universe = Universe(base)
+        lines.append(
+            "%5d  %11d  %5d  %10d"
+            % (universe.n_words, universe.padded_bits, universe.lanes,
+               universe.padded_bits - universe.n_words)
+        )
+    save_artifact(results_dir, "ablation_padding.txt", "\n".join(lines))

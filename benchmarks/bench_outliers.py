@@ -1,0 +1,41 @@
+"""E4 — the outlier table (§4.3 "A note on outliers").
+
+Runs the full scaled suite under (1,1,1,1,1) and reports the share of
+runs finishing under each duration threshold, mirroring the paper's
+
+    <2s 89.48% · <3s 94.06% · ... · <800s 100%
+
+row (with thresholds rescaled to this engine).
+"""
+
+from __future__ import annotations
+
+from conftest import is_full, save_artifact
+from repro.eval.figures import figure1
+from repro.eval.tables import outlier_table
+from repro.regex.cost import CostFunction
+
+
+def test_regenerate_outlier_table(benchmark, results_dir):
+    count = 15 if is_full() else 6
+    budget = 600_000 if is_full() else 200_000
+
+    def run():
+        return figure1(
+            type1_count=count,
+            type2_count=count,
+            cost_functions=[CostFunction.uniform()],
+            max_generated=budget,
+        )
+
+    data = benchmark.pedantic(run, rounds=1, iterations=1)
+    durations = data.elapsed[(1, 1, 1, 1, 1)]
+    table = outlier_table(durations)
+    save_artifact(results_dir, "outliers.txt", table.render())
+
+    # Shape: the distribution is heavily front-loaded — the largest
+    # threshold dominates, and percentages increase monotonically.
+    row = table.rows[0][1:]
+    values = [float(v) for v in row]
+    assert values == sorted(values)
+    assert values[-1] >= 50.0

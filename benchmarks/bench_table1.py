@@ -1,0 +1,84 @@
+"""E2 — Table 1: scalar ("CPU") vs vector ("GPU-sim") engines.
+
+Two parts:
+
+* ``test_bench_scalar_engine`` / ``test_bench_vector_engine`` time the
+  two engines on the same fixed hard specification, so the
+  pytest-benchmark table itself exhibits the paper's headline speed-up
+  shape (vectorised ≫ scalar, identical ``# REs``).
+* ``test_regenerate_table1`` rebuilds the full Table 1 (hardest
+  benchmark per (type, cost-function), both engines, speed-up column)
+  and stores it under ``benchmarks/results/table1.txt``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import is_full, save_artifact
+from repro import CostFunction, Spec, synthesize
+from repro.eval.harness import staging_for
+from repro.eval.tables import table1
+from repro.regex.cost import EVALUATION_COST_FUNCTIONS
+
+#: A fixed Type-1-style specification hard enough that the engines spend
+#: their time in the level kernels (~100k candidates under (1,1,1,1,1)).
+HARD_SPEC = Spec(
+    positive=["1101", "0110", "100", "0011", "111"],
+    negative=["", "0", "11", "010", "1010", "0001"],
+)
+
+
+@pytest.fixture(scope="module")
+def staging():
+    return staging_for(HARD_SPEC)
+
+
+def test_bench_scalar_engine(benchmark, staging):
+    universe, guide = staging
+
+    def run():
+        return synthesize(HARD_SPEC, backend="scalar",
+                          universe=universe, guide=guide)
+
+    result = benchmark.pedantic(run, rounds=3 if is_full() else 1,
+                                iterations=1)
+    assert result.found
+
+
+def test_bench_vector_engine(benchmark, staging):
+    universe, guide = staging
+
+    def run():
+        return synthesize(HARD_SPEC, backend="vector",
+                          universe=universe, guide=guide)
+
+    result = benchmark.pedantic(run, rounds=3 if is_full() else 1,
+                                iterations=1)
+    assert result.found
+
+
+def test_engines_agree_on_res_count(staging):
+    universe, guide = staging
+    cpu = synthesize(HARD_SPEC, backend="scalar", universe=universe, guide=guide)
+    gpu = synthesize(HARD_SPEC, backend="vector", universe=universe, guide=guide)
+    assert cpu.generated == gpu.generated
+    assert cpu.regex == gpu.regex
+
+
+def test_regenerate_table1(benchmark, results_dir):
+    if is_full():
+        cost_functions = EVALUATION_COST_FUNCTIONS
+        pool, budget = 8, 200_000
+    else:
+        cost_functions = EVALUATION_COST_FUNCTIONS[:3]
+        pool, budget = 4, 80_000
+
+    def run():
+        return table1(pool_size=pool, cost_functions=cost_functions,
+                      max_generated=budget)
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_artifact(results_dir, "table1.txt", table.render())
+    data_rows = [r for r in table.rows if r[7] not in (None, "")]
+    assert data_rows

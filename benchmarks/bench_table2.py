@@ -1,0 +1,66 @@
+"""E3 — Table 2: AlphaRegex vs Paresy on the classic 25-task suite.
+
+* ``test_bench_alpharegex_no1`` / ``test_bench_paresy_no1`` time both
+  systems on the same task so the pytest-benchmark table shows the
+  paper's shape (Paresy faster despite checking more candidates).
+* ``test_regenerate_table2`` rebuilds the full comparison table into
+  ``benchmarks/results/table2.txt``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import is_full, save_artifact
+from repro import ALPHAREGEX_COST, synthesize
+from repro.baselines.alpharegex import alpharegex_synthesize
+from repro.eval.tables import table2
+from repro.suites.alpharegex_suite import ALPHAREGEX_TASKS, easy_tasks, task_by_name
+
+
+@pytest.fixture(scope="module")
+def no1_spec():
+    return task_by_name("no1").build_spec(n_pos=8, n_neg=8, max_len=6)
+
+
+def test_bench_alpharegex_no1(benchmark, no1_spec):
+    result = benchmark.pedantic(
+        lambda: alpharegex_synthesize(no1_spec, max_expanded=50_000),
+        rounds=1, iterations=1,
+    )
+    assert result.found
+
+
+def test_bench_paresy_no1(benchmark, no1_spec):
+    result = benchmark.pedantic(
+        lambda: synthesize(no1_spec, cost_fn=ALPHAREGEX_COST, backend="scalar"),
+        rounds=1, iterations=1,
+    )
+    assert result.found
+
+
+def test_paresy_never_costlier_than_alpharegex(no1_spec):
+    ours = synthesize(no1_spec, cost_fn=ALPHAREGEX_COST, backend="scalar")
+    theirs = alpharegex_synthesize(no1_spec, max_expanded=50_000)
+    assert ours.found and theirs.found
+    assert ours.cost <= theirs.cost
+
+
+def test_regenerate_table2(benchmark, results_dir):
+    if is_full():
+        tasks = ALPHAREGEX_TASKS
+        pa_budget, ar_budget = 3_000_000, 60_000
+        n_pos = n_neg = 10
+    else:
+        tasks = easy_tasks()[:8]
+        pa_budget, ar_budget = 400_000, 15_000
+        n_pos = n_neg = 8
+
+    def run():
+        return table2(tasks=tasks, n_pos=n_pos, n_neg=n_neg, max_len=7,
+                      paresy_budget=pa_budget, alpharegex_budget=ar_budget)
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_artifact(results_dir, "table2.txt", table.render())
+    solved = [r for r in table.rows if r[5] is not None]
+    assert solved

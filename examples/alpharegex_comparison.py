@@ -1,0 +1,51 @@
+"""Head-to-head with AlphaRegex on classic textbook tasks (paper Table 2).
+
+For a few of the 25 reconstructed Lee et al. benchmarks, run both the
+AlphaRegex reimplementation (top-down search with pruning) and Paresy's
+scalar engine under AlphaRegex's (5,5,5,5,5) cost scale, and print the
+paper's comparison columns.
+
+Run with::
+
+    python examples/alpharegex_comparison.py
+"""
+
+import time
+
+from repro import ALPHAREGEX_COST, synthesize
+from repro.baselines.alpharegex import alpharegex_synthesize
+from repro.suites.alpharegex_suite import task_by_name
+
+
+TASKS = ["no1", "no2", "no11", "no17", "no19", "no23", "no24"]
+
+
+def main() -> None:
+    print("%-5s %-34s %9s %9s %7s %7s %9s %9s"
+          % ("task", "description", "aR s", "Paresy s", "aR c",
+             "Pa c", "aR #REs", "Pa #REs"))
+    for name in TASKS:
+        task = task_by_name(name)
+        spec = task.build_spec(n_pos=8, n_neg=8, max_len=6)
+
+        started = time.perf_counter()
+        ar = alpharegex_synthesize(spec, max_expanded=60_000)
+        ar_time = time.perf_counter() - started
+
+        started = time.perf_counter()
+        paresy = synthesize(spec, cost_fn=ALPHAREGEX_COST, backend="scalar")
+        paresy_time = time.perf_counter() - started
+
+        print("%-5s %-34s %9.4f %9.4f %7s %7s %9s %9s"
+              % (name, task.description[:34], ar_time, paresy_time,
+                 ar.cost, paresy.cost, ar.checked, paresy.generated))
+        if ar.found and paresy.found:
+            assert paresy.cost <= ar.cost, "Paresy must be minimal"
+    print()
+    print("Shape of the paper's Table 2: Paresy is faster on wall clock")
+    print("even though it usually generates *more* candidates; AlphaRegex")
+    print("prunes aggressively but pays per-candidate overhead.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""Error-tolerant inference on noisily-labelled examples (paper §5.2).
+
+Labels in the wild are noisy: a fraction of the examples may be
+mislabelled.  Precise REI then overfits to the noise; ``allowed_error``
+trades precision for a (much) smaller expression and a (much) smaller
+search.  This script reruns the paper's own §5.2 experiment — the exact
+specification from the conclusion — and prints the error/size/search
+trade-off curve.
+
+Run with::
+
+    python examples/error_tolerant.py
+"""
+
+from repro import Spec, synthesize
+
+
+# The specification from the paper's §5.2 (= Table 1 row "Type 1, No 50").
+SPEC = Spec(
+    positive=["00", "1101", "0001", "0111", "001", "1", "10", "1100",
+              "111", "1010"],
+    negative=["", "0", "0000", "0011", "01", "010", "011", "100", "1000",
+              "1001", "11", "1110"],
+)
+
+
+def main() -> None:
+    print("specification:", SPEC)
+    print()
+    print("%-13s %-10s %-22s %8s %9s"
+          % ("allowed error", "errors", "regex", "cost", "# REs"))
+    for percent in (50, 45, 40, 35, 30, 25, 20):
+        result = synthesize(SPEC, allowed_error=percent / 100.0)
+        assert result.found
+        print("%-13s %-10d %-22s %8d %9d"
+              % ("%d %%" % percent, result.errors(), result.regex_str,
+                 result.cost, result.generated))
+    print()
+    print("The paper's table shows the same regexes at the same error")
+    print("levels, with the search cost dropping roughly exponentially;")
+    print("at 0 %% error this specification needs 2.7e10 candidates on an")
+    print("A100 — out of reach of a pure-Python engine, see EXPERIMENTS.md.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""Quickstart: infer a regular expression from labelled example strings.
+
+This reproduces the paper's introduction example: from seven positive
+and six negative strings, Paresy infers the minimal regular expression
+``10(0+1)*`` — "strings starting with 10" — rather than overfitting to
+the union of the positives.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import CostFunction, Spec, synthesize
+
+
+def main() -> None:
+    spec = Spec(
+        positive=["10", "101", "100", "1010", "1011", "1000", "1001"],
+        negative=["", "0", "1", "00", "11", "010"],
+    )
+    print("Specification:", spec)
+    print()
+
+    # The default backend is the data-parallel ("GPU-sim") engine.
+    result = synthesize(spec, cost_fn=CostFunction.uniform())
+    print("inferred regex     :", result.regex_str)
+    print("cost               :", result.cost)
+    print("candidates checked :", result.generated)
+    print("unique languages   :", result.unique_cs)
+    print("|ic(P ∪ N)|        :", result.universe_size,
+          "words, padded to", result.padded_bits, "bits")
+    print("elapsed            : %.4f s" % result.elapsed_seconds)
+    print()
+
+    # The scalar ("CPU") engine runs the identical algorithm one
+    # candidate at a time and returns the identical result.
+    scalar = synthesize(spec, backend="scalar")
+    assert scalar.regex == result.regex
+    print("scalar backend agrees:", scalar.regex_str,
+          "(%.4f s)" % scalar.elapsed_seconds)
+
+    # Precision is guaranteed: the result accepts every positive and
+    # rejects every negative example.
+    assert spec.is_satisfied_by(result.regex)
+    print("precision verified against the derivative matcher ✓")
+
+
+if __name__ == "__main__":
+    main()

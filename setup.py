@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The container used for development has no network access and no `wheel`
+package, so PEP 660 editable installs (which shell out to bdist_wheel)
+fail.  This shim lets `pip install -e . --no-use-pep517` take the legacy
+`setup.py develop` path, which works offline.
+"""
+
+from setuptools import setup
+
+setup()

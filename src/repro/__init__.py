@@ -1,0 +1,47 @@
+"""repro — a reproduction of *Search-Based Regular Expression Inference
+on a GPU* (Valizadeh & Berger, PLDI 2023).
+
+Quick start::
+
+    from repro import Spec, CostFunction, synthesize
+
+    spec = Spec(
+        positive=["10", "101", "100", "1010", "1011", "1000", "1001"],
+        negative=["", "0", "1", "00", "11", "010"],
+    )
+    result = synthesize(spec, cost_fn=CostFunction.uniform())
+    print(result.regex_str)   # 10(0+1)*
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+reproduction of every table and figure of the paper.
+"""
+
+from .core.incremental import IncrementalSynthesizer
+from .core.result import SynthesisResult
+from .core.synthesizer import make_engine, synthesize
+from .errors import CapacityError, InvalidSpecError, ReproError
+from .regex.ast import Regex
+from .regex.cost import ALPHAREGEX_COST, EVALUATION_COST_FUNCTIONS, CostFunction
+from .regex.parser import parse
+from .regex.printer import to_string
+from .spec import Spec
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "IncrementalSynthesizer",
+    "SynthesisResult",
+    "make_engine",
+    "synthesize",
+    "CapacityError",
+    "InvalidSpecError",
+    "ReproError",
+    "Regex",
+    "ALPHAREGEX_COST",
+    "EVALUATION_COST_FUNCTIONS",
+    "CostFunction",
+    "parse",
+    "to_string",
+    "Spec",
+    "__version__",
+]

@@ -1,0 +1,13 @@
+"""Baseline synthesisers: AlphaRegex (Table 2 comparator) and a naive
+brute-force enumerator (minimality oracle for tests)."""
+
+from .alpharegex import AlphaRegexResult, AlphaRegexSynthesizer, alpharegex_synthesize
+from .bruteforce import BruteForceResult, bruteforce_synthesize
+
+__all__ = [
+    "AlphaRegexResult",
+    "AlphaRegexSynthesizer",
+    "alpharegex_synthesize",
+    "BruteForceResult",
+    "bruteforce_synthesize",
+]

@@ -1,0 +1,299 @@
+"""A reimplementation of AlphaRegex (Lee, So & Oh, GPCE 2016).
+
+AlphaRegex is the state-of-the-art comparator of the paper's Table 2: a
+*top-down*, best-first, exhaustive search over regular expressions
+extended with holes (``□``).  A queue of partial expressions is popped in
+increasing-cost order; complete expressions are checked against the
+specification, partial ones have their leftmost hole expanded with every
+production.  Two sound pruning rules discard partial expressions early:
+
+* **over-approximation** — replace every hole with ``Σ*``; if the result
+  rejects some positive example, no completion can accept it (hole
+  contexts are monotone: the grammar has no complement), so prune;
+* **under-approximation** — replace every hole with ``∅``; if the result
+  accepts some negative example, every completion does, so prune.
+
+On top of these, redundancy rules discard expressions that are never the
+unique minimal form (nested stars, ``(r?)?``, unions with syntactically
+equal sides, ...).  Like the original, the cost function is a cost
+homomorphism and the implementation only guarantees *precision*;
+minimality can be lost through aggressive pruning — the paper observed
+AlphaRegex returning non-minimal answers on ~25% of its own benchmarks.
+The optional ``example_subsumption_pruning`` flag enables an
+example-guided union-pruning heuristic of that aggressive kind.
+
+The "# REs" counter (``checked``) counts complete expressions tested
+against the specification — the implementation-language-independent
+metric Table 2 reports.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..regex.ast import (
+    Char,
+    Concat,
+    Empty,
+    Epsilon,
+    HOLE,
+    Hole,
+    Question,
+    Regex,
+    Star,
+    Union,
+    has_hole,
+    union_all,
+)
+from ..regex.cost import ALPHAREGEX_COST, CostFunction
+from ..regex.derivatives import matches
+from ..regex.printer import to_string
+from ..spec import Spec
+
+
+@dataclass
+class AlphaRegexResult:
+    """Outcome of one AlphaRegex run.
+
+    ``checked`` counts complete candidate expressions tested against the
+    specification; ``expanded`` counts queue pops; ``pruned_over`` /
+    ``pruned_under`` count the prunings by each approximation.
+    """
+
+    status: str
+    spec: Spec
+    regex: Optional[Regex] = None
+    cost: Optional[int] = None
+    checked: int = 0
+    expanded: int = 0
+    pruned_over: int = 0
+    pruned_under: int = 0
+    elapsed_seconds: float = 0.0
+
+    @property
+    def found(self) -> bool:
+        """True iff a consistent regex was found."""
+        return self.status == "success"
+
+    @property
+    def regex_str(self) -> Optional[str]:
+        """Concrete syntax of the result (None if not found)."""
+        return to_string(self.regex) if self.regex is not None else None
+
+
+class AlphaRegexSynthesizer:
+    """Best-first top-down synthesis over regexes with holes."""
+
+    def __init__(
+        self,
+        spec: Spec,
+        cost_fn: CostFunction = ALPHAREGEX_COST,
+        max_checked: Optional[int] = None,
+        max_expanded: Optional[int] = None,
+        example_subsumption_pruning: bool = False,
+    ) -> None:
+        self.spec = spec
+        self.cost_fn = cost_fn
+        self.max_checked = max_checked
+        self.max_expanded = max_expanded
+        self.example_subsumption_pruning = example_subsumption_pruning
+        self._sigma_star = Star(union_all([Char(ch) for ch in spec.alphabet]))
+        self._expansions = self._make_expansions()
+
+    def _make_expansions(self) -> List[Regex]:
+        atoms: List[Regex] = [Char(ch) for ch in self.spec.alphabet]
+        operators: List[Regex] = [
+            Question(HOLE),
+            Star(HOLE),
+            Concat(HOLE, HOLE),
+            Union(HOLE, HOLE),
+        ]
+        return atoms + operators
+
+    # ------------------------------------------------------------------
+    def run(self) -> AlphaRegexResult:
+        """Search until a consistent regex is found or a budget expires."""
+        started = time.perf_counter()
+        result = AlphaRegexResult(status="not_found", spec=self.spec)
+
+        # ε is a legal answer AlphaRegex's grammar cannot produce through
+        # hole expansion; check the two degenerate candidates up front.
+        for trivial in (Empty(), Epsilon()):
+            result.checked += 1
+            if self.spec.is_satisfied_by(trivial):
+                result.status = "success"
+                result.regex = trivial
+                result.cost = self.cost_fn.cost(trivial)
+                result.elapsed_seconds = time.perf_counter() - started
+                return result
+
+        counter = itertools.count()
+        queue: List[Tuple[int, int, Regex]] = [
+            (self.cost_fn.cost(HOLE), next(counter), HOLE)
+        ]
+        visited: Set[Regex] = {HOLE}
+
+        while queue:
+            if self.max_expanded is not None and result.expanded >= self.max_expanded:
+                result.status = "budget"
+                break
+            if self.max_checked is not None and result.checked >= self.max_checked:
+                result.status = "budget"
+                break
+            cost, _, state = heapq.heappop(queue)
+            result.expanded += 1
+            if not has_hole(state):
+                result.checked += 1
+                if self.spec.is_satisfied_by(state):
+                    result.status = "success"
+                    result.regex = state
+                    result.cost = cost
+                    break
+                continue
+            for successor in self._expand(state):
+                if successor in visited:
+                    continue
+                visited.add(successor)
+                if self._redundant(successor):
+                    continue
+                if not self._feasible(successor, result):
+                    continue
+                heapq.heappush(
+                    queue,
+                    (self.cost_fn.cost(successor), next(counter), successor),
+                )
+        result.elapsed_seconds = time.perf_counter() - started
+        return result
+
+    # ------------------------------------------------------------------
+    def _expand(self, state: Regex) -> List[Regex]:
+        """All single-step expansions of the leftmost hole of ``state``."""
+        return [
+            _replace_leftmost(state, replacement)
+            for replacement in self._expansions
+        ]
+
+    def _feasible(self, state: Regex, result: AlphaRegexResult) -> bool:
+        """Apply the over-/under-approximation prunings of Lee et al."""
+        over = _substitute_holes(state, self._sigma_star)
+        if not all(matches(over, word) for word in self.spec.positive):
+            result.pruned_over += 1
+            return False
+        under = _substitute_holes(state, Empty())
+        if any(matches(under, word) for word in self.spec.negative):
+            result.pruned_under += 1
+            return False
+        if self.example_subsumption_pruning and not self._union_useful(state):
+            return False
+        return True
+
+    def _union_useful(self, state: Regex) -> bool:
+        """Aggressive (minimality-unsound) heuristic: prune complete
+        unions whose right branch adds no behaviour on the examples."""
+        for node in _iter_unions(state):
+            if has_hole(node):
+                continue
+            examples = self.spec.all_words
+            left_hits = {w for w in examples if matches(node.left, w)}
+            right_hits = {w for w in examples if matches(node.right, w)}
+            if right_hits <= left_hits or left_hits <= right_hits:
+                return False
+        return True
+
+    @staticmethod
+    def _redundant(state: Regex) -> bool:
+        """Syntactic redundancy rules (language- and cost-safe)."""
+        for node in _iter_nodes(state):
+            if isinstance(node, Star) and isinstance(node.inner, (Star, Question)):
+                return True
+            if isinstance(node, Question) and isinstance(
+                node.inner, (Star, Question)
+            ):
+                return True
+            if (
+                isinstance(node, Union)
+                and node.left == node.right
+                and not has_hole(node.left)
+            ):
+                # Equal *complete* sides only: ``□+□`` has equal sides
+                # syntactically but its holes are filled independently.
+                return True
+        return False
+
+
+def _iter_nodes(regex: Regex):
+    stack = [regex]
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (Concat, Union)):
+            stack.append(node.left)
+            stack.append(node.right)
+        elif isinstance(node, (Star, Question)):
+            stack.append(node.inner)
+
+
+def _iter_unions(regex: Regex):
+    return (node for node in _iter_nodes(regex) if isinstance(node, Union))
+
+
+def _replace_leftmost(state: Regex, replacement: Regex) -> Regex:
+    """Replace the leftmost hole of ``state`` by ``replacement``."""
+    new_state, replaced = _replace_walk(state, replacement)
+    if not replaced:
+        raise ValueError("state has no hole: %r" % (state,))
+    return new_state
+
+
+def _replace_walk(state: Regex, replacement: Regex) -> Tuple[Regex, bool]:
+    if isinstance(state, Hole):
+        return replacement, True
+    if isinstance(state, (Concat, Union)):
+        left, replaced = _replace_walk(state.left, replacement)
+        if replaced:
+            return type(state)(left, state.right), True
+        right, replaced = _replace_walk(state.right, replacement)
+        if replaced:
+            return type(state)(state.left, right), True
+        return state, False
+    if isinstance(state, (Star, Question)):
+        inner, replaced = _replace_walk(state.inner, replacement)
+        if replaced:
+            return type(state)(inner), True
+        return state, False
+    return state, False
+
+
+def _substitute_holes(state: Regex, filler: Regex) -> Regex:
+    """Replace *every* hole of ``state`` by ``filler``."""
+    if isinstance(state, Hole):
+        return filler
+    if isinstance(state, (Concat, Union)):
+        return type(state)(
+            _substitute_holes(state.left, filler),
+            _substitute_holes(state.right, filler),
+        )
+    if isinstance(state, (Star, Question)):
+        return type(state)(_substitute_holes(state.inner, filler))
+    return state
+
+
+def alpharegex_synthesize(
+    spec: Spec,
+    cost_fn: CostFunction = ALPHAREGEX_COST,
+    max_checked: Optional[int] = None,
+    max_expanded: Optional[int] = None,
+    example_subsumption_pruning: bool = False,
+) -> AlphaRegexResult:
+    """Convenience wrapper around :class:`AlphaRegexSynthesizer`."""
+    return AlphaRegexSynthesizer(
+        spec,
+        cost_fn=cost_fn,
+        max_checked=max_checked,
+        max_expanded=max_expanded,
+        example_subsumption_pruning=example_subsumption_pruning,
+    ).run()

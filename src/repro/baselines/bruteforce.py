@@ -1,0 +1,146 @@
+"""A naive bottom-up *syntactic* enumerator.
+
+This baseline enumerates regular expression ASTs by increasing cost with
+only syntactic deduplication and tests each against the specification
+with the derivative matcher.  It shares no representation with Paresy —
+no characteristic sequences, no infix closure, no guide table — which
+makes it the independent oracle the test-suite uses to cross-validate
+Paresy's *minimality* on small instances: both must report the same
+optimal cost.
+
+Complexity is catastrophic by design; only use with small ``max_cost``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..regex.ast import Char, Concat, Question, Regex, Star, Union
+from ..regex.cost import CostFunction
+from ..regex.derivatives import satisfies
+from ..regex.printer import to_string
+from ..spec import Spec
+
+
+@dataclass
+class BruteForceResult:
+    """Outcome of a brute-force enumeration run."""
+
+    status: str
+    regex: Optional[Regex] = None
+    cost: Optional[int] = None
+    checked: int = 0
+    elapsed_seconds: float = 0.0
+
+    @property
+    def found(self) -> bool:
+        """True iff a consistent regex was found."""
+        return self.status == "success"
+
+    @property
+    def regex_str(self) -> Optional[str]:
+        """Concrete syntax of the result (None if not found)."""
+        return to_string(self.regex) if self.regex is not None else None
+
+
+def bruteforce_synthesize(
+    spec: Spec,
+    cost_fn: Optional[CostFunction] = None,
+    max_cost: int = 9,
+) -> BruteForceResult:
+    """Exhaustively search all regexes of cost ≤ ``max_cost``.
+
+    Returns the first (hence minimal-cost) consistent regex; enumeration
+    order within a cost level is: question marks, stars, concatenations,
+    unions — the same constructor order as Paresy, so on agreement the
+    two return expressions of identical cost (possibly different shape).
+    """
+    if cost_fn is None:
+        cost_fn = CostFunction.uniform()
+    started = time.perf_counter()
+    result = BruteForceResult(status="not_found")
+
+    from ..regex.ast import EMPTY, EPSILON
+
+    for trivial in (EMPTY, EPSILON):
+        result.checked += 1
+        if satisfies(trivial, spec.positive, spec.negative):
+            result.status = "success"
+            result.regex = trivial
+            result.cost = cost_fn.literal
+            result.elapsed_seconds = time.perf_counter() - started
+            return result
+
+    by_cost: Dict[int, List[Regex]] = {}
+    c1 = cost_fn.literal
+    by_cost[c1] = [Char(ch) for ch in spec.alphabet]
+    for candidate in by_cost[c1]:
+        result.checked += 1
+        if satisfies(candidate, spec.positive, spec.negative):
+            result.status = "success"
+            result.regex = candidate
+            result.cost = c1
+            result.elapsed_seconds = time.perf_counter() - started
+            return result
+
+    for cost in range(c1 + 1, max_cost + 1):
+        level: List[Regex] = []
+
+        def check(candidate: Regex) -> bool:
+            result.checked += 1
+            if satisfies(candidate, spec.positive, spec.negative):
+                result.status = "success"
+                result.regex = candidate
+                result.cost = cost
+                return True
+            level.append(candidate)
+            return False
+
+        for inner in by_cost.get(cost - cost_fn.question, ()):
+            if check(Question(inner)):
+                break
+        if result.found:
+            break
+        for inner in by_cost.get(cost - cost_fn.star, ()):
+            if check(Star(inner)):
+                break
+        if result.found:
+            break
+        budget = cost - cost_fn.concat
+        for left_cost in sorted(by_cost):
+            if result.found:
+                break
+            right_cost = budget - left_cost
+            if right_cost < c1:
+                break
+            for left in by_cost[left_cost]:
+                if result.found:
+                    break
+                for right in by_cost.get(right_cost, ()):
+                    if check(Concat(left, right)):
+                        break
+        if result.found:
+            break
+        budget = cost - cost_fn.union
+        for left_cost in sorted(by_cost):
+            if result.found:
+                break
+            right_cost = budget - left_cost
+            if right_cost < left_cost:
+                break
+            for i, left in enumerate(by_cost[left_cost]):
+                if result.found:
+                    break
+                rights = by_cost.get(right_cost, ())
+                start = i + 1 if right_cost == left_cost else 0
+                for right in rights[start:]:
+                    if check(Union(left, right)):
+                        break
+        if result.found:
+            break
+        by_cost[cost] = level
+
+    result.elapsed_seconds = time.perf_counter() - started
+    return result

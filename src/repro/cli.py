@@ -1,0 +1,199 @@
+"""Command-line interface: ``python -m repro <command>`` or ``repro``.
+
+Commands
+--------
+synth        infer a regex from --pos/--neg examples
+table1       regenerate Table 1 (scalar vs vector engines)
+table2       regenerate Table 2 (AlphaRegex vs Paresy)
+figure1      regenerate Figure 1 (cost-function impact)
+outliers     duration-distribution table over a Figure-1 sweep
+error-table  regenerate the §5.2 allowed-error table
+ablations    run the E6 design-choice ablations
+suite        print a generated Type 1/2 benchmark suite
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core.synthesizer import synthesize
+from .eval.figures import figure1
+from .eval.tables import (
+    ERROR_TABLE_SPEC,
+    ablation_cache_capacity,
+    ablation_guide_table,
+    ablation_uniqueness,
+    error_table,
+    outlier_table,
+    table1,
+    table2,
+)
+from .regex.cost import CostFunction
+from .spec import Spec
+from .suites.generator import (
+    SCALED_TYPE1_PARAMS,
+    SCALED_TYPE2_PARAMS,
+    generate_suite,
+)
+
+
+def _parse_cost(text: str) -> CostFunction:
+    parts = [int(piece) for piece in text.replace("(", "").replace(")", "").split(",")]
+    return CostFunction.from_tuple(tuple(parts))
+
+
+def _cmd_synth(args: argparse.Namespace) -> int:
+    spec = Spec(args.pos, args.neg)
+    result = synthesize(
+        spec,
+        cost_fn=_parse_cost(args.cost),
+        backend=args.backend,
+        allowed_error=args.error,
+        max_cache_size=args.max_cache,
+        max_generated=args.max_generated,
+    )
+    print("status     :", result.status)
+    if result.found:
+        print("regex      :", result.regex_str)
+        print("cost       :", result.cost)
+    print("# REs      :", result.generated)
+    print("unique CSs :", result.unique_cs)
+    print("|ic(P∪N)|  :", result.universe_size,
+          "(padded to %d bits)" % result.padded_bits)
+    print("elapsed    : %.4f s" % result.elapsed_seconds)
+    return 0 if result.found else 1
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    print(table1(pool_size=args.pool, max_generated=args.max_generated,
+                 repeats=args.repeats).render())
+    return 0
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    print(table2(paresy_budget=args.paresy_budget,
+                 alpharegex_budget=args.ar_budget,
+                 repeats=args.repeats).render())
+    return 0
+
+
+def _cmd_figure1(args: argparse.Namespace) -> int:
+    data = figure1(type1_count=args.count, type2_count=args.count,
+                   max_generated=args.max_generated)
+    print(data.render())
+    return 0
+
+
+def _cmd_outliers(args: argparse.Namespace) -> int:
+    data = figure1(type1_count=args.count, type2_count=args.count,
+                   max_generated=args.max_generated)
+    durations = [v for series in data.elapsed.values() for v in series]
+    print(outlier_table(durations).render())
+    return 0
+
+
+def _cmd_error_table(args: argparse.Namespace) -> int:
+    errors = [e / 100.0 for e in args.errors]
+    print(error_table(errors=errors, max_generated=args.max_generated).render())
+    return 0
+
+
+def _cmd_ablations(args: argparse.Namespace) -> int:
+    spec = ERROR_TABLE_SPEC
+    print(ablation_guide_table(spec).render())
+    print()
+    print(ablation_uniqueness(spec, max_generated=args.max_generated).render())
+    print()
+    print(ablation_cache_capacity(spec).render())
+    return 0
+
+
+def _cmd_suite(args: argparse.Namespace) -> int:
+    params = SCALED_TYPE1_PARAMS if args.type == 1 else SCALED_TYPE2_PARAMS
+    for bench in generate_suite(args.type, args.count, params, args.seed):
+        print("%s  le=%d  #P=%d  #N=%d" % (bench.name, bench.le,
+                                           bench.n_pos, bench.n_neg))
+        print("   ", bench.spec)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Paresy reproduction: regular expression inference",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("synth", help="infer a regex from examples")
+    p.add_argument("--pos", nargs="*", default=[], help="positive examples")
+    p.add_argument("--neg", nargs="*", default=[], help="negative examples")
+    p.add_argument("--cost", default="1,1,1,1,1",
+                   help="cost homomorphism c1,c2,c3,c4,c5")
+    p.add_argument("--backend", default="vector", choices=["scalar", "vector",
+                                                           "cpu", "gpu"])
+    p.add_argument("--error", type=float, default=0.0, help="allowed error")
+    p.add_argument("--max-cache", type=int, default=None, dest="max_cache")
+    p.add_argument("--max-generated", type=int, default=None,
+                   dest="max_generated")
+    p.set_defaults(func=_cmd_synth)
+
+    p = sub.add_parser("table1", help="scalar vs vector engine comparison")
+    p.add_argument("--pool", type=int, default=8)
+    p.add_argument("--max-generated", type=int, default=200_000,
+                   dest="max_generated")
+    p.add_argument("--repeats", type=int, default=1)
+    p.set_defaults(func=_cmd_table1)
+
+    p = sub.add_parser("table2", help="AlphaRegex vs Paresy comparison")
+    p.add_argument("--paresy-budget", type=int, default=3_000_000,
+                   dest="paresy_budget")
+    p.add_argument("--ar-budget", type=int, default=40_000, dest="ar_budget")
+    p.add_argument("--repeats", type=int, default=1)
+    p.set_defaults(func=_cmd_table2)
+
+    p = sub.add_parser("figure1", help="cost-function impact sweep")
+    p.add_argument("--count", type=int, default=10,
+                   help="benchmarks per type")
+    p.add_argument("--max-generated", type=int, default=400_000,
+                   dest="max_generated")
+    p.set_defaults(func=_cmd_figure1)
+
+    p = sub.add_parser("outliers", help="duration distribution table")
+    p.add_argument("--count", type=int, default=10)
+    p.add_argument("--max-generated", type=int, default=400_000,
+                   dest="max_generated")
+    p.set_defaults(func=_cmd_outliers)
+
+    p = sub.add_parser("error-table", help="allowed-error sweep (§5.2)")
+    p.add_argument("--errors", type=int, nargs="*",
+                   default=[50, 45, 40, 35, 30, 25, 20, 15],
+                   help="allowed error percentages")
+    p.add_argument("--max-generated", type=int, default=5_000_000,
+                   dest="max_generated")
+    p.set_defaults(func=_cmd_error_table)
+
+    p = sub.add_parser("ablations", help="design-choice ablations (E6)")
+    p.add_argument("--max-generated", type=int, default=2_000_000,
+                   dest="max_generated")
+    p.set_defaults(func=_cmd_ablations)
+
+    p = sub.add_parser("suite", help="print a generated benchmark suite")
+    p.add_argument("--type", type=int, default=1, choices=[1, 2])
+    p.add_argument("--count", type=int, default=10)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_suite)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for the ``repro`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,145 @@
+"""Bit-level kernels over characteristic sequences.
+
+A characteristic sequence (CS) is a bitvector with one bit per universe
+word; in the scalar engine CSs are arbitrary-precision Python ints, in
+the vectorised engine they are rows of a ``(n, lanes)`` uint64 matrix.
+This module holds the scalar kernels (Algorithm 2 of the paper and the
+Kleene-star iteration built on it) plus the packing helpers shared with
+the vectorised engine.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..language.guide_table import GuideTable
+from ..language.universe import Universe
+
+try:  # Python >= 3.10
+    _bit_count = int.bit_count  # type: ignore[attr-defined]
+
+    def popcount(value: int) -> int:
+        """Number of set bits of a non-negative int."""
+        return _bit_count(value)
+
+except AttributeError:  # pragma: no cover - exercised only on Python 3.9
+
+    def popcount(value: int) -> int:
+        """Number of set bits of a non-negative int."""
+        return bin(value).count("1")
+
+
+def concat_cs(left: int, right: int, guide: GuideTable) -> int:
+    """Concatenation of two CSs via the guide table (Algorithm 2).
+
+    Word ``w`` belongs to ``L·R`` iff some precomputed split ``w = u·v``
+    has ``u ∈ L`` and ``v ∈ R``.  The early ``break`` per word is the
+    CPU-friendly form; the paper's GPU kernel folds over all splits
+    instead (no data-dependent branching) — the vectorised engine does
+    the same.
+    """
+    out = 0
+    bit = 1
+    for pairs in guide.splits:
+        for i, j in pairs:
+            if (left >> i) & 1 and (right >> j) & 1:
+                out |= bit
+                break
+        bit <<= 1
+    return out
+
+
+def concat_cs_naive(left: int, right: int, universe: Universe) -> int:
+    """Concatenation *without* the guide table (ablation baseline).
+
+    Re-derives every split of every word by string slicing and dictionary
+    lookups on each call — exactly the per-construction work the guide
+    table stages away (§3, "Staging: guide table").
+    """
+    index = universe.index
+    out = 0
+    for w, word in enumerate(universe.words):
+        for cut in range(len(word) + 1):
+            i = index[word[:cut]]
+            j = index[word[cut:]]
+            if (left >> i) & 1 and (right >> j) & 1:
+                out |= 1 << w
+                break
+    return out
+
+
+def star_cs(cs: int, guide: GuideTable, universe: Universe) -> int:
+    """Kleene star of a CS: ``⊕ₙ csⁿ`` restricted to the universe.
+
+    Iterates ``result ← result | result·cs`` starting from ``{ε}``; the
+    fixpoint is reached after at most ``max_word_length`` iterations
+    because every additional non-ε factor consumes at least one character
+    of a universe word.
+    """
+    result = universe.eps_bit
+    for _ in range(universe.max_word_length + 1):
+        grown = result | concat_cs(result, cs, guide)
+        if grown == result:
+            return result
+        result = grown
+    return result
+
+
+def union_cs(left: int, right: int) -> int:
+    """Union of two CSs: bitwise or."""
+    return left | right
+
+
+def question_cs(cs: int, universe: Universe) -> int:
+    """Option of a CS: add the ``ε`` bit."""
+    return cs | universe.eps_bit
+
+
+def intersect_cs(left: int, right: int) -> int:
+    """Conjunction of two CSs: bitwise and (Def. 3.5's Boolean ops)."""
+    return left & right
+
+
+def negate_cs(cs: int, universe: Universe) -> int:
+    """Complement of a CS *relative to the universe*: bitwise not,
+    masked to the universe's words."""
+    return ~cs & universe.full_mask
+
+
+# ----------------------------------------------------------------------
+# Packed (lane) representation shared with the vectorised engine
+# ----------------------------------------------------------------------
+
+def int_to_lanes(cs: int, lanes: int) -> np.ndarray:
+    """Pack an int CS into ``lanes`` little-endian uint64 words."""
+    out = np.zeros(lanes, dtype=np.uint64)
+    mask = (1 << 64) - 1
+    for lane in range(lanes):
+        out[lane] = (cs >> (64 * lane)) & mask
+    return out
+
+
+def lanes_to_int(row: Sequence[int]) -> int:
+    """Inverse of :func:`int_to_lanes`."""
+    cs = 0
+    for lane, value in enumerate(row):
+        cs |= int(value) << (64 * lane)
+    return cs
+
+
+if hasattr(np, "bitwise_count"):
+
+    def popcount_rows(matrix: np.ndarray) -> np.ndarray:
+        """Per-row popcount of a ``(n, lanes)`` uint64 matrix."""
+        return np.bitwise_count(matrix).sum(axis=1, dtype=np.int64)
+
+else:  # pragma: no cover - numpy < 2 fallback
+
+    _BYTE_POPCOUNT = np.array([bin(b).count("1") for b in range(256)], dtype=np.uint8)
+
+    def popcount_rows(matrix: np.ndarray) -> np.ndarray:
+        """Per-row popcount of a ``(n, lanes)`` uint64 matrix."""
+        as_bytes = matrix.view(np.uint8)
+        return _BYTE_POPCOUNT[as_bytes].sum(axis=1, dtype=np.int64)

@@ -1,0 +1,168 @@
+"""The language cache: Paresy's core data structure.
+
+The cache is a write-once sequence of characteristic sequences (CSs),
+laid out by strictly increasing cost: a "matrix of matrices of matrices"
+(§3).  The translation from cost to position is the ``startPoints``
+indirection, reproduced here as :class:`LevelIndex`: each *complete* cost
+level records the half-open range of global indices holding its CSs.
+
+Two concrete caches exist:
+
+* :class:`IntCache` — scalar engine; CSs are Python ints.
+* :class:`PackedCache` — vectorised engine; CSs are rows of a contiguous
+  ``(capacity, lanes)`` uint64 numpy matrix (the paper's contiguous byte
+  array, power-of-two padded).
+
+Both also store, per CS, the provenance triple ``(op, left, right)`` that
+:mod:`repro.core.reconstruct` uses to rebuild a regular expression — the
+paper's "auxiliary data, allowing the conversion of a CS to a
+corresponding regular expression".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+
+class LevelIndex:
+    """``startPoints``: cost level → half-open global index range.
+
+    Only *complete* levels are recorded; a level interrupted by cache
+    exhaustion (OnTheFly mode) is never registered, so operand iteration
+    automatically restricts itself to trustworthy levels.
+    """
+
+    __slots__ = ("_bounds", "_costs")
+
+    def __init__(self) -> None:
+        self._bounds: Dict[int, Tuple[int, int]] = {}
+        self._costs: List[int] = []
+
+    def mark(self, cost: int, start: int, end: int) -> None:
+        """Record that the CSs of ``cost`` occupy ``[start, end)``."""
+        if cost in self._bounds:
+            raise ValueError("cost level %d recorded twice" % cost)
+        if self._costs and cost <= self._costs[-1]:
+            raise ValueError("cost levels must be recorded in increasing order")
+        self._bounds[cost] = (start, end)
+        self._costs.append(cost)
+
+    def bounds(self, cost: int) -> Optional[Tuple[int, int]]:
+        """The range of ``cost``, or None if that level is not recorded."""
+        return self._bounds.get(cost)
+
+    def costs(self) -> Tuple[int, ...]:
+        """All recorded costs, ascending."""
+        return tuple(self._costs)
+
+    @property
+    def last_complete_cost(self) -> Optional[int]:
+        """The highest recorded (hence complete) cost level."""
+        return self._costs[-1] if self._costs else None
+
+    def size_of(self, cost: int) -> int:
+        """Number of CSs stored at ``cost`` (0 if unrecorded)."""
+        bounds = self._bounds.get(cost)
+        return 0 if bounds is None else bounds[1] - bounds[0]
+
+
+class IntCache:
+    """Scalar language cache: CSs as Python ints, plus provenance."""
+
+    __slots__ = ("cs_list", "provenance", "levels", "max_size")
+
+    def __init__(self, max_size: Optional[int] = None) -> None:
+        self.cs_list: List[int] = []
+        self.provenance: List[Tuple[int, int, int]] = []
+        self.levels = LevelIndex()
+        self.max_size = max_size
+
+    def __len__(self) -> int:
+        return len(self.cs_list)
+
+    @property
+    def is_full(self) -> bool:
+        """True once the configured capacity has been reached."""
+        return self.max_size is not None and len(self.cs_list) >= self.max_size
+
+    def append(self, cs: int, op: int, left: int, right: int) -> int:
+        """Store a CS with its provenance; returns its global index."""
+        self.cs_list.append(cs)
+        self.provenance.append((op, left, right))
+        return len(self.cs_list) - 1
+
+    def cs_at(self, index: int) -> int:
+        """The CS stored at a global index."""
+        return self.cs_list[index]
+
+
+class PackedCache:
+    """Vectorised language cache: a contiguous uint64 bit-matrix.
+
+    Rows are CSs (``lanes`` little-endian 64-bit words each, power-of-two
+    padded as in the paper's second space-time trade-off); the matrix
+    grows by doubling but rows, once written, never change.
+    """
+
+    __slots__ = ("lanes", "matrix", "n_rows", "provenance", "levels", "max_size")
+
+    def __init__(self, lanes: int, max_size: Optional[int] = None) -> None:
+        self.lanes = lanes
+        self.matrix = np.zeros((64, lanes), dtype=np.uint64)
+        self.n_rows = 0
+        self.provenance: List[Tuple[int, int, int]] = []
+        self.levels = LevelIndex()
+        self.max_size = max_size
+
+    def __len__(self) -> int:
+        return self.n_rows
+
+    @property
+    def is_full(self) -> bool:
+        """True once the configured capacity has been reached."""
+        return self.max_size is not None and self.n_rows >= self.max_size
+
+    def _ensure(self, extra: int) -> None:
+        needed = self.n_rows + extra
+        capacity = self.matrix.shape[0]
+        if needed <= capacity:
+            return
+        while capacity < needed:
+            capacity *= 2
+        grown = np.zeros((capacity, self.lanes), dtype=np.uint64)
+        grown[: self.n_rows] = self.matrix[: self.n_rows]
+        self.matrix = grown
+
+    def append_row(self, row: np.ndarray, op: int, left: int, right: int) -> int:
+        """Store one CS row with provenance; returns its global index."""
+        self._ensure(1)
+        self.matrix[self.n_rows] = row
+        self.provenance.append((op, left, right))
+        self.n_rows += 1
+        return self.n_rows - 1
+
+    def append_rows(self, rows: np.ndarray, provenance) -> None:
+        """Bulk-store CS rows with their provenance triples.
+
+        One contiguous copy instead of a Python loop — the store-side
+        analogue of the batched kernels.
+        """
+        count = rows.shape[0]
+        if count == 0:
+            return
+        if count != len(provenance):
+            raise ValueError("rows and provenance lengths differ")
+        self._ensure(count)
+        self.matrix[self.n_rows:self.n_rows + count] = rows
+        self.provenance.extend(provenance)
+        self.n_rows += count
+
+    def rows(self, start: int, end: int) -> np.ndarray:
+        """A read-only view of rows ``[start, end)``."""
+        return self.matrix[start:end]
+
+    def row(self, index: int) -> np.ndarray:
+        """One stored CS row."""
+        return self.matrix[index]

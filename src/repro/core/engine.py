@@ -1,0 +1,274 @@
+"""The cost-sweep search loop shared by both engines (Algorithm 1).
+
+:class:`SearchEngine` owns everything that is identical between the
+scalar ("CPU") and vectorised ("GPU-sim") implementations: the trivial
+``∅``/``ε`` checks, alphabet seeding order, the sweep over cost levels,
+the per-level constructor order (``?``, ``*``, ``·``, ``+`` — line 12 of
+Algorithm 1), operand-level pairing, the OnTheFly/out-of-memory policy,
+and solution bookkeeping.  Subclasses provide only the data
+representation and the batch kernels.
+
+Enumeration order is fully deterministic and identical across engines,
+so both return the same regular expression for the same input — a
+property the test-suite asserts.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+from ..language.guide_table import GuideTable
+from ..language.universe import Universe
+from ..regex.cost import CostFunction
+from ..spec import Spec
+from .bitops import popcount
+
+# Provenance opcodes.  EMPTY/EPSILON occur only as solutions of trivial
+# specifications; CHAR's ``left`` field is an index into the alphabet.
+OP_EMPTY = 0
+OP_EPSILON = 1
+OP_CHAR = 2
+OP_QUESTION = 3
+OP_STAR = 4
+OP_CONCAT = 5
+OP_UNION = 6
+
+#: Status verdicts of a search run.
+STATUS_SUCCESS = "success"
+STATUS_NOT_FOUND = "not_found"
+STATUS_OOM = "oom"
+STATUS_BUDGET = "budget"
+
+
+class BudgetExhausted(Exception):
+    """Internal control-flow signal: the ``max_generated`` cap was hit."""
+
+
+class SearchEngine:
+    """Shared cost-sweep machinery; see the module docstring."""
+
+    def __init__(
+        self,
+        spec: Spec,
+        cost_fn: CostFunction,
+        universe: Universe,
+        guide: GuideTable,
+        max_cache_size: Optional[int] = None,
+        allowed_error: float = 0.0,
+        use_guide_table: bool = True,
+        check_uniqueness: bool = True,
+        max_generated: Optional[int] = None,
+    ) -> None:
+        if not 0.0 <= allowed_error < 1.0:
+            raise ValueError("allowed_error must be in [0, 1)")
+        self.spec = spec
+        self.cost_fn = cost_fn
+        self.universe = universe
+        self.guide = guide
+        self.max_cache_size = max_cache_size
+        self.allowed_error = allowed_error
+        self.max_errors = int(allowed_error * spec.n_examples)
+        self.use_guide_table = use_guide_table
+        self.check_uniqueness = check_uniqueness
+        self.max_generated = max_generated
+
+        self.pos_mask = universe.cs_of(spec.positive)
+        self.neg_mask = universe.cs_of(spec.negative)
+
+        # Statistics and outcome.
+        self.generated = 0  # number of candidate CSs constructed ("# REs")
+        #: Per-level statistics: one dict per built cost level with keys
+        #: ``cost``, ``generated``, ``stored`` and ``otf`` — the growth
+        #: data behind the paper's exponential-blowup discussion.
+        self.level_stats: List[dict] = []
+        self.status: Optional[str] = None
+        self.solution: Optional[Tuple[int, int, int]] = None  # provenance triple
+        self.solution_cost: Optional[int] = None
+        self.levels_built = 0
+
+        # OnTheFly bookkeeping.
+        self.otf = False
+
+        # Cost of the level currently being built (used when recording a
+        # solution from inside a batch kernel).
+        self._current_cost = cost_fn.literal
+
+    # ------------------------------------------------------------------
+    # Abstract surface (implemented by the scalar / vectorised engines)
+    # ------------------------------------------------------------------
+    def _seed_alphabet(self) -> bool:
+        """Fill the cost-``c1`` level with the alphabet CSs; return True
+        iff a solution was found while seeding."""
+        raise NotImplementedError
+
+    def _emit_unary(self, op: int, start: int, end: int) -> bool:
+        """Build all ``op`` candidates from cached operands ``[start,
+        end)``; return True iff a solution was found."""
+        raise NotImplementedError
+
+    def _emit_pairs(
+        self,
+        op: int,
+        left: Tuple[int, int],
+        right: Tuple[int, int],
+        triangular: bool,
+    ) -> bool:
+        """Build all ``op`` candidates over the Cartesian product of two
+        cached index ranges (upper-triangular, diagonal excluded, when
+        ``triangular``); return True iff a solution was found."""
+        raise NotImplementedError
+
+    @property
+    def cache(self):
+        """The engine's language cache (has ``levels`` and ``__len__``)."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Solution predicate on int CSs (engines may vectorise their own)
+    # ------------------------------------------------------------------
+    def solves_int(self, cs: int) -> bool:
+        """Does this CS satisfy the (possibly error-relaxed) spec?"""
+        if self.max_errors == 0:
+            return (cs & self.pos_mask) == self.pos_mask and (cs & self.neg_mask) == 0
+        mistakes = popcount((cs & self.pos_mask) ^ self.pos_mask)
+        mistakes += popcount(cs & self.neg_mask)
+        return mistakes <= self.max_errors
+
+    def _record_solution(self, op: int, left: int, right: int, cost: int) -> None:
+        self.solution = (op, left, right)
+        self.solution_cost = cost
+        self.status = STATUS_SUCCESS
+
+    # ------------------------------------------------------------------
+    # The sweep (Algorithm 1)
+    # ------------------------------------------------------------------
+    def run(self, max_cost: int) -> str:
+        """Sweep costs up to ``max_cost``; returns the final status."""
+        try:
+            return self._run(max_cost)
+        except BudgetExhausted:
+            self.status = STATUS_BUDGET
+            return self.status
+
+    def _check_budget(self) -> None:
+        """Abort the sweep once ``max_generated`` candidates were built."""
+        if self.max_generated is not None and self.generated >= self.max_generated:
+            raise BudgetExhausted()
+
+    def _run(self, max_cost: int) -> str:
+        c1 = self.cost_fn.literal
+        self._current_cost = c1
+        if self._check_trivials(c1):
+            return self.status
+        if self._seed_alphabet():
+            return self.status
+        self.cache.levels.mark(c1, 0, len(self.cache))
+        self.levels_built = 1
+
+        for cost in range(c1 + 1, max_cost + 1):
+            if self.otf and not self._otf_can_build(cost):
+                self.status = STATUS_OOM
+                return self.status
+            start = len(self.cache)
+            generated_before = self.generated
+            self._current_cost = cost
+            solved = self._build_level(cost)
+            self.level_stats.append(
+                {
+                    "cost": cost,
+                    "generated": self.generated - generated_before,
+                    "stored": len(self.cache) - start,
+                    "otf": self.otf,
+                }
+            )
+            if solved:
+                return self.status
+            self.levels_built += 1
+            if not self.otf:
+                self.cache.levels.mark(cost, start, len(self.cache))
+        self.status = STATUS_NOT_FOUND
+        return self.status
+
+    def _check_trivials(self, c1: int) -> bool:
+        """Check the two cost-``c1`` pseudo-candidates ``∅`` and ``ε``.
+
+        For precise synthesis these reduce to the paper's lines 4–5 of
+        Algorithm 1 (``P = {}`` and ``P = {ε}``); with ``allowed_error``
+        they additionally realise rows like the 50%-error ``∅`` of the
+        paper's §5.2 table.
+        """
+        self.generated += 1
+        if self.solves_int(0):
+            self._record_solution(OP_EMPTY, -1, -1, c1)
+            return True
+        self.generated += 1
+        if self.solves_int(self.universe.eps_bit):
+            self._record_solution(OP_EPSILON, -1, -1, c1)
+            return True
+        return False
+
+    def _otf_can_build(self, cost: int) -> bool:
+        """In OnTheFly mode: can level ``cost`` still be enumerated
+        completely from fully-cached levels?
+
+        The deepest operand level any constructor needs is
+        ``cost - min(c2, c3, c4 + c1, c5 + c1)`` (cf. the paper's "if the
+        cost of all regular constructors is > 55 ... needs only CSs of
+        target cost minus 55").
+        """
+        last = self.cache.levels.last_complete_cost
+        if last is None:
+            return False
+        return cost - self.cost_fn.min_constructor_cost <= last
+
+    def _build_level(self, cost: int) -> bool:
+        """Build every candidate of ``cost``: ``?``, ``*``, ``·``, ``+``."""
+        cf = self.cost_fn
+        levels = self.cache.levels
+        c1 = cf.literal
+
+        # Question mark.
+        bounds = levels.bounds(cost - cf.question)
+        if bounds is not None and bounds[0] < bounds[1]:
+            if self._emit_unary(OP_QUESTION, bounds[0], bounds[1]):
+                return True
+
+        # Kleene star.
+        bounds = levels.bounds(cost - cf.star)
+        if bounds is not None and bounds[0] < bounds[1]:
+            if self._emit_unary(OP_STAR, bounds[0], bounds[1]):
+                return True
+
+        # Concatenation: all ordered pairs (L, R) with L + R = budget.
+        budget = cost - cf.concat
+        for left_cost in levels.costs():
+            right_cost = budget - left_cost
+            if right_cost < c1:
+                break
+            left = levels.bounds(left_cost)
+            right = levels.bounds(right_cost)
+            if left is None or right is None:
+                continue
+            if left[0] == left[1] or right[0] == right[1]:
+                continue
+            if self._emit_pairs(OP_CONCAT, left, right, triangular=False):
+                return True
+
+        # Union: commutative, so only pairs with L ≤ R (and i < j on the
+        # diagonal — ``r + r`` never yields a new CS nor a new solution,
+        # since ``r`` itself was checked when first constructed).
+        budget = cost - cf.union
+        for left_cost in levels.costs():
+            right_cost = budget - left_cost
+            if right_cost < left_cost:
+                break
+            left = levels.bounds(left_cost)
+            right = levels.bounds(right_cost)
+            if left is None or right is None:
+                continue
+            if left[0] == left[1] or right[0] == right[1]:
+                continue
+            triangular = left_cost == right_cost
+            if self._emit_pairs(OP_UNION, left, right, triangular=triangular):
+                return True
+        return False

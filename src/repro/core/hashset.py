@@ -1,0 +1,120 @@
+"""A WarpCore-style open-addressing hash set for uniqueness checking.
+
+The paper's GPU implementation checks uniqueness of freshly-built CSs by
+inserting them into a modified WarpCore hash set (Jünger et al. 2020):
+open addressing over a power-of-two table of machine words.  This module
+reproduces that structure in Python: splitmix64 fingerprint mixing,
+linear probing, amortised growth, and an ``insert`` that reports whether
+the key was new — the single operation Algorithm 2 (line 15) needs.
+
+The scalar engine uses this class; its behaviour is property-tested
+against Python's built-in ``set``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from .bitops import popcount
+
+_MASK64 = (1 << 64) - 1
+
+
+def splitmix64(value: int) -> int:
+    """The splitmix64 finaliser — WarpCore's default hasher family."""
+    value = (value + 0x9E3779B97F4A7C15) & _MASK64
+    value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return value ^ (value >> 31)
+
+
+def fingerprint(key: int) -> int:
+    """64-bit fingerprint of an arbitrary-width int key.
+
+    Wide keys (CSs longer than 64 bits) are folded lane-by-lane, mixing
+    each 64-bit lane through splitmix64 — the same chunked treatment
+    WarpCore applies to multi-word keys.
+    """
+    if key < 0:
+        raise ValueError("keys must be non-negative")
+    acc = splitmix64(key & _MASK64)
+    key >>= 64
+    while key:
+        acc = splitmix64(acc ^ (key & _MASK64))
+        key >>= 64
+    return acc
+
+
+class FingerprintHashSet:
+    """Open-addressing hash set of non-negative int keys.
+
+    ``capacity`` is always a power of two; the load factor is kept below
+    ``max_load`` by doubling.  ``insert`` returns True iff the key was not
+    present — mirroring WarpCore's insert semantics used for CS
+    uniqueness checking.
+    """
+
+    __slots__ = ("_slots", "_mask", "_size", "_max_load")
+
+    _EMPTY: Optional[int] = None
+
+    def __init__(self, initial_capacity: int = 1024, max_load: float = 0.6) -> None:
+        if initial_capacity < 2:
+            initial_capacity = 2
+        capacity = 1
+        while capacity < initial_capacity:
+            capacity <<= 1
+        if not (0.1 <= max_load < 1.0):
+            raise ValueError("max_load must be in [0.1, 1.0)")
+        self._slots: List[Optional[int]] = [self._EMPTY] * capacity
+        self._mask = capacity - 1
+        self._size = 0
+        self._max_load = max_load
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def capacity(self) -> int:
+        """Current table size (a power of two)."""
+        return self._mask + 1
+
+    def __contains__(self, key: int) -> bool:
+        slots = self._slots
+        index = fingerprint(key) & self._mask
+        while True:
+            slot = slots[index]
+            if slot is self._EMPTY:
+                return False
+            if slot == key:
+                return True
+            index = (index + 1) & self._mask
+
+    def insert(self, key: int) -> bool:
+        """Insert ``key``; return True iff it was new (Algorithm 2, l.15)."""
+        if (self._size + 1) > self._max_load * self.capacity:
+            self._grow()
+        slots = self._slots
+        index = fingerprint(key) & self._mask
+        while True:
+            slot = slots[index]
+            if slot is self._EMPTY:
+                slots[index] = key
+                self._size += 1
+                return True
+            if slot == key:
+                return False
+            index = (index + 1) & self._mask
+
+    def _grow(self) -> None:
+        old = self._slots
+        new_capacity = self.capacity * 2
+        self._slots = [self._EMPTY] * new_capacity
+        self._mask = new_capacity - 1
+        self._size = 0
+        for key in old:
+            if key is not self._EMPTY:
+                self.insert(key)
+
+    def __iter__(self) -> Iterator[int]:
+        return (key for key in self._slots if key is not self._EMPTY)

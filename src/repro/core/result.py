@@ -1,0 +1,91 @@
+"""The result record returned by :func:`repro.synthesize`."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..regex.ast import Regex
+from ..regex.printer import to_string
+from ..spec import Spec
+
+
+@dataclass
+class SynthesisResult:
+    """Outcome of one synthesis run.
+
+    ``status`` is ``"success"`` (a minimal consistent regex was found),
+    ``"not_found"`` (the cost budget ``max_cost`` was exhausted) or
+    ``"oom"`` (OnTheFly mode ran out of cached CSs — the paper's
+    out-of-memory verdict).
+    """
+
+    status: str
+    spec: Spec
+    backend: str
+    cost_function: tuple
+    allowed_error: float
+    max_cost: int
+    regex: Optional[Regex] = None
+    cost: Optional[int] = None
+    generated: int = 0
+    unique_cs: int = 0
+    universe_size: int = 0
+    padded_bits: int = 0
+    levels_built: int = 0
+    elapsed_seconds: float = 0.0
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def found(self) -> bool:
+        """True iff a regex was synthesised."""
+        return self.status == "success"
+
+    @property
+    def regex_str(self) -> Optional[str]:
+        """The synthesised regex in concrete syntax (None if not found)."""
+        return to_string(self.regex) if self.regex is not None else None
+
+    @property
+    def res_checked(self) -> int:
+        """Alias for ``generated`` — the paper's "# REs" column."""
+        return self.generated
+
+    def errors(self) -> Optional[int]:
+        """Number of examples the returned regex misclassifies (0 for
+        precise synthesis; may be positive with ``allowed_error``)."""
+        if self.regex is None:
+            return None
+        return self.spec.errors_of(self.regex)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-friendly summary (used by the evaluation harness)."""
+        return {
+            "status": self.status,
+            "backend": self.backend,
+            "cost_function": list(self.cost_function),
+            "allowed_error": self.allowed_error,
+            "max_cost": self.max_cost,
+            "regex": self.regex_str,
+            "cost": self.cost,
+            "generated": self.generated,
+            "unique_cs": self.unique_cs,
+            "universe_size": self.universe_size,
+            "padded_bits": self.padded_bits,
+            "levels_built": self.levels_built,
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+
+    def __str__(self) -> str:
+        if self.found:
+            return "SynthesisResult(%s, cost=%s, generated=%d, %.4fs)" % (
+                self.regex_str,
+                self.cost,
+                self.generated,
+                self.elapsed_seconds,
+            )
+        return "SynthesisResult(%s, generated=%d, %.4fs)" % (
+            self.status,
+            self.generated,
+            self.elapsed_seconds,
+        )

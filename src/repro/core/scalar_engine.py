@@ -1,0 +1,151 @@
+"""The scalar ("CPU") engine: one CS at a time, Python ints.
+
+This is the reproduction of the paper's C++ CPU implementation: the same
+Algorithm 1/2 structure as the vectorised engine, but candidates are
+built sequentially with ordinary control flow (including the per-word
+early exit that is natural on a CPU and pathological on a GPU), and
+uniqueness is a single hash-set insert per candidate — the role
+``std::unordered_set`` plays in the paper's CPU build, here filled by the
+WarpCore-substitute :class:`~repro.core.hashset.FingerprintHashSet`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..language.guide_table import GuideTable
+from ..language.universe import Universe
+from ..regex.cost import CostFunction
+from ..spec import Spec
+from .bitops import concat_cs, concat_cs_naive, question_cs, star_cs, union_cs
+from .cache import IntCache
+from .engine import (
+    OP_CHAR,
+    OP_CONCAT,
+    OP_QUESTION,
+    OP_STAR,
+    OP_UNION,
+    SearchEngine,
+)
+from .hashset import FingerprintHashSet
+
+
+class ScalarEngine(SearchEngine):
+    """Sequential bottom-up synthesis over int-encoded CSs."""
+
+    def __init__(
+        self,
+        spec: Spec,
+        cost_fn: CostFunction,
+        universe: Universe,
+        guide: GuideTable,
+        max_cache_size: Optional[int] = None,
+        allowed_error: float = 0.0,
+        use_guide_table: bool = True,
+        check_uniqueness: bool = True,
+        max_generated: Optional[int] = None,
+    ) -> None:
+        super().__init__(
+            spec,
+            cost_fn,
+            universe,
+            guide,
+            max_cache_size=max_cache_size,
+            allowed_error=allowed_error,
+            use_guide_table=use_guide_table,
+            check_uniqueness=check_uniqueness,
+            max_generated=max_generated,
+        )
+        self._cache = IntCache(max_size=max_cache_size)
+        self._seen = FingerprintHashSet(initial_capacity=1 << 12)
+
+    @property
+    def cache(self) -> IntCache:
+        return self._cache
+
+    # ------------------------------------------------------------------
+    def _concat(self, left: int, right: int) -> int:
+        if self.use_guide_table:
+            return concat_cs(left, right, self.guide)
+        return concat_cs_naive(left, right, self.universe)
+
+    def _star(self, cs: int) -> int:
+        if self.use_guide_table:
+            return star_cs(cs, self.guide, self.universe)
+        result = self.universe.eps_bit
+        for _ in range(self.universe.max_word_length + 1):
+            grown = result | concat_cs_naive(result, cs, self.universe)
+            if grown == result:
+                return result
+            result = grown
+        return result
+
+    # ------------------------------------------------------------------
+    def _handle(self, cs: int, op: int, left: int, right: int) -> bool:
+        """Uniqueness-check, solution-check and store one candidate.
+
+        Returns True iff ``cs`` solves the specification.  Mirrors lines
+        15–19 of Algorithm 2; in OnTheFly mode the uniqueness check and
+        the store are skipped (paper §3, "OnTheFly mode").
+        """
+        self.generated += 1
+        if not self.otf and self.check_uniqueness:
+            if not self._seen.insert(cs):
+                self._check_budget()
+                return False
+        if self.solves_int(cs):
+            self._record_solution(op, left, right, self._current_cost)
+            return True
+        if not self.otf:
+            if self._cache.is_full:
+                self.otf = True
+            else:
+                self._cache.append(cs, op, left, right)
+        # The budget is checked *after* the candidate was fully processed,
+        # so a solution at exactly the budget boundary is still found —
+        # the vectorised engine truncates batches to the same boundary.
+        self._check_budget()
+        return False
+
+    # ------------------------------------------------------------------
+    def _seed_alphabet(self) -> bool:
+        for char_index, symbol in enumerate(self.universe.alphabet):
+            if self._handle(self.universe.char_cs(symbol), OP_CHAR, char_index, -1):
+                return True
+        return False
+
+    def _emit_unary(self, op: int, start: int, end: int) -> bool:
+        cs_list = self._cache.cs_list
+        if op == OP_QUESTION:
+            eps_bit = self.universe.eps_bit
+            for index in range(start, end):
+                if self._handle(cs_list[index] | eps_bit, op, index, -1):
+                    return True
+        else:  # OP_STAR
+            for index in range(start, end):
+                if self._handle(self._star(cs_list[index]), op, index, -1):
+                    return True
+        return False
+
+    def _emit_pairs(
+        self,
+        op: int,
+        left: Tuple[int, int],
+        right: Tuple[int, int],
+        triangular: bool,
+    ) -> bool:
+        cs_list = self._cache.cs_list
+        if op == OP_CONCAT:
+            for i in range(left[0], left[1]):
+                left_cs = cs_list[i]
+                for j in range(right[0], right[1]):
+                    if self._handle(self._concat(left_cs, cs_list[j]), op, i, j):
+                        return True
+        else:  # OP_UNION
+            for i in range(left[0], left[1]):
+                left_cs = cs_list[i]
+                j_start = i + 1 if triangular else right[0]
+                for j in range(j_start, right[1]):
+                    if self._handle(left_cs | cs_list[j], op, i, j):
+                        return True
+        return False

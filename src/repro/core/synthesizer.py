@@ -1,0 +1,170 @@
+"""The public synthesis entry point: :func:`synthesize`.
+
+This is the facade over the whole Paresy pipeline: build the universe
+``ic(P ∪ N)`` and its guide table, pick an engine, run the cost sweep of
+Algorithm 1, and reconstruct the winning regular expression.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable, Optional, Union as TypingUnion
+
+from ..language.guide_table import GuideTable
+from ..language.universe import Universe
+from ..regex.cost import CostFunction
+from ..spec import Spec
+from .engine import STATUS_SUCCESS, SearchEngine
+from .reconstruct import reconstruct
+from .result import SynthesisResult
+from .scalar_engine import ScalarEngine
+from .vector_engine import VectorEngine
+
+#: Names accepted by the ``backend`` parameter, mapped to engine classes.
+BACKENDS = {
+    "scalar": ScalarEngine,  # the paper's CPU implementation
+    "vector": VectorEngine,  # the paper's GPU implementation (numpy-simulated)
+}
+
+# Friendlier aliases.
+BACKEND_ALIASES = {
+    "cpu": "scalar",
+    "gpu": "vector",
+    "gpu-sim": "vector",
+}
+
+
+def make_engine(
+    spec: Spec,
+    cost_fn: CostFunction,
+    backend: str = "vector",
+    universe: Optional[Universe] = None,
+    guide: Optional[GuideTable] = None,
+    max_cache_size: Optional[int] = None,
+    allowed_error: float = 0.0,
+    use_guide_table: bool = True,
+    check_uniqueness: bool = True,
+    max_generated: Optional[int] = None,
+) -> SearchEngine:
+    """Construct (but do not run) a search engine.
+
+    Exposed separately so tests and the evaluation harness can share one
+    universe/guide-table across runs (the paper's staging: those depend
+    only on ``(P, N)``, not on the cost function).
+    """
+    name = BACKEND_ALIASES.get(backend, backend)
+    if name not in BACKENDS:
+        raise ValueError(
+            "unknown backend %r; expected one of %s"
+            % (backend, sorted(BACKENDS) + sorted(BACKEND_ALIASES))
+        )
+    if universe is None:
+        universe = Universe(spec.all_words, alphabet=spec.alphabet)
+    if guide is None:
+        guide = GuideTable(universe)
+    return BACKENDS[name](
+        spec,
+        cost_fn,
+        universe,
+        guide,
+        max_cache_size=max_cache_size,
+        allowed_error=allowed_error,
+        use_guide_table=use_guide_table,
+        check_uniqueness=check_uniqueness,
+        max_generated=max_generated,
+    )
+
+
+def synthesize(
+    spec: TypingUnion[Spec, tuple],
+    cost_fn: Optional[CostFunction] = None,
+    max_cost: Optional[int] = None,
+    backend: str = "vector",
+    max_cache_size: Optional[int] = None,
+    allowed_error: float = 0.0,
+    use_guide_table: bool = True,
+    check_uniqueness: bool = True,
+    max_generated: Optional[int] = None,
+    universe: Optional[Universe] = None,
+    guide: Optional[GuideTable] = None,
+) -> SynthesisResult:
+    """Infer a precise, minimal regular expression from examples.
+
+    Parameters
+    ----------
+    spec:
+        A :class:`~repro.spec.Spec`, or a ``(positives, negatives)`` pair
+        of string iterables.
+    cost_fn:
+        The cost homomorphism; defaults to ``(1, 1, 1, 1, 1)``.
+    max_cost:
+        Upper bound on the cost sweep.  Defaults to the cost of the
+        maximally-overfitted union of the positive examples, which
+        guarantees termination with a solution for precise synthesis.
+    backend:
+        ``"scalar"``/``"cpu"`` for the sequential engine, or
+        ``"vector"``/``"gpu"`` for the data-parallel engine (default).
+    max_cache_size:
+        Capacity of the language cache in CSs.  When exceeded, the search
+        enters OnTheFly mode and may finish with status ``"oom"``
+        (paper §3).  ``None`` means unbounded.
+    allowed_error:
+        Fraction of examples the result may misclassify (paper §5.2);
+        ``0.0`` demands precision.
+    use_guide_table / check_uniqueness:
+        Ablation switches (scalar backend): replace the staged guide
+        table with per-construction split computation, or disable the
+        uniqueness check.  Defaults reproduce the paper's algorithm.
+    universe / guide:
+        Pre-built staging structures to share across runs.
+
+    Returns
+    -------
+    SynthesisResult
+        With ``status`` ``"success"``, ``"not_found"`` or ``"oom"``.
+    """
+    if not isinstance(spec, Spec):
+        positives, negatives = spec
+        spec = Spec(positives, negatives)
+    if cost_fn is None:
+        cost_fn = CostFunction.uniform()
+    if max_cost is None:
+        max_cost = max(cost_fn.overfit_cost(spec.positive), cost_fn.literal)
+
+    engine = make_engine(
+        spec,
+        cost_fn,
+        backend=backend,
+        universe=universe,
+        guide=guide,
+        max_cache_size=max_cache_size,
+        allowed_error=allowed_error,
+        use_guide_table=use_guide_table,
+        check_uniqueness=check_uniqueness,
+        max_generated=max_generated,
+    )
+    started = time.perf_counter()
+    status = engine.run(max_cost)
+    elapsed = time.perf_counter() - started
+
+    result = SynthesisResult(
+        status=status,
+        spec=spec,
+        backend=BACKEND_ALIASES.get(backend, backend),
+        cost_function=cost_fn.as_tuple(),
+        allowed_error=allowed_error,
+        max_cost=max_cost,
+        generated=engine.generated,
+        unique_cs=len(engine.cache),
+        universe_size=engine.universe.n_words,
+        padded_bits=engine.universe.padded_bits,
+        levels_built=engine.levels_built,
+        elapsed_seconds=elapsed,
+        extra={"level_stats": engine.level_stats},
+    )
+    if status == STATUS_SUCCESS:
+        result.regex = reconstruct(
+            engine.solution, engine.cache.provenance, engine.universe.alphabet
+        )
+        result.cost = engine.solution_cost
+    return result

@@ -1,0 +1,304 @@
+"""The vectorised ("GPU-sim") engine: batched data-parallel kernels.
+
+This engine reproduces the *structure* of the paper's CUDA
+implementation on top of numpy:
+
+* the language cache is one contiguous, power-of-two padded
+  ``(n_cs, lanes)`` uint64 bit-matrix (:class:`~repro.core.cache.PackedCache`),
+* each ``(constructor, cost-level)`` combination is a single batched
+  kernel over *all* candidate operand pairs — the analogue of one CUDA
+  kernel launch with one thread per candidate,
+* the concatenation/star kernels fold over every guide-table split with
+  no data-dependent early exit (the paper folds "as fast exits are
+  data-dependent branching and problematic on GPUs"),
+* uniqueness and solution checks are evaluated on whole batches.
+
+Enumeration order matches the scalar engine exactly, so both engines
+return identical expressions and identical ``generated`` counters; only
+the wall-clock differs — which is precisely the comparison Table 1 of
+the paper makes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set, Tuple
+
+import numpy as np
+
+from ..language.guide_table import GuideTable
+from ..language.universe import Universe
+from ..regex.cost import CostFunction
+from ..spec import Spec
+from .bitops import int_to_lanes, popcount_rows
+from .cache import PackedCache
+from .engine import (
+    OP_CHAR,
+    OP_CONCAT,
+    OP_QUESTION,
+    OP_STAR,
+    OP_UNION,
+    SearchEngine,
+)
+
+_ONE = np.uint64(1)
+
+
+class _Kernels:
+    """Precompiled index/shift tables and the batched bit-kernels."""
+
+    def __init__(self, universe: Universe, guide: GuideTable) -> None:
+        flat = guide.flat
+        self.n_words = universe.n_words
+        self.lanes = universe.lanes
+        self.offsets = flat.offsets
+        self.left_lane = (flat.left_index >> 6).astype(np.int64)
+        self.left_off = (flat.left_index & 63).astype(np.uint64)
+        self.right_lane = (flat.right_index >> 6).astype(np.int64)
+        self.right_off = (flat.right_index & 63).astype(np.uint64)
+        self.word_lane = np.arange(self.n_words, dtype=np.int64) >> 6
+        self.word_off = (np.arange(self.n_words, dtype=np.int64) & 63).astype(
+            np.uint64
+        )
+        self.eps_lane = universe.eps_index >> 6
+        self.eps_mask = np.uint64(1 << (universe.eps_index & 63))
+        self.max_word_length = universe.max_word_length
+
+    def concat(self, left: np.ndarray, right: np.ndarray) -> np.ndarray:
+        """Batched Algorithm 2: concatenate row ``k`` of ``left`` with row
+        ``k`` of ``right`` for every ``k``, folding over all splits."""
+        m = left.shape[0]
+        out = np.zeros((m, self.lanes), dtype=np.uint64)
+        offsets = self.offsets
+        for w in range(self.n_words):
+            acc = np.zeros(m, dtype=np.uint64)
+            for k in range(offsets[w], offsets[w + 1]):
+                left_bit = (left[:, self.left_lane[k]] >> self.left_off[k]) & _ONE
+                right_bit = (right[:, self.right_lane[k]] >> self.right_off[k]) & _ONE
+                acc |= left_bit & right_bit
+            out[:, self.word_lane[w]] |= acc << self.word_off[w]
+        return out
+
+    def star(self, batch: np.ndarray) -> np.ndarray:
+        """Batched Kleene star: fixpoint of ``res ← res | res·cs``."""
+        m = batch.shape[0]
+        result = np.zeros((m, self.lanes), dtype=np.uint64)
+        result[:, self.eps_lane] |= self.eps_mask
+        for _ in range(self.max_word_length + 1):
+            grown = result | self.concat(result, batch)
+            if np.array_equal(grown, result):
+                break
+            result = grown
+        return result
+
+    def question(self, batch: np.ndarray) -> np.ndarray:
+        """Batched option: set the ε bit of every row."""
+        out = batch.copy()
+        out[:, self.eps_lane] |= self.eps_mask
+        return out
+
+
+class VectorEngine(SearchEngine):
+    """Data-parallel bottom-up synthesis over a packed CS matrix."""
+
+    def __init__(
+        self,
+        spec: Spec,
+        cost_fn: CostFunction,
+        universe: Universe,
+        guide: GuideTable,
+        max_cache_size: Optional[int] = None,
+        allowed_error: float = 0.0,
+        use_guide_table: bool = True,
+        check_uniqueness: bool = True,
+        max_generated: Optional[int] = None,
+        max_batch: int = 1 << 17,
+    ) -> None:
+        super().__init__(
+            spec,
+            cost_fn,
+            universe,
+            guide,
+            max_cache_size=max_cache_size,
+            allowed_error=allowed_error,
+            use_guide_table=use_guide_table,
+            check_uniqueness=check_uniqueness,
+            max_generated=max_generated,
+        )
+        self._cache = PackedCache(universe.lanes, max_size=max_cache_size)
+        self._seen: Set[bytes] = set()
+        self._kernels = _Kernels(universe, guide)
+        self._max_batch = max_batch
+        self._pos_lanes = int_to_lanes(self.pos_mask, universe.lanes)
+        self._neg_lanes = int_to_lanes(self.neg_mask, universe.lanes)
+        self._void_dtype = np.dtype((np.void, universe.lanes * 8))
+
+    @property
+    def cache(self) -> PackedCache:
+        return self._cache
+
+    # ------------------------------------------------------------------
+    def _solve_flags(self, rows: np.ndarray) -> np.ndarray:
+        """Vectorised ``|= (P, N)`` (error-relaxed when configured)."""
+        if self.max_errors == 0:
+            pos_ok = ((rows & self._pos_lanes) == self._pos_lanes).all(axis=1)
+            neg_ok = ((rows & self._neg_lanes) == 0).all(axis=1)
+            return pos_ok & neg_ok
+        mistakes = popcount_rows((rows & self._pos_lanes) ^ self._pos_lanes)
+        mistakes += popcount_rows(rows & self._neg_lanes)
+        return mistakes <= self.max_errors
+
+    def _handle_batch(
+        self,
+        op: int,
+        rows: np.ndarray,
+        a_idx: np.ndarray,
+        b_idx: Optional[np.ndarray],
+    ) -> bool:
+        """Solution-check, dedupe and store a batch of candidates.
+
+        Duplicates can never be solutions (their first occurrence was
+        already solution-checked when it was constructed), so checking
+        solutions before uniqueness is equivalent to Algorithm 2's order
+        and keeps the check fully data-parallel.
+
+        The candidate budget is enforced with per-candidate granularity
+        (the batch is truncated to the remaining budget), so budget
+        verdicts are bit-identical to the scalar engine's.
+        """
+        truncated = False
+        if self.max_generated is not None:
+            remaining = self.max_generated - self.generated
+            if remaining <= 0:
+                from .engine import BudgetExhausted
+
+                raise BudgetExhausted()
+            if rows.shape[0] > remaining:
+                rows = rows[:remaining]
+                a_idx = a_idx[:remaining]
+                if b_idx is not None:
+                    b_idx = b_idx[:remaining]
+                truncated = True
+        flags = self._solve_flags(rows)
+        hits = np.flatnonzero(flags)
+        if hits.size:
+            first = int(hits[0])
+            # Count candidates up to and including the solution, and store
+            # the non-solution prefix of the batch, so the cache and the
+            # ``generated`` counter match the scalar engine's sequential
+            # behaviour exactly.
+            self.generated += first + 1
+            if not self.otf:
+                self._store_rows(op, rows[:first], a_idx, b_idx)
+            right = -1 if b_idx is None else int(b_idx[first])
+            self._record_solution(op, int(a_idx[first]), right, self._current_cost)
+            return True
+        self.generated += rows.shape[0]
+        if not self.otf:
+            self._store_rows(op, rows, a_idx, b_idx)
+        if truncated:
+            from .engine import BudgetExhausted
+
+            raise BudgetExhausted()
+        self._check_budget()
+        return False
+
+    def _store_rows(
+        self,
+        op: int,
+        rows: np.ndarray,
+        a_idx: np.ndarray,
+        b_idx: Optional[np.ndarray],
+    ) -> None:
+        """Dedupe (order-preserving) and bulk-append a batch to the cache."""
+        if rows.shape[0] == 0:
+            return
+        contiguous = np.ascontiguousarray(rows)
+        if self.check_uniqueness:
+            keys = contiguous.view(self._void_dtype).ravel()
+            _, first_occurrence = np.unique(keys, return_index=True)
+            first_occurrence.sort()
+            seen = self._seen
+            kept = []
+            for k in first_occurrence:
+                key = contiguous[k].tobytes()
+                if key in seen:
+                    continue
+                seen.add(key)
+                kept.append(int(k))
+        else:
+            kept = list(range(rows.shape[0]))
+        if not kept:
+            return
+        if self._cache.max_size is not None:
+            space = self._cache.max_size - len(self._cache)
+            if len(kept) > space:
+                # Capacity reached mid-batch: store the prefix that fits
+                # and enter OnTheFly mode (paper §3), exactly as the
+                # scalar engine does one candidate at a time.
+                kept = kept[:space]
+                self.otf = True
+        if not kept:
+            return
+        if b_idx is None:
+            provenance = [(op, int(a_idx[k]), -1) for k in kept]
+        else:
+            provenance = [(op, int(a_idx[k]), int(b_idx[k])) for k in kept]
+        self._cache.append_rows(contiguous[kept], provenance)
+
+    # ------------------------------------------------------------------
+    def _seed_alphabet(self) -> bool:
+        universe = self.universe
+        rows = np.zeros((len(universe.alphabet), universe.lanes), dtype=np.uint64)
+        for char_index, symbol in enumerate(universe.alphabet):
+            rows[char_index] = int_to_lanes(universe.char_cs(symbol), universe.lanes)
+        indices = np.arange(len(universe.alphabet), dtype=np.int64)
+        return self._handle_batch(OP_CHAR, rows, indices, None)
+
+    def _emit_unary(self, op: int, start: int, end: int) -> bool:
+        kernel = self._kernels.question if op == OP_QUESTION else self._kernels.star
+        for lo in range(start, end, self._max_batch):
+            hi = min(lo + self._max_batch, end)
+            batch = self._cache.rows(lo, hi)
+            out = kernel(batch)
+            indices = np.arange(lo, hi, dtype=np.int64)
+            if self._handle_batch(op, out, indices, None):
+                return True
+        return False
+
+    def _emit_pairs(
+        self,
+        op: int,
+        left: Tuple[int, int],
+        right: Tuple[int, int],
+        triangular: bool,
+    ) -> bool:
+        if triangular:
+            # Same level on both sides; upper triangle, diagonal excluded.
+            n = left[1] - left[0]
+            i_idx, j_idx = np.triu_indices(n, k=1)
+            left_idx = (i_idx + left[0]).astype(np.int64)
+            right_idx = (j_idx + left[0]).astype(np.int64)
+        else:
+            n_left = left[1] - left[0]
+            n_right = right[1] - right[0]
+            left_idx = np.repeat(
+                np.arange(left[0], left[1], dtype=np.int64), n_right
+            )
+            right_idx = np.tile(
+                np.arange(right[0], right[1], dtype=np.int64), n_left
+            )
+        total = left_idx.shape[0]
+        matrix = self._cache.matrix
+        for lo in range(0, total, self._max_batch):
+            hi = min(lo + self._max_batch, total)
+            li = left_idx[lo:hi]
+            ri = right_idx[lo:hi]
+            left_rows = matrix[li]
+            right_rows = matrix[ri]
+            if op == OP_CONCAT:
+                out = self._kernels.concat(left_rows, right_rows)
+            else:  # OP_UNION
+                out = left_rows | right_rows
+            if self._handle_batch(op, out, li, ri):
+                return True
+        return False

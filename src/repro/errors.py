@@ -1,0 +1,17 @@
+"""Exception hierarchy for the repro package."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class InvalidSpecError(ReproError):
+    """A specification ``(P, N)`` is malformed (e.g. ``P ∩ N ≠ ∅``)."""
+
+
+class CapacityError(ReproError):
+    """An internal fixed-capacity structure (hash set, cache) overflowed in
+    a context where overflow is a programming error rather than an
+    out-of-memory search verdict."""

@@ -1,0 +1,38 @@
+"""The evaluation harness: regenerates every table and figure of the
+paper's §4/§5.2 at reproduction scale."""
+
+from .figures import Figure1Data, figure1
+from .harness import RunRecord, staging_for, time_alpharegex, time_paresy
+from .reporting import ascii_series_plot, render_markdown, render_table
+from .tables import (
+    ERROR_TABLE_SPEC,
+    TableData,
+    ablation_cache_capacity,
+    ablation_guide_table,
+    ablation_uniqueness,
+    error_table,
+    outlier_table,
+    table1,
+    table2,
+)
+
+__all__ = [
+    "Figure1Data",
+    "figure1",
+    "RunRecord",
+    "staging_for",
+    "time_alpharegex",
+    "time_paresy",
+    "ascii_series_plot",
+    "render_markdown",
+    "render_table",
+    "ERROR_TABLE_SPEC",
+    "TableData",
+    "ablation_cache_capacity",
+    "ablation_guide_table",
+    "ablation_uniqueness",
+    "error_table",
+    "outlier_table",
+    "table1",
+    "table2",
+]

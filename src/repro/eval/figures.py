@@ -1,0 +1,131 @@
+"""Figure 1 of the paper: impact of the cost function on synthesis time.
+
+The paper runs ~430 generated benchmarks under 12 cost functions on the
+Colab GPU, sorts benchmarks by their ``(1,1,1,1,1)`` duration and plots
+all series.  This module regenerates that experiment at reproduction
+scale on the vectorised engine: every benchmark × cost-function cell is
+one bounded synthesis run; cells whose candidate budget expires play the
+role of the paper's 5-second timeouts and are omitted from the plot,
+exactly as the paper omits its 3.62% of slow runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..regex.cost import EVALUATION_COST_FUNCTIONS, CostFunction
+from ..suites.generator import (
+    SCALED_TYPE1_PARAMS,
+    SCALED_TYPE2_PARAMS,
+    GeneratedBenchmark,
+    generate_suite,
+)
+from .harness import staging_for, time_paresy
+from .reporting import ascii_series_plot, render_table
+
+
+@dataclass
+class Figure1Data:
+    """All measurements behind Figure 1."""
+
+    benchmark_names: List[str]
+    cost_functions: List[Tuple[int, ...]]
+    #: elapsed[cost_fn][benchmark_index]; None where the budget expired.
+    elapsed: Dict[Tuple[int, ...], List[Optional[float]]]
+    budget_expired: int = 0
+
+    def sorted_by_uniform(self) -> "Figure1Data":
+        """Re-order benchmarks by their (1,1,1,1,1) duration — the
+        paper's x-axis convention."""
+        uniform = (1, 1, 1, 1, 1)
+        key = self.elapsed[uniform]
+        order = sorted(
+            range(len(self.benchmark_names)),
+            key=lambda i: (key[i] is None, key[i] if key[i] is not None else 0.0),
+        )
+        return Figure1Data(
+            benchmark_names=[self.benchmark_names[i] for i in order],
+            cost_functions=self.cost_functions,
+            elapsed={
+                cf: [series[i] for i in order]
+                for cf, series in self.elapsed.items()
+            },
+            budget_expired=self.budget_expired,
+        )
+
+    def summary_rows(self) -> List[List[object]]:
+        """Per-cost-function summary: solved cells, mean/max time, share
+        of cells under 1s and 2s (the paper's 60% / 73% observation)."""
+        rows: List[List[object]] = []
+        for cf in self.cost_functions:
+            series = [v for v in self.elapsed[cf] if v is not None]
+            n_cells = len(self.elapsed[cf])
+            if series:
+                mean = sum(series) / len(series)
+                peak = max(series)
+                under1 = 100.0 * sum(1 for v in series if v < 1.0) / n_cells
+                under2 = 100.0 * sum(1 for v in series if v < 2.0) / n_cells
+            else:
+                mean = peak = under1 = under2 = 0.0
+            rows.append(
+                [str(cf), len(series), n_cells, mean, peak, under1, under2]
+            )
+        return rows
+
+    def render(self) -> str:
+        """ASCII rendering: the sorted uniform-cost series plus the
+        per-cost-function summary table."""
+        data = self.sorted_by_uniform()
+        uniform = (1, 1, 1, 1, 1)
+        plot = ascii_series_plot(
+            data.elapsed[uniform],
+            label="benchmarks sorted by (1,1,1,1,1) duration [s]",
+        )
+        table = render_table(
+            ["cost fn", "solved", "cells", "mean s", "max s", "%<1s", "%<2s"],
+            data.summary_rows(),
+            title="Figure 1 summary (per cost function)",
+        )
+        return plot + "\n\n" + table
+
+
+def figure1(
+    type1_count: int = 10,
+    type2_count: int = 10,
+    cost_functions: Sequence[CostFunction] = EVALUATION_COST_FUNCTIONS,
+    max_generated: int = 400_000,
+    backend: str = "vector",
+    base_seed: int = 7,
+) -> Figure1Data:
+    """Regenerate Figure 1's data at reproduction scale."""
+    benchmarks: List[GeneratedBenchmark] = []
+    benchmarks += generate_suite(1, type1_count, SCALED_TYPE1_PARAMS, base_seed)
+    benchmarks += generate_suite(2, type2_count, SCALED_TYPE2_PARAMS, base_seed)
+    cfs = [cf.as_tuple() for cf in cost_functions]
+    elapsed: Dict[Tuple[int, ...], List[Optional[float]]] = {
+        cf: [] for cf in cfs
+    }
+    expired = 0
+    for bench in benchmarks:
+        staging = staging_for(bench.spec)
+        for cf, cf_tuple in zip(cost_functions, cfs):
+            record = time_paresy(
+                bench.name,
+                bench.spec,
+                cf,
+                backend=backend,
+                max_generated=max_generated,
+                staging=staging,
+            )
+            if record.status == "success":
+                elapsed[cf_tuple].append(record.elapsed_seconds)
+            else:
+                elapsed[cf_tuple].append(None)
+                expired += 1
+    return Figure1Data(
+        benchmark_names=[bench.name for bench in benchmarks],
+        cost_functions=cfs,
+        elapsed=elapsed,
+        budget_expired=expired,
+    )

@@ -1,0 +1,129 @@
+"""Shared experiment-running machinery for the evaluation harness.
+
+Mirrors the paper's measurement protocol where it is meaningful here:
+every timed configuration can be repeated (the paper averages 3 runs)
+and every run is bounded by a *candidate budget* (``max_generated``)
+rather than a wall-clock timeout so measurements stay deterministic.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..baselines.alpharegex import alpharegex_synthesize
+from ..core.synthesizer import synthesize
+from ..language.guide_table import GuideTable
+from ..language.universe import Universe
+from ..regex.cost import ALPHAREGEX_COST, CostFunction
+from ..spec import Spec
+
+
+@dataclass
+class RunRecord:
+    """One timed run of one system on one benchmark."""
+
+    name: str
+    system: str
+    cost_function: Tuple[int, ...]
+    status: str
+    regex: Optional[str]
+    cost: Optional[int]
+    generated: int
+    unique_cs: int
+    universe_size: int
+    elapsed_seconds: float
+    repeats: int = 1
+    extra: Dict[str, object] = field(default_factory=dict)
+
+
+def staging_for(spec: Spec) -> Tuple[Universe, GuideTable]:
+    """Build the cost-function-independent staging structures once.
+
+    The paper emphasises that ``ic(P ∪ N)`` and the guide table depend
+    only on the examples, so sweeps over cost functions reuse them.
+    """
+    universe = Universe(spec.all_words, alphabet=spec.alphabet)
+    return universe, GuideTable(universe)
+
+
+def time_paresy(
+    name: str,
+    spec: Spec,
+    cost_fn: CostFunction,
+    backend: str,
+    repeats: int = 1,
+    max_generated: Optional[int] = None,
+    max_cache_size: Optional[int] = None,
+    allowed_error: float = 0.0,
+    staging: Optional[Tuple[Universe, GuideTable]] = None,
+) -> RunRecord:
+    """Run Paresy ``repeats`` times; report the mean wall-clock."""
+    universe, guide = staging if staging is not None else staging_for(spec)
+    elapsed: List[float] = []
+    result = None
+    for _ in range(max(1, repeats)):
+        started = time.perf_counter()
+        result = synthesize(
+            spec,
+            cost_fn=cost_fn,
+            backend=backend,
+            max_generated=max_generated,
+            max_cache_size=max_cache_size,
+            allowed_error=allowed_error,
+            universe=universe,
+            guide=guide,
+        )
+        elapsed.append(time.perf_counter() - started)
+    assert result is not None
+    return RunRecord(
+        name=name,
+        system="paresy-%s" % result.backend,
+        cost_function=cost_fn.as_tuple(),
+        status=result.status,
+        regex=result.regex_str,
+        cost=result.cost,
+        generated=result.generated,
+        unique_cs=result.unique_cs,
+        universe_size=result.universe_size,
+        elapsed_seconds=sum(elapsed) / len(elapsed),
+        repeats=len(elapsed),
+    )
+
+
+def time_alpharegex(
+    name: str,
+    spec: Spec,
+    cost_fn: CostFunction = ALPHAREGEX_COST,
+    repeats: int = 1,
+    max_checked: Optional[int] = None,
+    max_expanded: Optional[int] = None,
+) -> RunRecord:
+    """Run the AlphaRegex baseline ``repeats`` times; mean wall-clock."""
+    elapsed: List[float] = []
+    result = None
+    for _ in range(max(1, repeats)):
+        started = time.perf_counter()
+        result = alpharegex_synthesize(
+            spec,
+            cost_fn=cost_fn,
+            max_checked=max_checked,
+            max_expanded=max_expanded,
+        )
+        elapsed.append(time.perf_counter() - started)
+    assert result is not None
+    return RunRecord(
+        name=name,
+        system="alpharegex",
+        cost_function=cost_fn.as_tuple(),
+        status=result.status,
+        regex=result.regex_str,
+        cost=result.cost,
+        generated=result.checked,
+        unique_cs=0,
+        universe_size=0,
+        elapsed_seconds=sum(elapsed) / len(elapsed),
+        repeats=len(elapsed),
+        extra={"expanded": result.expanded},
+    )

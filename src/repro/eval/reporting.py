@@ -1,0 +1,77 @@
+"""Plain-text rendering of evaluation tables and simple charts."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned ASCII table."""
+    cells = [[_fmt(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, value in enumerate(row):
+            widths[i] = max(widths[i], len(value))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    separator = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(separator)
+    for row in cells:
+        lines.append(" | ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_markdown(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render a GitHub-flavoured markdown table."""
+    lines: List[str] = []
+    if title:
+        lines.append("### %s" % title)
+        lines.append("")
+    lines.append("| " + " | ".join(headers) + " |")
+    lines.append("|" + "|".join("---" for _ in headers) + "|")
+    for row in rows:
+        lines.append("| " + " | ".join(_fmt(v) for v in row) + " |")
+    return "\n".join(lines)
+
+
+def ascii_series_plot(
+    values: Sequence[Optional[float]],
+    height: int = 12,
+    label: str = "",
+) -> str:
+    """A small ASCII column chart of a numeric series (None = gap)."""
+    present = [v for v in values if v is not None]
+    if not present:
+        return "(no data)"
+    top = max(present) or 1.0
+    rows: List[str] = []
+    for level in range(height, 0, -1):
+        threshold = top * level / height
+        line = "".join(
+            "#" if v is not None and v >= threshold else
+            ("." if v is not None else " ")
+            for v in values
+        )
+        rows.append("%8.3f |%s" % (threshold, line))
+    rows.append(" " * 9 + "+" + "-" * len(values))
+    if label:
+        rows.append(" " * 10 + label)
+    return "\n".join(rows)
+
+
+def _fmt(value: object) -> str:
+    if value is None:
+        return "N/A"
+    if isinstance(value, float):
+        return "%.4f" % value
+    return str(value)

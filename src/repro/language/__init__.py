@@ -1,0 +1,16 @@
+"""Infix closure, the ordered universe ``ic(P ∪ N)``, and the guide table."""
+
+from .infix import all_infixes, infix_closure, is_infix_closed, sort_shortlex
+from .guide_table import FlatGuideTable, GuideTable
+from .universe import Universe, next_power_of_two
+
+__all__ = [
+    "all_infixes",
+    "infix_closure",
+    "is_infix_closed",
+    "sort_shortlex",
+    "FlatGuideTable",
+    "GuideTable",
+    "Universe",
+    "next_power_of_two",
+]

@@ -1,0 +1,84 @@
+"""The guide table: staged pre-computation of word splits (§3, "Staging").
+
+For each word ``w`` of the universe the guide table stores every split
+``w = σ1·σ2`` as a pair of universe indices ``(i, j)``.  Because the
+universe is infix-closed, both halves of every split are guaranteed to be
+universe words, so concatenation of two characteristic sequences reduces
+to the branch-free bit-gather loop of Algorithm 2:
+
+    bit_w(l · r) = OR over (i, j) ∈ gt[w] of ( bit_i(l) AND bit_j(r) )
+
+The table is computed once per ``(P, N)`` — it only depends on the
+universe — and reused for every concatenation and Kleene-star during the
+whole search.  :attr:`GuideTable.flat` exposes the same data as flattened
+numpy arrays for the vectorised engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from .universe import Universe
+
+
+@dataclass(frozen=True)
+class FlatGuideTable:
+    """Structure-of-arrays view of the guide table.
+
+    ``offsets`` has ``n_words + 1`` entries; the splits of word ``w`` are
+    ``(left_index[k], right_index[k])`` for ``k`` in
+    ``offsets[w] : offsets[w+1]``.  This mirrors the paper's "array of
+    arrays of pairs of offsets into the language cache".
+    """
+
+    offsets: np.ndarray
+    left_index: np.ndarray
+    right_index: np.ndarray
+
+
+class GuideTable:
+    """All splits of all universe words, indexed by target word."""
+
+    __slots__ = ("universe", "splits", "n_splits", "_flat")
+
+    def __init__(self, universe: Universe) -> None:
+        self.universe = universe
+        splits: List[Tuple[Tuple[int, int], ...]] = []
+        for word in universe.words:
+            pairs = []
+            for cut in range(len(word) + 1):
+                left, right = word[:cut], word[cut:]
+                pairs.append((universe.index[left], universe.index[right]))
+            splits.append(tuple(pairs))
+        self.splits: Tuple[Tuple[Tuple[int, int], ...], ...] = tuple(splits)
+        self.n_splits: int = sum(len(pairs) for pairs in splits)
+        self._flat: Optional[FlatGuideTable] = None
+
+    def __getitem__(self, word_index: int) -> Tuple[Tuple[int, int], ...]:
+        """The splits ``(i, j)`` of the ``word_index``-th universe word."""
+        return self.splits[word_index]
+
+    def __len__(self) -> int:
+        return len(self.splits)
+
+    @property
+    def flat(self) -> FlatGuideTable:
+        """Flattened numpy view (built lazily, cached)."""
+        if self._flat is None:
+            offsets = np.zeros(len(self.splits) + 1, dtype=np.int64)
+            left: List[int] = []
+            right: List[int] = []
+            for w, pairs in enumerate(self.splits):
+                offsets[w + 1] = offsets[w] + len(pairs)
+                for i, j in pairs:
+                    left.append(i)
+                    right.append(j)
+            self._flat = FlatGuideTable(
+                offsets=offsets,
+                left_index=np.asarray(left, dtype=np.int64),
+                right_index=np.asarray(right, dtype=np.int64),
+            )
+        return self._flat

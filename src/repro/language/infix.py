@@ -1,0 +1,60 @@
+"""Infix closure and shortlex ordering (Defs. 2.2 and 2.5 of the paper).
+
+``w`` is an *infix* (substring) of ``σ`` if ``σ = σ1·w·σ2`` for some
+strings ``σi``.  The infix closure ``ic(S)`` is the smallest infix-closed
+superset of ``S``; it is what makes bottom-up compositional construction
+of characteristic sequences possible (§3, "First space-time trade-off").
+
+Shortlex compares by length first, then lexicographically by a chosen
+total order on the alphabet; it is the total order the paper uses to lay
+characteristic sequences out in memory.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+
+def all_infixes(word: str) -> Set[str]:
+    """All infixes of ``word``, including ``ε`` and ``word`` itself."""
+    infixes: Set[str] = {""}
+    length = len(word)
+    for start in range(length):
+        for end in range(start + 1, length + 1):
+            infixes.add(word[start:end])
+    return infixes
+
+
+def infix_closure(words: Iterable[str]) -> Set[str]:
+    """``ic(words)``: the set of all infixes of all the words.
+
+    Always contains ``ε`` (``ic(∅)`` is ``{ε}`` by this convention, which
+    is harmless: the synthesiser handles the empty specification before
+    any universe is built).
+    """
+    closure: Set[str] = {""}
+    for word in words:
+        closure.update(all_infixes(word))
+    return closure
+
+
+def is_infix_closed(words: Iterable[str]) -> bool:
+    """True iff the set of ``words`` is closed under taking infixes."""
+    pool = set(words)
+    return all(all_infixes(word) <= pool for word in pool)
+
+
+def shortlex_key(word: str, rank: Dict[str, int]) -> Tuple[int, Tuple[int, ...]]:
+    """Sort key realising shortlex w.r.t. the alphabet order ``rank``.
+
+    ``rank`` maps each character to its position in the chosen total order
+    on Σ.  Characters absent from ``rank`` raise ``KeyError`` — the caller
+    is responsible for supplying a rank covering the full alphabet.
+    """
+    return (len(word), tuple(rank[ch] for ch in word))
+
+
+def sort_shortlex(words: Iterable[str], alphabet: Sequence[str]) -> List[str]:
+    """Sort ``words`` in shortlex order w.r.t. the order of ``alphabet``."""
+    rank = {ch: i for i, ch in enumerate(alphabet)}
+    return sorted(set(words), key=lambda word: shortlex_key(word, rank))

@@ -1,0 +1,147 @@
+"""The Universe: a totally-ordered, infix-closed word domain.
+
+A :class:`Universe` materialises ``ic(P ∪ N)`` with a fixed shortlex
+order, and owns every translation between *languages* (sets of words) and
+*characteristic sequences* (CSs — bitvectors with one bit per universe
+word, stored as Python ints; bit ``i`` set means "the language contains
+the ``i``-th word").
+
+The paper's second space-time trade-off — padding bitvector length to the
+next power of two — is reproduced via :attr:`Universe.padded_bits` and
+:attr:`Universe.lanes` (the number of 64-bit machine words a CS occupies
+in the vectorised engine).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .infix import infix_closure, sort_shortlex
+
+
+def next_power_of_two(value: int) -> int:
+    """Smallest power of two that is ≥ ``value`` (and ≥ 1)."""
+    if value <= 1:
+        return 1
+    return 1 << (value - 1).bit_length()
+
+
+class Universe:
+    """``ic(P ∪ N)`` with a total (shortlex) order and bit indexing.
+
+    Instances are immutable after construction and shared by every
+    component of a synthesis run: the guide table, both engines, and the
+    infix-power-series reference implementation.
+    """
+
+    __slots__ = (
+        "alphabet",
+        "words",
+        "index",
+        "n_words",
+        "padded_bits",
+        "lanes",
+        "eps_index",
+        "eps_bit",
+        "full_mask",
+        "max_word_length",
+    )
+
+    def __init__(
+        self,
+        base_words: Iterable[str],
+        alphabet: Optional[Sequence[str]] = None,
+    ) -> None:
+        base = list(base_words)
+        if alphabet is None:
+            chars = sorted({ch for word in base for ch in word})
+        else:
+            chars = list(alphabet)
+            missing = {ch for word in base for ch in word} - set(chars)
+            if missing:
+                raise ValueError(
+                    "alphabet %r does not cover example characters %r"
+                    % (chars, sorted(missing))
+                )
+        self.alphabet: Tuple[str, ...] = tuple(chars)
+        closed = infix_closure(base)
+        ordered = sort_shortlex(closed, self.alphabet)
+        self.words: Tuple[str, ...] = tuple(ordered)
+        self.index: Dict[str, int] = {word: i for i, word in enumerate(ordered)}
+        self.n_words: int = len(ordered)
+        self.padded_bits: int = max(8, next_power_of_two(self.n_words))
+        self.lanes: int = (self.padded_bits + 63) // 64
+        self.eps_index: int = self.index[""]
+        self.eps_bit: int = 1 << self.eps_index
+        self.full_mask: int = (1 << self.n_words) - 1
+        self.max_word_length: int = max((len(w) for w in ordered), default=0)
+
+    # ------------------------------------------------------------------
+    # Language <-> characteristic sequence translation
+    # ------------------------------------------------------------------
+    def word_bit(self, word: str) -> int:
+        """The single-bit CS of ``{word}``; raises ``KeyError`` if the word
+        is not in the universe."""
+        return 1 << self.index[word]
+
+    def cs_of(self, words: Iterable[str]) -> int:
+        """CS of the intersection of a language with the universe.
+
+        Words outside the universe are rejected with ``KeyError`` — build
+        CSs of arbitrary languages with :func:`cs_of_predicate` instead.
+        """
+        cs = 0
+        for word in words:
+            cs |= 1 << self.index[word]
+        return cs
+
+    def cs_of_predicate(self, predicate) -> int:
+        """CS of ``{w ∈ universe | predicate(w)}``."""
+        cs = 0
+        for i, word in enumerate(self.words):
+            if predicate(word):
+                cs |= 1 << i
+        return cs
+
+    def cs_of_regex(self, regex) -> int:
+        """CS of ``Lang(regex) ∩ universe`` via the derivative matcher.
+
+        This is the reference semantics every engine kernel is tested
+        against: for any regexes ``r, s`` built over the universe's
+        alphabet, ``concat_kernel(cs(r), cs(s)) == cs_of_regex(r·s)``.
+        """
+        from ..regex.derivatives import matches
+
+        return self.cs_of_predicate(lambda word: matches(regex, word))
+
+    def words_of(self, cs: int) -> Tuple[str, ...]:
+        """The universe words whose bits are set in ``cs``."""
+        selected: List[str] = []
+        i = 0
+        while cs:
+            if cs & 1:
+                selected.append(self.words[i])
+            cs >>= 1
+            i += 1
+        return tuple(selected)
+
+    def char_cs(self, symbol: str) -> int:
+        """CS of the single-character language ``{symbol}``.
+
+        Characters that occur in no universe word denote the empty
+        language relative to the universe, hence CS ``0``.
+        """
+        return self.word_bit(symbol) if symbol in self.index else 0
+
+    def __len__(self) -> int:
+        return self.n_words
+
+    def __contains__(self, word: str) -> bool:
+        return word in self.index
+
+    def __repr__(self) -> str:
+        return "Universe(n_words=%d, alphabet=%r, padded_bits=%d)" % (
+            self.n_words,
+            "".join(self.alphabet),
+            self.padded_bits,
+        )

@@ -1,0 +1,61 @@
+"""Regular expression syntax, costs, matching and automata."""
+
+from .ast import (
+    EMPTY,
+    EPSILON,
+    HOLE,
+    Char,
+    Concat,
+    Empty,
+    Epsilon,
+    Hole,
+    Question,
+    Regex,
+    Star,
+    Union,
+    alphabet_of,
+    concat_all,
+    depth,
+    has_hole,
+    literal,
+    size,
+    subterms,
+    union_all,
+)
+from .cost import ALPHAREGEX_COST, EVALUATION_COST_FUNCTIONS, CostFunction
+from .derivatives import matches, satisfies
+from .parser import RegexSyntaxError, parse
+from .printer import to_string
+from .simplify import simplify
+
+__all__ = [
+    "EMPTY",
+    "EPSILON",
+    "HOLE",
+    "Char",
+    "Concat",
+    "Empty",
+    "Epsilon",
+    "Hole",
+    "Question",
+    "Regex",
+    "Star",
+    "Union",
+    "alphabet_of",
+    "concat_all",
+    "depth",
+    "has_hole",
+    "literal",
+    "size",
+    "subterms",
+    "union_all",
+    "ALPHAREGEX_COST",
+    "EVALUATION_COST_FUNCTIONS",
+    "CostFunction",
+    "matches",
+    "satisfies",
+    "RegexSyntaxError",
+    "parse",
+    "to_string",
+    "simplify",
+]

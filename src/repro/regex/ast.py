@@ -1,0 +1,222 @@
+"""Abstract syntax trees for regular expressions (Def. 2.7 of the paper).
+
+The grammar is::
+
+    r ::= ∅ | ε | a | r·r | r + r | r* | r?
+
+``r?`` is kept as a first-class constructor (rather than sugar for
+``ε + r``) because the paper's cost homomorphisms assign it its own cost
+``c2``, and the Paresy search enumerates it as a separate outermost
+constructor.
+
+A ``Hole`` node is also provided: it never appears in synthesis output, but
+is the partial-expression placeholder used by the AlphaRegex baseline
+(:mod:`repro.baselines.alpharegex`).
+
+All nodes are immutable, hashable dataclasses, so they can be used as
+dictionary keys (memoised derivatives, visited sets, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+
+class Regex:
+    """Base class of all regular expression nodes.
+
+    Instances are immutable; structural equality and hashing are inherited
+    from the frozen dataclass machinery of the concrete subclasses.
+    """
+
+    __slots__ = ()
+
+    def __mul__(self, other: "Regex") -> "Regex":
+        """``r * s`` builds the concatenation ``r·s``."""
+        return Concat(self, _as_regex(other))
+
+    def __add__(self, other: "Regex") -> "Regex":
+        """``r + s`` builds the union ``r + s``."""
+        return Union(self, _as_regex(other))
+
+    def star(self) -> "Regex":
+        """Return the Kleene star ``r*``."""
+        return Star(self)
+
+    def opt(self) -> "Regex":
+        """Return the option ``r?`` (same language as ``ε + r``)."""
+        return Question(self)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience only
+        from .printer import to_string
+
+        return to_string(self)
+
+
+@dataclass(frozen=True)
+class Empty(Regex):
+    """The regular expression ``∅`` denoting the empty language."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Epsilon(Regex):
+    """The regular expression ``ε`` denoting the language ``{ε}``."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Char(Regex):
+    """A single-character literal ``a`` for ``a ∈ Σ``.
+
+    ``symbol`` is a one-character string; arbitrary alphabets are supported
+    because any hashable single character works.
+    """
+
+    symbol: str
+
+    __slots__ = ("symbol",)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.symbol, str) or len(self.symbol) != 1:
+            raise ValueError(
+                "Char expects a single-character string, got %r" % (self.symbol,)
+            )
+
+
+@dataclass(frozen=True)
+class Concat(Regex):
+    """Concatenation ``left · right``."""
+
+    left: Regex
+    right: Regex
+
+    __slots__ = ("left", "right")
+
+
+@dataclass(frozen=True)
+class Union(Regex):
+    """Union (disjunction) ``left + right``."""
+
+    left: Regex
+    right: Regex
+
+    __slots__ = ("left", "right")
+
+
+@dataclass(frozen=True)
+class Star(Regex):
+    """Kleene star ``inner*``."""
+
+    inner: Regex
+
+    __slots__ = ("inner",)
+
+
+@dataclass(frozen=True)
+class Question(Regex):
+    """Option ``inner?``, denoting ``{ε} ∪ Lang(inner)``."""
+
+    inner: Regex
+
+    __slots__ = ("inner",)
+
+
+@dataclass(frozen=True)
+class Hole(Regex):
+    """A synthesis hole ``□`` (AlphaRegex partial expressions only)."""
+
+    __slots__ = ()
+
+
+#: Shared singletons for the nullary constructors.
+EMPTY = Empty()
+EPSILON = Epsilon()
+HOLE = Hole()
+
+
+def _as_regex(value: object) -> Regex:
+    if isinstance(value, Regex):
+        return value
+    raise TypeError("expected a Regex, got %r" % (value,))
+
+
+def literal(word: str) -> Regex:
+    """Return a regex whose language is exactly ``{word}``.
+
+    ``literal("")`` is ``ε``; longer words become left-nested
+    concatenations of :class:`Char` nodes.
+    """
+    if not word:
+        return EPSILON
+    result: Regex = Char(word[0])
+    for ch in word[1:]:
+        result = Concat(result, Char(ch))
+    return result
+
+
+def union_all(parts: Sequence[Regex]) -> Regex:
+    """Union of ``parts`` (left-nested); ``∅`` for the empty sequence."""
+    if not parts:
+        return EMPTY
+    result = parts[0]
+    for part in parts[1:]:
+        result = Union(result, part)
+    return result
+
+
+def concat_all(parts: Sequence[Regex]) -> Regex:
+    """Concatenation of ``parts`` (left-nested); ``ε`` for the empty one."""
+    if not parts:
+        return EPSILON
+    result = parts[0]
+    for part in parts[1:]:
+        result = Concat(result, part)
+    return result
+
+
+def subterms(regex: Regex) -> Iterator[Regex]:
+    """Yield ``regex`` and all of its subterms, pre-order."""
+    stack = [regex]
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (Concat, Union)):
+            stack.append(node.right)
+            stack.append(node.left)
+        elif isinstance(node, (Star, Question)):
+            stack.append(node.inner)
+
+
+def size(regex: Regex) -> int:
+    """Number of AST nodes in ``regex``."""
+    return sum(1 for _ in subterms(regex))
+
+
+def depth(regex: Regex) -> int:
+    """Height of the AST (a lone atom has depth 1)."""
+    if isinstance(regex, (Concat, Union)):
+        return 1 + max(depth(regex.left), depth(regex.right))
+    if isinstance(regex, (Star, Question)):
+        return 1 + depth(regex.inner)
+    return 1
+
+
+def alphabet_of(regex: Regex) -> frozenset:
+    """The set of characters mentioned in ``regex``."""
+    return frozenset(
+        node.symbol for node in subterms(regex) if isinstance(node, Char)
+    )
+
+
+def has_hole(regex: Regex) -> bool:
+    """True iff ``regex`` contains a :class:`Hole` (is a partial regex)."""
+    return any(isinstance(node, Hole) for node in subterms(regex))
+
+
+def count_holes(regex: Regex) -> int:
+    """Number of :class:`Hole` nodes in ``regex``."""
+    return sum(1 for node in subterms(regex) if isinstance(node, Hole))

@@ -1,0 +1,170 @@
+"""Cost homomorphisms over regular expressions (Def. 3.2 of the paper).
+
+A cost homomorphism is determined by five strictly positive integers
+``(c1, c2, c3, c4, c5)``::
+
+    cost(∅) = cost(ε) = cost(a) = c1        for every a ∈ Σ
+    cost(r?)    = cost(r) + c2
+    cost(r*)    = cost(r) + c3
+    cost(r·r')  = cost(r) + cost(r') + c4
+    cost(r+r')  = cost(r) + cost(r') + c5
+
+The paper's evaluation (Fig. 1 and Table 1) uses twelve specific cost
+functions; they are exported as :data:`EVALUATION_COST_FUNCTIONS`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from .ast import (
+    Char,
+    Concat,
+    Empty,
+    Epsilon,
+    Hole,
+    Question,
+    Regex,
+    Star,
+    Union,
+)
+
+
+@dataclass(frozen=True)
+class CostFunction:
+    """A cost homomorphism ``(c1, c2, c3, c4, c5)``.
+
+    Attributes mirror the paper's naming convention: a 5-tuple
+    ``(cost(a), cost(?), cost(*), cost(·), cost(+))`` in this exact order.
+    """
+
+    literal: int = 1
+    question: int = 1
+    star: int = 1
+    concat: int = 1
+    union: int = 1
+
+    def __post_init__(self) -> None:
+        for name in ("literal", "question", "star", "concat", "union"):
+            value = getattr(self, name)
+            if not isinstance(value, int) or value <= 0:
+                raise ValueError(
+                    "cost of %s must be a strictly positive integer, got %r"
+                    % (name, value)
+                )
+
+    @classmethod
+    def from_tuple(cls, values: Tuple[int, int, int, int, int]) -> "CostFunction":
+        """Build a cost function from the paper's 5-tuple notation."""
+        if len(values) != 5:
+            raise ValueError("expected a 5-tuple (c1..c5), got %r" % (values,))
+        return cls(*values)
+
+    @classmethod
+    def uniform(cls) -> "CostFunction":
+        """The ``(1, 1, 1, 1, 1)`` cost function."""
+        return cls()
+
+    def as_tuple(self) -> Tuple[int, int, int, int, int]:
+        """Return the paper's 5-tuple ``(c1, c2, c3, c4, c5)``."""
+        return (self.literal, self.question, self.star, self.concat, self.union)
+
+    @property
+    def min_constructor_cost(self) -> int:
+        """Smallest cost increment any constructor can add.
+
+        Used by OnTheFly mode to determine the deepest cache level a target
+        cost can depend on (paper §3, "OnTheFly mode").
+        """
+        return min(
+            self.question,
+            self.star,
+            self.concat + self.literal,
+            self.union + self.literal,
+        )
+
+    def cost(self, regex: Regex) -> int:
+        """The cost of ``regex`` under this homomorphism.
+
+        ``Hole`` nodes are priced at ``c1`` — the least any completion can
+        cost — which makes partial-regex cost an admissible lower bound for
+        the AlphaRegex baseline's best-first queue.
+        """
+        total = 0
+        stack = [regex]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (Empty, Epsilon, Char, Hole)):
+                total += self.literal
+            elif isinstance(node, Question):
+                total += self.question
+                stack.append(node.inner)
+            elif isinstance(node, Star):
+                total += self.star
+                stack.append(node.inner)
+            elif isinstance(node, Concat):
+                total += self.concat
+                stack.append(node.left)
+                stack.append(node.right)
+            elif isinstance(node, Union):
+                total += self.union
+                stack.append(node.left)
+                stack.append(node.right)
+            else:  # pragma: no cover - defensive
+                raise TypeError("unknown regex node %r" % (node,))
+        return total
+
+    def word_cost(self, word: str) -> int:
+        """Cost of the literal regex for ``word`` (``ε`` when empty)."""
+        if not word:
+            return self.literal
+        return len(word) * self.literal + (len(word) - 1) * self.concat
+
+    def overfit_cost(self, positives) -> int:
+        """Cost of the maximally-overfitted solution for ``positives``.
+
+        This is the regex ``w1 + ... + wk`` (with an outer ``?`` when ``ε``
+        is among the positives).  The paper uses it as the guaranteed upper
+        bound on synthesis cost ("Performance evaluation", §4.3): Paresy
+        terminates no later than with this expression.
+        """
+        words = sorted(set(positives))
+        if not words:
+            return self.literal  # ∅
+        non_empty = [w for w in words if w]
+        has_epsilon = len(non_empty) != len(words)
+        if not non_empty:
+            return self.literal  # ε
+        total = sum(self.word_cost(w) for w in non_empty)
+        total += (len(non_empty) - 1) * self.union
+        if has_epsilon:
+            total += self.question
+        return total
+
+    def __str__(self) -> str:
+        return "(%d, %d, %d, %d, %d)" % self.as_tuple()
+
+
+#: The twelve cost functions used in the paper's Fig. 1 and Table 1.
+EVALUATION_COST_FUNCTIONS: Tuple[CostFunction, ...] = tuple(
+    CostFunction.from_tuple(values)
+    for values in (
+        (1, 1, 1, 1, 1),
+        (10, 1, 1, 1, 1),
+        (1, 10, 1, 1, 1),
+        (1, 1, 10, 1, 1),
+        (1, 1, 1, 10, 1),
+        (1, 1, 1, 1, 10),
+        (10, 10, 10, 10, 1),
+        (10, 10, 10, 1, 10),
+        (10, 10, 1, 10, 10),
+        (10, 1, 10, 10, 10),
+        (1, 10, 10, 10, 10),
+        (20, 20, 20, 5, 30),
+    )
+)
+
+#: AlphaRegex's implicit cost scale: every constructor and literal costs 5.
+#: Table 2 of the paper reports ``Cost(RE)`` on this scale.
+ALPHAREGEX_COST = CostFunction(5, 5, 5, 5, 5)

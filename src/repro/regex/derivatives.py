@@ -1,0 +1,74 @@
+"""Brzozowski-derivative matching: the reference contains-check.
+
+The paper distinguishes REI from the *contains-check* (§5.1): given a
+regular expression ``r`` and a string ``w``, decide ``w ∈ Lang(r)``.  The
+synthesiser itself never calls a matcher (languages are manipulated as
+characteristic sequences), but a trustworthy matcher is needed
+
+* to verify synthesis results in tests,
+* by the AlphaRegex baseline, whose pruning requires many contains-checks,
+* by the benchmark suites to generate labelled examples.
+
+Brzozowski derivatives work for arbitrary alphabets with no automaton
+construction: ``w ∈ Lang(r)`` iff ``nullable(d_{w_n}(... d_{w_1}(r)))``.
+Smart constructors keep intermediate terms small.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Iterable
+
+from .ast import Char, Concat, EMPTY, Empty, Epsilon, Question, Regex, Star, Union
+from .simplify import is_nullable, smart_concat, smart_star, smart_union
+
+nullable = is_nullable
+
+
+@lru_cache(maxsize=65536)
+def derivative(regex: Regex, symbol: str) -> Regex:
+    """The Brzozowski derivative ``d_symbol(regex)``.
+
+    ``Lang(d_a(r)) = { w | a·w ∈ Lang(r) }``.
+    """
+    if isinstance(regex, (Empty, Epsilon)):
+        return EMPTY
+    if isinstance(regex, Char):
+        from .ast import EPSILON
+
+        return EPSILON if regex.symbol == symbol else EMPTY
+    if isinstance(regex, Union):
+        return smart_union(derivative(regex.left, symbol), derivative(regex.right, symbol))
+    if isinstance(regex, Concat):
+        first = smart_concat(derivative(regex.left, symbol), regex.right)
+        if is_nullable(regex.left):
+            return smart_union(first, derivative(regex.right, symbol))
+        return first
+    if isinstance(regex, Star):
+        return smart_concat(derivative(regex.inner, symbol), smart_star(regex.inner))
+    if isinstance(regex, Question):
+        return derivative(regex.inner, symbol)
+    raise TypeError("cannot take the derivative of %r" % (regex,))
+
+
+def word_derivative(regex: Regex, word: Iterable[str]) -> Regex:
+    """Iterated derivative ``d_w(regex)`` for a whole word."""
+    current = regex
+    for symbol in word:
+        current = derivative(current, symbol)
+        if isinstance(current, Empty):
+            return EMPTY
+    return current
+
+
+def matches(regex: Regex, word: str) -> bool:
+    """Decide ``word ∈ Lang(regex)`` (the contains-check)."""
+    return is_nullable(word_derivative(regex, word))
+
+
+def satisfies(regex: Regex, positives: Iterable[str], negatives: Iterable[str]) -> bool:
+    """Decide ``r |= (P, N)`` (Def. 3.1): accepts all of ``positives`` and
+    rejects all of ``negatives``."""
+    return all(matches(regex, word) for word in positives) and not any(
+        matches(regex, word) for word in negatives
+    )

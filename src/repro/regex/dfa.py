@@ -1,0 +1,274 @@
+"""Deterministic finite automata: subset construction, Hopcroft
+minimisation, products, equivalence, and bounded language enumeration.
+
+This module is verification substrate (see :mod:`repro.regex.nfa`).  The
+benchmark suites also use :func:`enumerate_words` / :func:`DFA.accepts` to
+generate deterministic labelled example sets from ground-truth predicates.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+
+from .ast import Regex
+from . import nfa as nfa_mod
+
+
+@dataclass
+class DFA:
+    """A complete DFA over ``alphabet``.
+
+    States are ``0..n_states-1``; ``transitions[state][symbol]`` is total
+    (a sink state is materialised where needed).
+    """
+
+    alphabet: Tuple[str, ...]
+    n_states: int
+    start: int
+    accepting: FrozenSet[int]
+    transitions: Tuple[Dict[str, int], ...]
+
+    def accepts(self, word: str) -> bool:
+        """Decide ``word ∈ Lang(self)``."""
+        state = self.start
+        for symbol in word:
+            row = self.transitions[state]
+            if symbol not in row:
+                return False
+            state = row[symbol]
+        return state in self.accepting
+
+    def is_empty(self) -> bool:
+        """True iff the DFA accepts no word at all."""
+        seen = {self.start}
+        queue = deque([self.start])
+        while queue:
+            state = queue.popleft()
+            if state in self.accepting:
+                return False
+            for successor in self.transitions[state].values():
+                if successor not in seen:
+                    seen.add(successor)
+                    queue.append(successor)
+        return True
+
+    def complement(self) -> "DFA":
+        """The DFA for the complement language (same alphabet)."""
+        return DFA(
+            alphabet=self.alphabet,
+            n_states=self.n_states,
+            start=self.start,
+            accepting=frozenset(range(self.n_states)) - self.accepting,
+            transitions=self.transitions,
+        )
+
+
+def from_nfa(nfa: nfa_mod.NFA, alphabet: Optional[Iterable[str]] = None) -> DFA:
+    """Determinise ``nfa`` by subset construction over ``alphabet``.
+
+    If ``alphabet`` is omitted, the NFA's own transition alphabet is used.
+    The result is complete: missing moves go to a dead state.
+    """
+    symbols = tuple(sorted(set(alphabet) if alphabet is not None else nfa.alphabet))
+    start_set = nfa.epsilon_closure({nfa.start})
+    index: Dict[FrozenSet[int], int] = {start_set: 0}
+    rows: List[Dict[str, int]] = [{}]
+    order: List[FrozenSet[int]] = [start_set]
+    queue = deque([start_set])
+    while queue:
+        current = queue.popleft()
+        row = rows[index[current]]
+        for symbol in symbols:
+            successor = nfa.step(current, symbol)
+            if successor not in index:
+                index[successor] = len(order)
+                order.append(successor)
+                rows.append({})
+                queue.append(successor)
+            row[symbol] = index[successor]
+    accepting = frozenset(
+        index[subset] for subset in order if nfa.accept in subset
+    )
+    return DFA(
+        alphabet=symbols,
+        n_states=len(order),
+        start=0,
+        accepting=accepting,
+        transitions=tuple(rows),
+    )
+
+
+def from_regex(regex: Regex, alphabet: Optional[Iterable[str]] = None) -> DFA:
+    """Compile ``regex`` to a complete DFA (via Thompson + subset)."""
+    return from_nfa(nfa_mod.from_regex(regex), alphabet=alphabet)
+
+
+def minimize(dfa: DFA) -> DFA:
+    """Hopcroft's partition-refinement minimisation.
+
+    Unreachable states are removed first; the result is the unique (up to
+    isomorphism) minimal complete DFA for the language.
+    """
+    reachable: Set[int] = {dfa.start}
+    queue = deque([dfa.start])
+    while queue:
+        state = queue.popleft()
+        for successor in dfa.transitions[state].values():
+            if successor not in reachable:
+                reachable.add(successor)
+                queue.append(successor)
+    states = sorted(reachable)
+    remap = {state: i for i, state in enumerate(states)}
+    transitions = [
+        {symbol: remap[dfa.transitions[state][symbol]] for symbol in dfa.alphabet}
+        for state in states
+    ]
+    accepting = {remap[s] for s in dfa.accepting if s in reachable}
+    n = len(states)
+
+    # Hopcroft refinement.
+    partition: List[Set[int]] = []
+    accept_block = set(accepting)
+    reject_block = set(range(n)) - accept_block
+    for block in (accept_block, reject_block):
+        if block:
+            partition.append(block)
+    worklist: List[Set[int]] = [set(block) for block in partition]
+    # Precompute inverse transitions.
+    inverse: Dict[Tuple[str, int], Set[int]] = {}
+    for state in range(n):
+        for symbol, successor in transitions[state].items():
+            inverse.setdefault((symbol, successor), set()).add(state)
+    while worklist:
+        splitter = worklist.pop()
+        for symbol in dfa.alphabet:
+            predecessors: Set[int] = set()
+            for target in splitter:
+                predecessors.update(inverse.get((symbol, target), ()))
+            if not predecessors:
+                continue
+            next_partition: List[Set[int]] = []
+            for block in partition:
+                inside = block & predecessors
+                outside = block - predecessors
+                if inside and outside:
+                    next_partition.append(inside)
+                    next_partition.append(outside)
+                    if block in worklist:
+                        worklist.remove(block)
+                        worklist.append(inside)
+                        worklist.append(outside)
+                    else:
+                        worklist.append(inside if len(inside) <= len(outside) else outside)
+                else:
+                    next_partition.append(block)
+            partition = next_partition
+    block_of: Dict[int, int] = {}
+    for block_index, block in enumerate(partition):
+        for state in block:
+            block_of[state] = block_index
+    new_transitions = []
+    for block in partition:
+        representative = next(iter(block))
+        new_transitions.append(
+            {
+                symbol: block_of[transitions[representative][symbol]]
+                for symbol in dfa.alphabet
+            }
+        )
+    return DFA(
+        alphabet=dfa.alphabet,
+        n_states=len(partition),
+        start=block_of[remap[dfa.start]],
+        accepting=frozenset(
+            block_index
+            for block_index, block in enumerate(partition)
+            if next(iter(block)) in accepting
+        ),
+        transitions=tuple(new_transitions),
+    )
+
+
+def product(left: DFA, right: DFA, mode: str) -> DFA:
+    """Product construction; ``mode`` is ``and``, ``or`` or ``diff``."""
+    if left.alphabet != right.alphabet:
+        symbols = tuple(sorted(set(left.alphabet) | set(right.alphabet)))
+        raise ValueError(
+            "product requires identical alphabets; rebuild both DFAs over %r"
+            % (symbols,)
+        )
+    index: Dict[Tuple[int, int], int] = {}
+    rows: List[Dict[str, int]] = []
+    order: List[Tuple[int, int]] = []
+
+    def intern(pair: Tuple[int, int]) -> int:
+        if pair not in index:
+            index[pair] = len(order)
+            order.append(pair)
+            rows.append({})
+        return index[pair]
+
+    start = intern((left.start, right.start))
+    queue = deque([(left.start, right.start)])
+    seen = {(left.start, right.start)}
+    while queue:
+        l_state, r_state = queue.popleft()
+        row = rows[index[(l_state, r_state)]]
+        for symbol in left.alphabet:
+            pair = (
+                left.transitions[l_state][symbol],
+                right.transitions[r_state][symbol],
+            )
+            row[symbol] = intern(pair)
+            if pair not in seen:
+                seen.add(pair)
+                queue.append(pair)
+    accepting = set()
+    for pair, state in index.items():
+        in_left = pair[0] in left.accepting
+        in_right = pair[1] in right.accepting
+        if mode == "and":
+            good = in_left and in_right
+        elif mode == "or":
+            good = in_left or in_right
+        elif mode == "diff":
+            good = in_left and not in_right
+        else:
+            raise ValueError("unknown product mode %r" % (mode,))
+        if good:
+            accepting.add(state)
+    return DFA(
+        alphabet=left.alphabet,
+        n_states=len(order),
+        start=start,
+        accepting=frozenset(accepting),
+        transitions=tuple(rows),
+    )
+
+
+def equivalent(left: DFA, right: DFA) -> bool:
+    """Language equality via emptiness of both difference products."""
+    return product(left, right, "diff").is_empty() and product(
+        right, left, "diff"
+    ).is_empty()
+
+
+def regex_equivalent(a: Regex, b: Regex, alphabet: Iterable[str]) -> bool:
+    """Language equality of two regexes over a shared alphabet."""
+    symbols = tuple(sorted(alphabet))
+    return equivalent(from_regex(a, symbols), from_regex(b, symbols))
+
+
+def enumerate_words(
+    dfa: DFA, max_length: int, accepted: bool = True
+) -> Iterator[str]:
+    """Yield all words of length ≤ ``max_length`` accepted (or rejected,
+    with ``accepted=False``) by ``dfa``, in shortlex order."""
+    for length in range(max_length + 1):
+        for letters in itertools.product(dfa.alphabet, repeat=length):
+            word = "".join(letters)
+            if dfa.accepts(word) == accepted:
+                yield word

@@ -1,0 +1,137 @@
+"""Thompson-construction NFAs.
+
+This is verification substrate: the synthesiser never builds automata, but
+the test-suite cross-checks the derivative matcher, the DFA pipeline and
+synthesis results against each other, and the benchmark suites use DFAs to
+enumerate example strings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from .ast import Char, Concat, Empty, Epsilon, Question, Regex, Star, Union
+
+
+@dataclass
+class NFA:
+    """A non-deterministic finite automaton with ε-transitions.
+
+    States are integers ``0..n_states-1``.  ``transitions`` maps
+    ``(state, symbol)`` to a set of successor states; ``epsilon`` maps a
+    state to its ε-successors.
+    """
+
+    n_states: int
+    start: int
+    accept: int
+    transitions: Dict[Tuple[int, str], Set[int]] = field(default_factory=dict)
+    epsilon: Dict[int, Set[int]] = field(default_factory=dict)
+
+    @property
+    def alphabet(self) -> FrozenSet[str]:
+        """The set of symbols appearing on any transition."""
+        return frozenset(symbol for (_, symbol) in self.transitions)
+
+    def epsilon_closure(self, states: Set[int]) -> FrozenSet[int]:
+        """All states reachable from ``states`` by ε-transitions."""
+        closure = set(states)
+        stack = list(states)
+        while stack:
+            state = stack.pop()
+            for successor in self.epsilon.get(state, ()):
+                if successor not in closure:
+                    closure.add(successor)
+                    stack.append(successor)
+        return frozenset(closure)
+
+    def step(self, states: FrozenSet[int], symbol: str) -> FrozenSet[int]:
+        """One symbol-step (including closing under ε afterwards)."""
+        moved: Set[int] = set()
+        for state in states:
+            moved.update(self.transitions.get((state, symbol), ()))
+        return self.epsilon_closure(moved)
+
+    def accepts(self, word: str) -> bool:
+        """Decide ``word ∈ Lang(self)`` by subset simulation."""
+        current = self.epsilon_closure({self.start})
+        for symbol in word:
+            current = self.step(current, symbol)
+            if not current:
+                return False
+        return self.accept in current
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.n_states = 0
+        self.transitions: Dict[Tuple[int, str], Set[int]] = {}
+        self.epsilon: Dict[int, Set[int]] = {}
+
+    def fresh(self) -> int:
+        state = self.n_states
+        self.n_states += 1
+        return state
+
+    def add(self, src: int, symbol: str, dst: int) -> None:
+        self.transitions.setdefault((src, symbol), set()).add(dst)
+
+    def add_epsilon(self, src: int, dst: int) -> None:
+        self.epsilon.setdefault(src, set()).add(dst)
+
+    def build(self, regex: Regex) -> Tuple[int, int]:
+        """Thompson fragment for ``regex``; returns ``(start, accept)``."""
+        if isinstance(regex, Empty):
+            return self.fresh(), self.fresh()
+        if isinstance(regex, Epsilon):
+            start, accept = self.fresh(), self.fresh()
+            self.add_epsilon(start, accept)
+            return start, accept
+        if isinstance(regex, Char):
+            start, accept = self.fresh(), self.fresh()
+            self.add(start, regex.symbol, accept)
+            return start, accept
+        if isinstance(regex, Concat):
+            s1, a1 = self.build(regex.left)
+            s2, a2 = self.build(regex.right)
+            self.add_epsilon(a1, s2)
+            return s1, a2
+        if isinstance(regex, Union):
+            s1, a1 = self.build(regex.left)
+            s2, a2 = self.build(regex.right)
+            start, accept = self.fresh(), self.fresh()
+            self.add_epsilon(start, s1)
+            self.add_epsilon(start, s2)
+            self.add_epsilon(a1, accept)
+            self.add_epsilon(a2, accept)
+            return start, accept
+        if isinstance(regex, Star):
+            s1, a1 = self.build(regex.inner)
+            start, accept = self.fresh(), self.fresh()
+            self.add_epsilon(start, s1)
+            self.add_epsilon(start, accept)
+            self.add_epsilon(a1, s1)
+            self.add_epsilon(a1, accept)
+            return start, accept
+        if isinstance(regex, Question):
+            s1, a1 = self.build(regex.inner)
+            start, accept = self.fresh(), self.fresh()
+            self.add_epsilon(start, s1)
+            self.add_epsilon(start, accept)
+            self.add_epsilon(a1, accept)
+            return start, accept
+        raise TypeError("cannot build an NFA from %r" % (regex,))
+
+
+def from_regex(regex: Regex) -> NFA:
+    """Compile ``regex`` into an NFA by Thompson's construction."""
+    builder = _Builder()
+    start, accept = builder.build(regex)
+    return NFA(
+        n_states=builder.n_states,
+        start=start,
+        accept=accept,
+        transitions=builder.transitions,
+        epsilon=builder.epsilon,
+    )

@@ -1,0 +1,162 @@
+"""A recursive-descent parser for the paper's regular expression syntax.
+
+The accepted grammar (loosest to tightest binding)::
+
+    union   ::= concat ('+' concat | '|' concat)*
+    concat  ::= postfix postfix*
+    postfix ::= atom ('*' | '?')*
+    atom    ::= 'ε' | '∅' | '(' union ')' | literal
+
+Any character other than the specials ``( ) + | * ?`` (and whitespace,
+which is ignored) is a literal; specials can be escaped with a backslash.
+``|`` is accepted as a synonym for ``+`` for convenience.  The parser and
+:func:`repro.regex.printer.to_string` round-trip:
+``parse(to_string(r))`` is structurally equal to ``r`` for every regex
+``r`` without holes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from .ast import (
+    Char,
+    Concat,
+    EMPTY,
+    EPSILON,
+    HOLE,
+    Question,
+    Regex,
+    Star,
+    Union,
+)
+
+_SPECIALS = frozenset("()+|*?")
+
+
+class RegexSyntaxError(ValueError):
+    """Raised when the input is not a well-formed regular expression."""
+
+    def __init__(self, message: str, position: int) -> None:
+        super().__init__("%s (at position %d)" % (message, position))
+        self.position = position
+
+
+def parse(text: str) -> Regex:
+    """Parse ``text`` into a :class:`~repro.regex.ast.Regex`.
+
+    Raises :class:`RegexSyntaxError` on malformed input.
+    """
+    tokens = _tokenize(text)
+    parser = _Parser(tokens)
+    regex = parser.parse_union()
+    parser.expect_end()
+    return regex
+
+
+def _tokenize(text: str) -> List[Tuple[str, str, int]]:
+    """Produce ``(kind, value, position)`` tokens.
+
+    Kinds: ``op`` for specials, ``lit`` for literal characters (escape
+    sequences already resolved), ``eps``, ``empty`` and ``hole``.
+    """
+    tokens: List[Tuple[str, str, int]] = []
+    i = 0
+    while i < len(text):
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "\\":
+            if i + 1 >= len(text):
+                raise RegexSyntaxError("dangling escape", i)
+            tokens.append(("lit", text[i + 1], i))
+            i += 2
+            continue
+        if ch in _SPECIALS:
+            tokens.append(("op", "+" if ch == "|" else ch, i))
+        elif ch == "ε":
+            tokens.append(("eps", ch, i))
+        elif ch == "∅":
+            tokens.append(("empty", ch, i))
+        elif ch == "□":
+            tokens.append(("hole", ch, i))
+        else:
+            tokens.append(("lit", ch, i))
+        i += 1
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: List[Tuple[str, str, int]]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    def _peek(self) -> Tuple[str, str, int]:
+        if self._pos < len(self._tokens):
+            return self._tokens[self._pos]
+        return ("end", "", self._tokens[-1][2] + 1 if self._tokens else 0)
+
+    def _advance(self) -> Tuple[str, str, int]:
+        token = self._peek()
+        self._pos += 1
+        return token
+
+    def expect_end(self) -> None:
+        kind, value, position = self._peek()
+        if kind != "end":
+            raise RegexSyntaxError("unexpected %r" % value, position)
+
+    def parse_union(self) -> Regex:
+        left = self.parse_concat()
+        while True:
+            kind, value, _ = self._peek()
+            if kind == "op" and value == "+":
+                self._advance()
+                left = Union(left, self.parse_concat())
+            else:
+                return left
+
+    def parse_concat(self) -> Regex:
+        left = self.parse_postfix()
+        while True:
+            kind, value, _ = self._peek()
+            if kind in ("lit", "eps", "empty", "hole") or (
+                kind == "op" and value == "("
+            ):
+                left = Concat(left, self.parse_postfix())
+            else:
+                return left
+
+    def parse_postfix(self) -> Regex:
+        atom = self.parse_atom()
+        while True:
+            kind, value, _ = self._peek()
+            if kind == "op" and value == "*":
+                self._advance()
+                atom = Star(atom)
+            elif kind == "op" and value == "?":
+                self._advance()
+                atom = Question(atom)
+            else:
+                return atom
+
+    def parse_atom(self) -> Regex:
+        kind, value, position = self._advance()
+        if kind == "lit":
+            return Char(value)
+        if kind == "eps":
+            return EPSILON
+        if kind == "empty":
+            return EMPTY
+        if kind == "hole":
+            return HOLE
+        if kind == "op" and value == "(":
+            inner = self.parse_union()
+            kind, value, position = self._advance()
+            if kind != "op" or value != ")":
+                raise RegexSyntaxError("expected ')'", position)
+            return inner
+        if kind == "end":
+            raise RegexSyntaxError("unexpected end of input", position)
+        raise RegexSyntaxError("unexpected %r" % value, position)

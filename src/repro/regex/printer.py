@@ -1,0 +1,82 @@
+"""Pretty-printing of regular expressions with minimal parentheses.
+
+The concrete syntax matches the paper: ``+`` for union, juxtaposition for
+concatenation, postfix ``*`` and ``?``, ``ε`` for the empty word and ``∅``
+for the empty language.  ``□`` prints AlphaRegex holes.
+
+Operator precedence (loosest to tightest): union < concatenation < postfix.
+The printer emits parentheses only where required, so
+``Union(Char('0'), Star(Concat(Char('1'), Char('0'))))`` prints as
+``0+(10)*``.
+"""
+
+from __future__ import annotations
+
+from .ast import (
+    Char,
+    Concat,
+    Empty,
+    Epsilon,
+    Hole,
+    Question,
+    Regex,
+    Star,
+    Union,
+)
+
+#: Characters that carry syntactic meaning and must be escaped in literals.
+SPECIAL_CHARS = frozenset("()+*?|\\")
+
+_PREC_UNION = 0
+_PREC_CONCAT = 1
+_PREC_POSTFIX = 2
+_PREC_ATOM = 3
+
+
+def to_string(regex: Regex) -> str:
+    """Render ``regex`` in the paper's concrete syntax."""
+    return _render(regex, _PREC_UNION)
+
+
+def _render(regex: Regex, context: int) -> str:
+    if isinstance(regex, Empty):
+        return "∅"
+    if isinstance(regex, Epsilon):
+        return "ε"
+    if isinstance(regex, Hole):
+        return "□"
+    if isinstance(regex, Char):
+        if regex.symbol in SPECIAL_CHARS:
+            return "\\" + regex.symbol
+        return regex.symbol
+    if isinstance(regex, Union):
+        # Union and concatenation print flat: they are associative both
+        # semantically and for every cost homomorphism, so the parser's
+        # left-association loses nothing but tree shape.  Round-tripping
+        # holds up to associativity (see regex.simplify.left_associate).
+        text = "%s+%s" % (
+            _render(regex.left, _PREC_UNION),
+            _render(regex.right, _PREC_UNION),
+        )
+        return _parenthesize(text, _PREC_UNION, context)
+    if isinstance(regex, Concat):
+        text = "%s%s" % (
+            _render(regex.left, _PREC_CONCAT),
+            _render(regex.right, _PREC_CONCAT),
+        )
+        return _parenthesize(text, _PREC_CONCAT, context)
+    if isinstance(regex, Star):
+        return _render_postfix(regex.inner, "*")
+    if isinstance(regex, Question):
+        return _render_postfix(regex.inner, "?")
+    raise TypeError("unknown regex node %r" % (regex,))
+
+
+def _render_postfix(inner: Regex, operator: str) -> str:
+    return "%s%s" % (_render(inner, _PREC_POSTFIX), operator)
+
+
+def _parenthesize(text: str, own: int, context: int) -> str:
+    if own < context:
+        return "(%s)" % text
+    return text

@@ -1,0 +1,164 @@
+"""Smart constructors and light algebraic simplification.
+
+Brzozowski derivatives (see :mod:`repro.regex.derivatives`) only terminate
+with a finite state space when terms are kept in a normal form; the smart
+constructors below apply exactly the local identities needed for that,
+plus a handful of extra language-preserving rewrites:
+
+* ``∅ + r = r``, ``r + r = r``, associativity/commutativity normalisation
+* ``∅ · r = ∅ = r · ∅``, ``ε · r = r = r · ε``
+* ``∅* = ε* = ε``, ``(r*)* = r*``, ``(r?)* = r*``
+* ``∅? = ε? = ε``, ``(r?)? = r?``, ``r? = r`` when ``r`` is nullable
+
+All functions preserve the denoted language exactly.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .ast import (
+    Char,
+    Concat,
+    EMPTY,
+    EPSILON,
+    Empty,
+    Epsilon,
+    Question,
+    Regex,
+    Star,
+    Union,
+)
+
+
+def is_nullable(regex: Regex) -> bool:
+    """True iff ``ε ∈ Lang(regex)``."""
+    if isinstance(regex, (Epsilon, Star, Question)):
+        return True
+    if isinstance(regex, (Empty, Char)):
+        return False
+    if isinstance(regex, Concat):
+        return is_nullable(regex.left) and is_nullable(regex.right)
+    if isinstance(regex, Union):
+        return is_nullable(regex.left) or is_nullable(regex.right)
+    raise TypeError("unknown regex node %r" % (regex,))
+
+
+def _union_parts(regex: Regex, out: List[Regex]) -> None:
+    if isinstance(regex, Union):
+        _union_parts(regex.left, out)
+        _union_parts(regex.right, out)
+    else:
+        out.append(regex)
+
+
+def smart_union(left: Regex, right: Regex) -> Regex:
+    """Language-preserving union with flattening, dedup and ordering."""
+    parts: List[Regex] = []
+    _union_parts(left, parts)
+    _union_parts(right, parts)
+    seen = set()
+    unique: List[Regex] = []
+    for part in parts:
+        if isinstance(part, Empty):
+            continue
+        if part not in seen:
+            seen.add(part)
+            unique.append(part)
+    if not unique:
+        return EMPTY
+    unique.sort(key=repr)
+    result = unique[0]
+    for part in unique[1:]:
+        result = Union(result, part)
+    return result
+
+
+def smart_concat(left: Regex, right: Regex) -> Regex:
+    """Language-preserving concatenation with unit/annihilator rules."""
+    if isinstance(left, Empty) or isinstance(right, Empty):
+        return EMPTY
+    if isinstance(left, Epsilon):
+        return right
+    if isinstance(right, Epsilon):
+        return left
+    return Concat(left, right)
+
+
+def smart_star(inner: Regex) -> Regex:
+    """Language-preserving Kleene star with idempotence rules."""
+    if isinstance(inner, (Empty, Epsilon)):
+        return EPSILON
+    if isinstance(inner, Star):
+        return inner
+    if isinstance(inner, Question):
+        return smart_star(inner.inner)
+    return Star(inner)
+
+
+def smart_question(inner: Regex) -> Regex:
+    """Language-preserving option with nullability rules."""
+    if isinstance(inner, (Empty, Epsilon)):
+        return EPSILON
+    if is_nullable(inner):
+        return inner
+    return Question(inner)
+
+
+def left_associate(regex: Regex) -> Regex:
+    """Re-associate nested unions and concatenations to the left.
+
+    Preserves the denoted language, the operand order *and* the cost
+    under every cost homomorphism (both constructors contribute a fixed
+    per-node increment, so tree shape does not matter).  This is the
+    normal form the parser produces, which makes
+    ``parse(to_string(r)) == left_associate(r)`` hold for every regex.
+    """
+    if isinstance(regex, Union):
+        parts: List[Regex] = []
+        _flatten(regex, Union, parts)
+        parts = [left_associate(p) for p in parts]
+        result = parts[0]
+        for part in parts[1:]:
+            result = Union(result, part)
+        return result
+    if isinstance(regex, Concat):
+        parts = []
+        _flatten(regex, Concat, parts)
+        parts = [left_associate(p) for p in parts]
+        result = parts[0]
+        for part in parts[1:]:
+            result = Concat(result, part)
+        return result
+    if isinstance(regex, Star):
+        return Star(left_associate(regex.inner))
+    if isinstance(regex, Question):
+        return Question(left_associate(regex.inner))
+    return regex
+
+
+def _flatten(regex: Regex, node_type: type, out: List[Regex]) -> None:
+    if isinstance(regex, node_type):
+        _flatten(regex.left, node_type, out)
+        _flatten(regex.right, node_type, out)
+    else:
+        out.append(regex)
+
+
+def simplify(regex: Regex) -> Regex:
+    """Recursively rebuild ``regex`` through the smart constructors.
+
+    The result denotes the same language and is never larger than a
+    constant factor of the input; it is *not* guaranteed to be minimal.
+    """
+    if isinstance(regex, (Empty, Epsilon, Char)):
+        return regex
+    if isinstance(regex, Union):
+        return smart_union(simplify(regex.left), simplify(regex.right))
+    if isinstance(regex, Concat):
+        return smart_concat(simplify(regex.left), simplify(regex.right))
+    if isinstance(regex, Star):
+        return smart_star(simplify(regex.inner))
+    if isinstance(regex, Question):
+        return smart_question(simplify(regex.inner))
+    raise TypeError("unknown regex node %r" % (regex,))

@@ -1,0 +1,27 @@
+"""Semirings, formal power series and infix power series — the paper's
+mathematical foundation (§2.2, Def. 3.5)."""
+
+from .semiring import (
+    BOOLEAN,
+    NATURAL,
+    TROPICAL,
+    BooleanSemiring,
+    NaturalSemiring,
+    Semiring,
+    TropicalSemiring,
+)
+from .fps import FPS
+from .ips import IPS, IPSSpace
+
+__all__ = [
+    "BOOLEAN",
+    "NATURAL",
+    "TROPICAL",
+    "BooleanSemiring",
+    "NaturalSemiring",
+    "Semiring",
+    "TropicalSemiring",
+    "FPS",
+    "IPS",
+    "IPSSpace",
+]

@@ -1,0 +1,146 @@
+"""Formal power series ``r : Σ* → S`` with finite support (Def. 2.9).
+
+These are the "polynomials" ``Σ*⟨⟨S⟩⟩`` of the paper: dictionary-backed
+maps from words to semiring coefficients, with
+
+* pointwise sum,
+* Cauchy/convolution product
+  ``(r·s)(σ) = ⊕ { r(σ1)·s(σ2) | σ1·σ2 = σ }``,
+* a truncated Kleene star (star of a series whose support excludes ``ε``
+  is an infinite series; :meth:`FPS.star_truncated` materialises its
+  restriction to words of bounded length, which is all the synthesiser
+  ever observes).
+
+This module is the executable version of the paper's §2.2 and is used as
+a mathematical oracle in property tests; the production engines work on
+the infix power series of :mod:`repro.semiring.ips` instead.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Tuple
+
+from .semiring import BOOLEAN, Semiring
+
+
+class FPS:
+    """A finite-support formal power series over a semiring."""
+
+    __slots__ = ("semiring", "coefficients")
+
+    def __init__(
+        self,
+        semiring: Semiring,
+        coefficients: Mapping[str, object] = (),
+    ) -> None:
+        self.semiring = semiring
+        cleaned: Dict[str, object] = {}
+        items = coefficients.items() if isinstance(coefficients, Mapping) else coefficients
+        for word, value in items:
+            if value != semiring.zero:
+                cleaned[word] = value
+        self.coefficients = cleaned
+
+    # -- constructors ---------------------------------------------------
+    @classmethod
+    def zero(cls, semiring: Semiring) -> "FPS":
+        """The constant-0 series."""
+        return cls(semiring)
+
+    @classmethod
+    def one(cls, semiring: Semiring) -> "FPS":
+        """The series mapping ``ε`` to 1 and everything else to 0."""
+        return cls(semiring, {"": semiring.one})
+
+    @classmethod
+    def of_word(cls, semiring: Semiring, word: str) -> "FPS":
+        """The series of the singleton language ``{word}``."""
+        return cls(semiring, {word: semiring.one})
+
+    @classmethod
+    def of_language(cls, words: Iterable[str], semiring: Semiring = BOOLEAN) -> "FPS":
+        """Characteristic series of a finite language."""
+        return cls(semiring, {word: semiring.one for word in set(words)})
+
+    # -- observations ---------------------------------------------------
+    def __call__(self, word: str) -> object:
+        """The coefficient of ``word`` (``0`` outside the support)."""
+        return self.coefficients.get(word, self.semiring.zero)
+
+    @property
+    def support(self) -> frozenset:
+        """``supp(r) = { w | r(w) ≠ 0 }``."""
+        return frozenset(self.coefficients)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FPS):
+            return NotImplemented
+        return (
+            self.semiring is other.semiring
+            and self.coefficients == other.coefficients
+        )
+
+    def __hash__(self) -> int:
+        return hash((id(self.semiring), tuple(sorted(self.coefficients.items()))))
+
+    # -- algebra ---------------------------------------------------------
+    def __add__(self, other: "FPS") -> "FPS":
+        self._check(other)
+        result = dict(self.coefficients)
+        for word, value in other.coefficients.items():
+            result[word] = self.semiring.add(result.get(word, self.semiring.zero), value)
+        return FPS(self.semiring, result)
+
+    def __mul__(self, other: "FPS") -> "FPS":
+        """Convolution product over all splits of each support word."""
+        self._check(other)
+        result: Dict[str, object] = {}
+        for left_word, left_value in self.coefficients.items():
+            for right_word, right_value in other.coefficients.items():
+                word = left_word + right_word
+                term = self.semiring.mul(left_value, right_value)
+                result[word] = self.semiring.add(
+                    result.get(word, self.semiring.zero), term
+                )
+        return FPS(self.semiring, result)
+
+    def star_truncated(self, max_length: int) -> "FPS":
+        """``r*`` restricted to words of length ≤ ``max_length``.
+
+        Computed as the limit of ``1 + r + r² + ...`` with every partial
+        product truncated; converges because each non-ε factor adds at
+        least one character.  Requires an idempotent-addition semiring (or
+        an ``ε``-free support) to be well defined; the Boolean case always
+        is.
+        """
+        one = FPS.one(self.semiring)
+        truncated = FPS(
+            self.semiring,
+            {w: v for w, v in self.coefficients.items() if 0 < len(w) <= max_length},
+        )
+        total = one
+        power = one
+        for _ in range(max_length):
+            power = FPS(
+                self.semiring,
+                {
+                    w: v
+                    for w, v in (power * truncated).coefficients.items()
+                    if len(w) <= max_length
+                },
+            )
+            if not power.coefficients:
+                break
+            total = total + power
+        return total
+
+    def _check(self, other: "FPS") -> None:
+        if self.semiring is not other.semiring:
+            raise ValueError("cannot combine series over different semirings")
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            "%s: %r" % (repr(word), value)
+            for word, value in sorted(self.coefficients.items())
+        )
+        return "FPS({%s})" % parts

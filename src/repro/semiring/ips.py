@@ -1,0 +1,225 @@
+"""Infix power series ``r : I → S`` (Def. 3.5 of the paper).
+
+An IPS is a map from a finite infix-closed domain ``I`` (a
+:class:`~repro.language.universe.Universe`) into a semiring.  The
+operations are exactly those of the paper:
+
+* ``0`` and ``1`` (characteristic series of ``∅`` and ``{ε}``),
+* pointwise sum,
+* the restricted convolution product
+  ``(r·s)(σ) = ⊕ { r(σ1)·s(σ2) | σ1, σ2 ∈ I, σ1·σ2 = σ }``
+  (computed through the guide table),
+* a Kleene star ``r*(σ) = ⊕ₙ rⁿ(σ)``, which converges after at most
+  ``max word length + 1`` iterations because ``I`` is finite.
+
+Over the Boolean semiring an IPS is precisely a characteristic sequence;
+this module is the readable, semiring-generic reference implementation
+the optimised bit engines are property-tested against.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..language.guide_table import GuideTable
+from ..language.universe import Universe
+from .semiring import BOOLEAN, Semiring
+
+
+class IPSSpace:
+    """The space ``I⟨S⟩`` of infix power series over one universe.
+
+    Bundles the universe, its guide table and the coefficient semiring so
+    that individual :class:`IPS` values stay lightweight.
+    """
+
+    __slots__ = ("universe", "guide", "semiring")
+
+    def __init__(
+        self,
+        universe: Universe,
+        semiring: Semiring = BOOLEAN,
+        guide: GuideTable = None,
+    ) -> None:
+        self.universe = universe
+        self.semiring = semiring
+        self.guide = guide if guide is not None else GuideTable(universe)
+
+    # -- constructors ---------------------------------------------------
+    def zero(self) -> "IPS":
+        """The constant-0 series (empty language)."""
+        return IPS(self, (self.semiring.zero,) * self.universe.n_words)
+
+    def one(self) -> "IPS":
+        """The series of ``{ε}``."""
+        coefficients = [self.semiring.zero] * self.universe.n_words
+        coefficients[self.universe.eps_index] = self.semiring.one
+        return IPS(self, tuple(coefficients))
+
+    def of_words(self, words) -> "IPS":
+        """Characteristic series of a set of universe words."""
+        coefficients = [self.semiring.zero] * self.universe.n_words
+        for word in words:
+            coefficients[self.universe.index[word]] = self.semiring.one
+        return IPS(self, tuple(coefficients))
+
+    def of_char(self, symbol: str) -> "IPS":
+        """Series of the single-character language ``{symbol}`` (the zero
+        series when the character occurs in no universe word)."""
+        if symbol in self.universe.index:
+            return self.of_words([symbol])
+        return self.zero()
+
+    def from_cs(self, cs: int) -> "IPS":
+        """Lift a Boolean characteristic-sequence bitvector into an IPS."""
+        coefficients = [
+            self.semiring.one if (cs >> i) & 1 else self.semiring.zero
+            for i in range(self.universe.n_words)
+        ]
+        return IPS(self, tuple(coefficients))
+
+
+class IPS:
+    """One infix power series: a coefficient per universe word."""
+
+    __slots__ = ("space", "coefficients")
+
+    def __init__(self, space: IPSSpace, coefficients: Sequence) -> None:
+        if len(coefficients) != space.universe.n_words:
+            raise ValueError(
+                "expected %d coefficients, got %d"
+                % (space.universe.n_words, len(coefficients))
+            )
+        self.space = space
+        self.coefficients: Tuple = tuple(coefficients)
+
+    def __call__(self, word: str):
+        """The coefficient of ``word``."""
+        return self.coefficients[self.space.universe.index[word]]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, IPS):
+            return NotImplemented
+        return self.space is other.space and self.coefficients == other.coefficients
+
+    def __hash__(self) -> int:
+        return hash((id(self.space), self.coefficients))
+
+    # -- algebra ---------------------------------------------------------
+    def __add__(self, other: "IPS") -> "IPS":
+        self._check(other)
+        semiring = self.space.semiring
+        return IPS(
+            self.space,
+            tuple(
+                semiring.add(a, b)
+                for a, b in zip(self.coefficients, other.coefficients)
+            ),
+        )
+
+    def __mul__(self, other: "IPS") -> "IPS":
+        """Guide-table convolution (the paper's IPS product)."""
+        self._check(other)
+        semiring = self.space.semiring
+        guide = self.space.guide
+        result: List = []
+        for word_index in range(self.space.universe.n_words):
+            result.append(
+                semiring.add_all(
+                    semiring.mul(self.coefficients[i], other.coefficients[j])
+                    for i, j in guide[word_index]
+                )
+            )
+        return IPS(self.space, tuple(result))
+
+    def star(self) -> "IPS":
+        """``r* = ⊕ₙ rⁿ`` restricted to the universe.
+
+        Converges after at most ``max_word_length + 1`` squarings-free
+        iterations: each additional factor of the ε-free part of ``r``
+        consumes at least one character of a universe word.  Requires the
+        coefficient at ``ε`` to satisfy ``closure`` in the semiring (the
+        Boolean case always does).
+        """
+        semiring = self.space.semiring
+        eps_index = self.space.universe.eps_index
+        eps_closure = semiring.closure(self.coefficients[eps_index])
+        if eps_closure is None:
+            raise ValueError("star undefined: ε-coefficient has no closure")
+        # Star of r equals star of r with its ε-coefficient replaced by 0,
+        # scaled by (r(ε))* — in the Boolean/idempotent case the scaling is
+        # absorbed, which is the case the synthesiser uses.
+        coefficients = list(self.coefficients)
+        coefficients[eps_index] = semiring.zero
+        proper = IPS(self.space, tuple(coefficients))
+        total = self.space.one()
+        power = self.space.one()
+        for _ in range(self.space.universe.max_word_length + 1):
+            power = power * proper
+            new_total = total + power
+            if new_total == total:
+                break
+            total = new_total
+        if eps_closure != semiring.one:
+            total = IPS(
+                total.space,
+                tuple(semiring.mul(eps_closure, c) for c in total.coefficients),
+            )
+        return total
+
+    def question(self) -> "IPS":
+        """``r? = 1 + r``."""
+        return self.space.one() + self
+
+    def conjunction(self, other: "IPS") -> "IPS":
+        """Pointwise intersection (Def. 3.5 notes Boolean operations
+        "are similarly easy to define"); meaningful for idempotent
+        semirings, exact for the Boolean one."""
+        self._check(other)
+        semiring = self.space.semiring
+        return IPS(
+            self.space,
+            tuple(
+                semiring.mul(a, b)
+                for a, b in zip(self.coefficients, other.coefficients)
+            ),
+        )
+
+    def negation(self) -> "IPS":
+        """Pointwise complement relative to the universe (Boolean only)."""
+        semiring = self.space.semiring
+        zero, one = semiring.zero, semiring.one
+        if semiring.add(one, one) != one:
+            raise ValueError("negation requires an idempotent (Boolean) semiring")
+        return IPS(
+            self.space,
+            tuple(one if c == zero else zero for c in self.coefficients),
+        )
+
+    # -- Boolean views ----------------------------------------------------
+    def to_cs(self) -> int:
+        """Collapse to a characteristic-sequence bitvector (bit ``i`` set
+        iff the coefficient of the ``i``-th word is non-zero)."""
+        semiring = self.space.semiring
+        cs = 0
+        for i, value in enumerate(self.coefficients):
+            if value != semiring.zero:
+                cs |= 1 << i
+        return cs
+
+    @property
+    def support(self) -> Tuple[str, ...]:
+        """Universe words with a non-zero coefficient."""
+        semiring = self.space.semiring
+        return tuple(
+            word
+            for word, value in zip(self.space.universe.words, self.coefficients)
+            if value != semiring.zero
+        )
+
+    def _check(self, other: "IPS") -> None:
+        if self.space is not other.space:
+            raise ValueError("cannot combine IPS from different spaces")
+
+    def __repr__(self) -> str:
+        return "IPS(support=%r)" % (self.support,)

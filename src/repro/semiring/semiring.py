@@ -1,0 +1,132 @@
+"""Semirings (Def. 2.2 of the paper).
+
+A semiring ``(S, +, ·, 0, 1)`` packages the algebra that formal power
+series and infix power series are defined over.  The Boolean semiring
+``(B, ∨, ∧, 0, 1)`` is the one Paresy instantiates — a Boolean IPS *is* a
+characteristic sequence — but the abstractions are generic, mirroring the
+paper's remark that almost everything works for arbitrary semirings.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Generic, Iterable, Optional, TypeVar
+
+T = TypeVar("T")
+
+
+class Semiring(ABC, Generic[T]):
+    """Abstract semiring: commutative monoid ``(+, 0)``, monoid ``(·, 1)``,
+    distributivity, and ``0`` annihilating ``·``."""
+
+    @property
+    @abstractmethod
+    def zero(self) -> T:
+        """The additive identity."""
+
+    @property
+    @abstractmethod
+    def one(self) -> T:
+        """The multiplicative identity."""
+
+    @abstractmethod
+    def add(self, a: T, b: T) -> T:
+        """Semiring addition."""
+
+    @abstractmethod
+    def mul(self, a: T, b: T) -> T:
+        """Semiring multiplication."""
+
+    def add_all(self, values: Iterable[T]) -> T:
+        """``⊕`` lifted to finite collections (``zero`` when empty)."""
+        total = self.zero
+        for value in values:
+            total = self.add(total, value)
+        return total
+
+    def closure(self, a: T) -> Optional[T]:
+        """The star ``a* = 1 + a + a² + ...`` where defined, else ``None``.
+
+        Only semirings where the sum converges for the given element
+        implement this; the base implementation handles the common case
+        ``a* = 1`` when ``a = 0``.
+        """
+        if a == self.zero:
+            return self.one
+        return None
+
+    def is_idempotent_add(self) -> bool:
+        """True when ``a + a = a`` holds (checked on ``one``)."""
+        return self.add(self.one, self.one) == self.one
+
+
+class BooleanSemiring(Semiring[bool]):
+    """``(B, ∨, ∧, False, True)`` — the semiring of Paresy's CSs."""
+
+    @property
+    def zero(self) -> bool:
+        return False
+
+    @property
+    def one(self) -> bool:
+        return True
+
+    def add(self, a: bool, b: bool) -> bool:
+        return a or b
+
+    def mul(self, a: bool, b: bool) -> bool:
+        return a and b
+
+    def closure(self, a: bool) -> bool:
+        # b* = 1 in the Boolean semiring, for both values of b.
+        return True
+
+
+class NaturalSemiring(Semiring[int]):
+    """``(ℕ, +, ·, 0, 1)`` — counts derivations instead of merely
+    recording existence; useful as an ambiguity-counting power series."""
+
+    @property
+    def zero(self) -> int:
+        return 0
+
+    @property
+    def one(self) -> int:
+        return 1
+
+    def add(self, a: int, b: int) -> int:
+        return a + b
+
+    def mul(self, a: int, b: int) -> int:
+        return a * b
+
+
+class TropicalSemiring(Semiring[float]):
+    """``(ℝ∪{∞}, min, +, ∞, 0)`` — shortest-derivation weights."""
+
+    INFINITY = float("inf")
+
+    @property
+    def zero(self) -> float:
+        return self.INFINITY
+
+    @property
+    def one(self) -> float:
+        return 0.0
+
+    def add(self, a: float, b: float) -> float:
+        return min(a, b)
+
+    def mul(self, a: float, b: float) -> float:
+        return a + b
+
+    def closure(self, a: float) -> Optional[float]:
+        # min(0, a, 2a, ...) = 0 whenever a ≥ 0; diverges for a < 0.
+        if a >= 0:
+            return 0.0
+        return None
+
+
+BOOLEAN = BooleanSemiring()
+NATURAL = NaturalSemiring()
+TROPICAL = TropicalSemiring()

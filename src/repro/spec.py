@@ -1,0 +1,117 @@
+"""Specifications ``(P, N)`` for regular expression inference (Def. 3.1).
+
+A :class:`Spec` holds finite, disjoint sets of positive and negative
+example strings over an arbitrary alphabet.  A language ``L`` satisfies a
+spec when ``P ⊆ L`` and ``N ∩ L = ∅``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+from .errors import InvalidSpecError
+
+
+@dataclass(frozen=True)
+class Spec:
+    """A pair of positive and negative example sets.
+
+    Examples are deduplicated and stored sorted (shortlex over the natural
+    character order), so structurally equal specs compare equal.  An
+    explicit ``alphabet`` may widen (never narrow) the inferred one.
+    """
+
+    positive: Tuple[str, ...]
+    negative: Tuple[str, ...]
+    alphabet: Tuple[str, ...]
+
+    def __init__(
+        self,
+        positive: Iterable[str],
+        negative: Iterable[str],
+        alphabet: Optional[Sequence[str]] = None,
+    ) -> None:
+        pos = sorted(set(positive), key=lambda w: (len(w), w))
+        neg = sorted(set(negative), key=lambda w: (len(w), w))
+        overlap = set(pos) & set(neg)
+        if overlap:
+            raise InvalidSpecError(
+                "positive and negative examples overlap: %r" % sorted(overlap)
+            )
+        inferred = {ch for word in pos for ch in word}
+        inferred.update(ch for word in neg for ch in word)
+        if alphabet is None:
+            chars: Tuple[str, ...] = tuple(sorted(inferred))
+        else:
+            chars = tuple(alphabet)
+            if len(set(chars)) != len(chars):
+                raise InvalidSpecError("alphabet contains duplicates: %r" % (chars,))
+            missing = inferred - set(chars)
+            if missing:
+                raise InvalidSpecError(
+                    "alphabet %r does not cover example characters %r"
+                    % (chars, sorted(missing))
+                )
+        object.__setattr__(self, "positive", tuple(pos))
+        object.__setattr__(self, "negative", tuple(neg))
+        object.__setattr__(self, "alphabet", chars)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_examples(self) -> int:
+        """Total number of examples ``#(P ∪ N)``."""
+        return len(self.positive) + len(self.negative)
+
+    @property
+    def all_words(self) -> Tuple[str, ...]:
+        """``P ∪ N`` as a tuple (positives first)."""
+        return self.positive + self.negative
+
+    def is_satisfied_by(self, regex) -> bool:
+        """``r |= (P, N)``: accepts every positive, rejects every negative."""
+        from .regex.derivatives import satisfies
+
+        return satisfies(regex, self.positive, self.negative)
+
+    def errors_of(self, regex) -> int:
+        """Number of examples ``regex`` classifies incorrectly."""
+        from .regex.derivatives import matches
+
+        wrong = sum(1 for word in self.positive if not matches(regex, word))
+        wrong += sum(1 for word in self.negative if matches(regex, word))
+        return wrong
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable representation."""
+        return {
+            "positive": list(self.positive),
+            "negative": list(self.negative),
+            "alphabet": list(self.alphabet),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Spec":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            positive=list(data["positive"]),
+            negative=list(data["negative"]),
+            alphabet=list(data["alphabet"]) if data.get("alphabet") else None,
+        )
+
+    def to_json(self) -> str:
+        """Serialise to a JSON string."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Spec":
+        """Parse a spec from :meth:`to_json` output."""
+        return cls.from_dict(json.loads(text))
+
+    def __str__(self) -> str:
+        def show(words: Tuple[str, ...]) -> str:
+            return ", ".join("ε" if not w else w for w in words)
+
+        return "P = {%s}; N = {%s}" % (show(self.positive), show(self.negative))

@@ -1,0 +1,33 @@
+"""Benchmark suites: the paper's Type 1/Type 2 random schemes and the
+reconstructed AlphaRegex 25-task suite."""
+
+from .alpharegex_suite import ALPHAREGEX_TASKS, SuiteTask, easy_tasks, task_by_name
+from .from_regex import spec_from_regex
+from .generator import (
+    GeneratedBenchmark,
+    PAPER_TYPE1_PARAMS,
+    PAPER_TYPE2_PARAMS,
+    SCALED_TYPE1_PARAMS,
+    SCALED_TYPE2_PARAMS,
+    SuiteParams,
+    generate_suite,
+    generate_type1,
+    generate_type2,
+)
+
+__all__ = [
+    "ALPHAREGEX_TASKS",
+    "SuiteTask",
+    "easy_tasks",
+    "task_by_name",
+    "spec_from_regex",
+    "GeneratedBenchmark",
+    "PAPER_TYPE1_PARAMS",
+    "PAPER_TYPE2_PARAMS",
+    "SCALED_TYPE1_PARAMS",
+    "SCALED_TYPE2_PARAMS",
+    "SuiteParams",
+    "generate_suite",
+    "generate_type1",
+    "generate_type2",
+]

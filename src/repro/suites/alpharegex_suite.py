@@ -1,0 +1,163 @@
+"""The 25 classic AlphaRegex benchmarks (Table 2 of the paper),
+reconstructed.
+
+The paper compares Paresy against AlphaRegex on the 25 introductory-
+automata tasks of Lee et al. [2016/2017].  The artifact's exact example
+strings are not reproduced in the paper, but the task *concepts* are the
+classic textbook binary-language exercises.  Each task here carries a
+ground-truth predicate; its example set is generated deterministically:
+the first ``n_pos`` positive and ``n_neg`` negative words in shortlex
+order with lengths in ``1..max_len`` (``ε`` excluded, mirroring
+AlphaRegex's inability to handle the empty string that the paper
+notes).
+
+The reconstruction is documented as a substitution in DESIGN.md §2.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Tuple
+
+from ..spec import Spec
+
+
+@dataclass(frozen=True)
+class SuiteTask:
+    """One reconstructed AlphaRegex benchmark."""
+
+    number: int
+    name: str
+    description: str
+    target: str
+    predicate: Callable[[str], bool] = field(compare=False)
+    #: Tasks the paper reports as infeasible at some scale (no6, no9,
+    #: no14 in Table 2): kept in the suite, skipped by quick harnesses.
+    hard: bool = False
+
+    def build_spec(
+        self,
+        n_pos: int = 10,
+        n_neg: int = 10,
+        max_len: int = 7,
+        include_epsilon: bool = False,
+        clamp: bool = False,
+    ) -> Spec:
+        """Deterministic example set for this task.
+
+        Takes the first ``n_pos``/``n_neg`` matching/non-matching binary
+        words in shortlex order (lengths ``1..max_len``, or ``0..`` with
+        ``include_epsilon``).  Raises if either class cannot be filled —
+        unless ``clamp`` is set, in which case the class is shrunk to
+        whatever exists (e.g. "length ≥ 3" has only six short negatives).
+        """
+        positives, negatives = [], []
+        min_len = 0 if include_epsilon else 1
+        for length in range(min_len, max_len + 1):
+            for letters in itertools.product("01", repeat=length):
+                word = "".join(letters)
+                if self.predicate(word):
+                    if len(positives) < n_pos:
+                        positives.append(word)
+                else:
+                    if len(negatives) < n_neg:
+                        negatives.append(word)
+            if len(positives) >= n_pos and len(negatives) >= n_neg:
+                break
+        if len(positives) < n_pos or len(negatives) < n_neg:
+            if not clamp:
+                raise ValueError(
+                    "task %s: not enough examples with max_len=%d"
+                    % (self.name, max_len)
+                )
+            if not positives or not negatives:
+                raise ValueError(
+                    "task %s: a class is empty even with max_len=%d"
+                    % (self.name, max_len)
+                )
+        return Spec(positives, negatives, alphabet=("0", "1"))
+
+
+def _count(word: str, symbol: str) -> int:
+    return word.count(symbol)
+
+
+ALPHAREGEX_TASKS: Tuple[SuiteTask, ...] = (
+    SuiteTask(1, "no1", "strings starting with 0", "0(0+1)*",
+              lambda w: w.startswith("0")),
+    SuiteTask(2, "no2", "strings ending with 01", "(0+1)*01",
+              lambda w: w.endswith("01")),
+    SuiteTask(3, "no3", "strings containing 0101", "(0+1)*0101(0+1)*",
+              lambda w: "0101" in w, hard=True),
+    SuiteTask(4, "no4", "strings starting with 1 and ending with 0",
+              "1(0+1)*0", lambda w: w.startswith("1") and w.endswith("0")),
+    SuiteTask(5, "no5", "strings of even length", "((0+1)(0+1))*",
+              lambda w: len(w) % 2 == 0),
+    SuiteTask(6, "no6", "number of 0s divisible by 3",
+              "(1*01*01*0)*1*", lambda w: _count(w, "0") % 3 == 0, hard=True),
+    SuiteTask(7, "no7", "strings with at least two 1s",
+              "0*10*1(0+1)*", lambda w: _count(w, "1") >= 2),
+    SuiteTask(8, "no8", "strings of length at least 3",
+              "(0+1)(0+1)(0+1)(0+1)*", lambda w: len(w) >= 3),
+    SuiteTask(9, "no9", "even number of 0s and even number of 1s",
+              "(00+11+(01+10)(00+11)*(01+10))*",
+              lambda w: _count(w, "0") % 2 == 0 and _count(w, "1") % 2 == 0,
+              hard=True),
+    SuiteTask(10, "no10", "strings without substring 00",
+              "1*(011*)*0?", lambda w: "00" not in w),
+    SuiteTask(11, "no11", "strings ending with 0", "(0+1)*0",
+              lambda w: w.endswith("0")),
+    SuiteTask(12, "no12", "strings containing 11", "(0+1)*11(0+1)*",
+              lambda w: "11" in w),
+    SuiteTask(13, "no13", "every 1 immediately followed by a 0",
+              "(0+10)*", lambda w: all(
+                  ch != "1" or (i + 1 < len(w) and w[i + 1] == "0")
+                  for i, ch in enumerate(w))),
+    SuiteTask(14, "no14", "strings starting with 0 or ending with 1",
+              "0(0+1)*+(0+1)*1",
+              lambda w: w.startswith("0") or w.endswith("1"), hard=True),
+    SuiteTask(15, "no15", "strings of odd length", "(0+1)((0+1)(0+1))*",
+              lambda w: len(w) % 2 == 1),
+    SuiteTask(16, "no16", "first symbol equals last symbol",
+              "0(0+1)*0+1(0+1)*1+0+1",
+              lambda w: len(w) >= 1 and w[0] == w[-1], hard=True),
+    SuiteTask(17, "no17", "strings with at most one 1", "0*1?0*",
+              lambda w: _count(w, "1") <= 1),
+    SuiteTask(18, "no18", "strings containing 010", "(0+1)*010(0+1)*",
+              lambda w: "010" in w),
+    SuiteTask(19, "no19", "strings with exactly one 0", "1*01*",
+              lambda w: _count(w, "0") == 1),
+    SuiteTask(20, "no20", "strings starting with a doubled symbol",
+              "(00+11)(0+1)*",
+              lambda w: len(w) >= 2 and w[0] == w[1]),
+    SuiteTask(21, "no21", "strings containing 101", "(0+1)*101(0+1)*",
+              lambda w: "101" in w),
+    SuiteTask(22, "no22", "even number of 1s", "(0*10*1)*0*",
+              lambda w: _count(w, "1") % 2 == 0, hard=True),
+    SuiteTask(23, "no23", "all 1s before all 0s", "1*0*",
+              lambda w: "01" not in w),
+    SuiteTask(24, "no24", "strings of length at most 3",
+              "(0+1)?(0+1)?(0+1)?", lambda w: len(w) <= 3),
+    # The paper's footnote notes that the regex Paresy synthesises for
+    # no25 (``0+((1+00)(0+1))*``) meets the examples but *not* the English
+    # description (it accepts 1111); the target below is the faithful one.
+    SuiteTask(25, "no25", "at most one pair of consecutive 1s",
+              "(0+10)*1?+(0+10)*11(0+01)*",
+              lambda w: sum(
+                  1 for i in range(len(w) - 1) if w[i] == w[i + 1] == "1"
+              ) <= 1, hard=True),
+)
+
+
+def task_by_name(name: str) -> SuiteTask:
+    """Look a task up by its ``noK`` name."""
+    for task in ALPHAREGEX_TASKS:
+        if task.name == name:
+            return task
+    raise KeyError(name)
+
+
+def easy_tasks() -> Tuple[SuiteTask, ...]:
+    """The tasks quick harnesses run (the paper's feasible subset)."""
+    return tuple(task for task in ALPHAREGEX_TASKS if not task.hard)

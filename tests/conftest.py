@@ -1,0 +1,79 @@
+"""Shared fixtures and hypothesis strategies for the test-suite."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import strategies as st
+
+from repro.regex.ast import (
+    Char,
+    Concat,
+    EMPTY,
+    EPSILON,
+    Question,
+    Star,
+    Union,
+)
+from repro.spec import Spec
+
+
+@pytest.fixture
+def intro_spec() -> Spec:
+    """The paper's introduction example (target ``10(0+1)*``)."""
+    return Spec(
+        positive=["10", "101", "100", "1010", "1011", "1000", "1001"],
+        negative=["", "0", "1", "00", "11", "010"],
+    )
+
+
+@pytest.fixture
+def example36_spec() -> Spec:
+    """The paper's Example 3.6 specification (target ``(0?1)*1``-ish)."""
+    return Spec(
+        positive=["1", "011", "1011", "11011"],
+        negative=["", "10", "101", "0011"],
+    )
+
+
+@pytest.fixture
+def tiny_spec() -> Spec:
+    """A very small spec every backend solves instantly."""
+    return Spec(positive=["0", "00"], negative=["", "1"])
+
+
+def regexes(alphabet: str = "01", max_leaves: int = 6):
+    """Hypothesis strategy for hole-free regular expressions."""
+    leaves = st.one_of(
+        st.sampled_from([EMPTY, EPSILON]),
+        st.sampled_from([Char(ch) for ch in alphabet]),
+    )
+    return st.recursive(
+        leaves,
+        lambda inner: st.one_of(
+            st.builds(Star, inner),
+            st.builds(Question, inner),
+            st.builds(Concat, inner, inner),
+            st.builds(Union, inner, inner),
+        ),
+        max_leaves=max_leaves,
+    )
+
+
+def words(alphabet: str = "01", max_size: int = 6):
+    """Hypothesis strategy for words over ``alphabet``."""
+    return st.text(alphabet=alphabet, max_size=max_size)
+
+
+def small_specs(alphabet: str = "01", max_len: int = 4, max_each: int = 5):
+    """Hypothesis strategy for small valid specifications."""
+
+    def build(pos, neg):
+        neg = [w for w in neg if w not in set(pos)]
+        return Spec(pos, neg, alphabet=tuple(alphabet))
+
+    word = words(alphabet, max_len)
+    return st.builds(
+        build,
+        st.lists(word, min_size=1, max_size=max_each),
+        st.lists(word, min_size=0, max_size=max_each),
+    )

@@ -1,0 +1,141 @@
+"""AlphaRegex baseline tests: correctness, pruning soundness, budgets,
+and agreement with Paresy on optimal costs."""
+
+import pytest
+
+from repro import ALPHAREGEX_COST, CostFunction, Spec, synthesize
+from repro.baselines.alpharegex import (
+    AlphaRegexSynthesizer,
+    _replace_leftmost,
+    _substitute_holes,
+    alpharegex_synthesize,
+)
+from repro.regex.ast import (
+    Char,
+    Concat,
+    EMPTY,
+    EPSILON,
+    HOLE,
+    Question,
+    Star,
+    Union,
+)
+from repro.regex.parser import parse
+
+
+class TestHoleMechanics:
+    def test_replace_leftmost_simple(self):
+        assert _replace_leftmost(HOLE, Char("0")) == Char("0")
+
+    def test_replace_leftmost_picks_left_hole(self):
+        state = Union(HOLE, HOLE)
+        replaced = _replace_leftmost(state, Char("0"))
+        assert replaced == Union(Char("0"), HOLE)
+
+    def test_replace_leftmost_descends(self):
+        state = Concat(Star(Char("0")), Union(Char("1"), HOLE))
+        replaced = _replace_leftmost(state, EPSILON)
+        assert replaced == Concat(Star(Char("0")), Union(Char("1"), EPSILON))
+
+    def test_replace_without_hole_raises(self):
+        with pytest.raises(ValueError):
+            _replace_leftmost(Char("0"), Char("1"))
+
+    def test_substitute_all_holes(self):
+        state = Union(HOLE, Concat(HOLE, Char("0")))
+        out = _substitute_holes(state, EMPTY)
+        assert out == Union(EMPTY, Concat(EMPTY, Char("0")))
+
+
+class TestSynthesis:
+    def test_trivial_empty(self):
+        result = alpharegex_synthesize(Spec([], ["0"]))
+        assert result.found
+        assert result.regex == EMPTY
+
+    def test_trivial_epsilon(self):
+        result = alpharegex_synthesize(Spec([""], ["0"]))
+        assert result.found
+        assert result.regex == EPSILON
+
+    def test_single_char(self):
+        spec = Spec(["0"], ["", "1", "00"])
+        result = alpharegex_synthesize(spec)
+        assert result.found
+        assert result.regex_str == "0"
+
+    def test_intro_example(self, intro_spec):
+        result = alpharegex_synthesize(intro_spec)
+        assert result.found
+        assert intro_spec.is_satisfied_by(result.regex)
+        # Under the (5,...,5) scale the minimum is 40 (Paresy agrees).
+        assert result.cost == 40
+
+    def test_result_is_always_precise(self):
+        specs = [
+            Spec(["0", "00"], ["", "1"]),
+            Spec(["01", "0011"], ["", "0", "1"]),
+            Spec(["1", "10", "100"], ["", "0"]),
+        ]
+        for spec in specs:
+            result = alpharegex_synthesize(spec)
+            assert result.found
+            assert spec.is_satisfied_by(result.regex)
+
+    def test_agrees_with_paresy_on_cost(self):
+        spec = Spec(["0", "00", "000"], ["", "1", "01"])
+        ours = synthesize(spec, cost_fn=ALPHAREGEX_COST)
+        theirs = alpharegex_synthesize(spec)
+        assert ours.found and theirs.found
+        assert ours.cost == theirs.cost
+
+
+class TestPruning:
+    def test_pruning_counters_grow(self, intro_spec):
+        result = alpharegex_synthesize(intro_spec)
+        assert result.pruned_over > 0
+        assert result.pruned_under > 0
+
+    def test_pruning_is_sound_for_precision(self):
+        # Many specs; pruning must never lose *all* solutions.
+        specs = [
+            Spec(["10"], ["01", ""]),
+            Spec(["0", "1"], [""]),
+            Spec(["11", "1111"], ["", "1", "111"]),
+        ]
+        for spec in specs:
+            result = alpharegex_synthesize(spec)
+            assert result.found, str(spec)
+
+    def test_subsumption_pruning_option_runs(self, tiny_spec):
+        result = alpharegex_synthesize(
+            tiny_spec, example_subsumption_pruning=True
+        )
+        assert result.found
+        assert tiny_spec.is_satisfied_by(result.regex)
+
+
+class TestBudgets:
+    def test_checked_budget(self, intro_spec):
+        result = alpharegex_synthesize(intro_spec, max_checked=1)
+        assert result.status == "budget"
+        assert result.regex is None
+
+    def test_expanded_budget(self, intro_spec):
+        result = alpharegex_synthesize(intro_spec, max_expanded=5)
+        assert result.status == "budget"
+
+    def test_counters_present(self, intro_spec):
+        result = alpharegex_synthesize(intro_spec)
+        assert result.expanded > result.checked >= 1
+        assert result.elapsed_seconds >= 0.0
+
+
+class TestCostOrdering:
+    def test_returns_minimal_with_nonuniform_costs(self):
+        spec = Spec(["0", "00"], ["", "1", "10"])
+        cost_fn = CostFunction.from_tuple((2, 1, 3, 2, 4))
+        ar = alpharegex_synthesize(spec, cost_fn=cost_fn)
+        paresy = synthesize(spec, cost_fn=cost_fn)
+        assert ar.found
+        assert ar.cost == paresy.cost

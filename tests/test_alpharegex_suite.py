@@ -1,0 +1,74 @@
+"""Reconstructed AlphaRegex-suite tests."""
+
+import pytest
+
+from repro.regex.derivatives import matches
+from repro.regex.parser import parse
+from repro.suites.alpharegex_suite import (
+    ALPHAREGEX_TASKS,
+    easy_tasks,
+    task_by_name,
+)
+
+
+class TestSuiteShape:
+    def test_twenty_five_tasks(self):
+        assert len(ALPHAREGEX_TASKS) == 25
+        assert [t.number for t in ALPHAREGEX_TASKS] == list(range(1, 26))
+
+    def test_lookup(self):
+        assert task_by_name("no9").description.startswith("even number")
+        with pytest.raises(KeyError):
+            task_by_name("no99")
+
+    def test_easy_subset_excludes_hard(self):
+        easy = easy_tasks()
+        assert all(not t.hard for t in easy)
+        assert len(easy) == 25 - 7
+
+
+class TestTargetsMatchPredicates:
+    """Every task's documented target regex agrees with its predicate on
+    all binary words up to length 7 — the suite is internally coherent."""
+
+    @pytest.mark.parametrize("task", ALPHAREGEX_TASKS,
+                             ids=[t.name for t in ALPHAREGEX_TASKS])
+    def test_target_agrees(self, task):
+        import itertools
+
+        target = parse(task.target)
+        for length in range(0, 8):
+            for letters in itertools.product("01", repeat=length):
+                word = "".join(letters)
+                assert matches(target, word) == task.predicate(word), word
+
+
+class TestBuildSpec:
+    def test_counts_and_exclusion_of_epsilon(self):
+        spec = task_by_name("no1").build_spec(n_pos=8, n_neg=8)
+        assert len(spec.positive) == 8
+        assert len(spec.negative) == 8
+        assert "" not in spec.all_words
+
+    def test_epsilon_opt_in(self):
+        spec = task_by_name("no5").build_spec(include_epsilon=True)
+        assert "" in spec.positive  # even length includes ε
+
+    def test_labels_respect_predicate(self):
+        task = task_by_name("no11")
+        spec = task.build_spec()
+        assert all(task.predicate(w) for w in spec.positive)
+        assert not any(task.predicate(w) for w in spec.negative)
+
+    def test_deterministic(self):
+        task = task_by_name("no2")
+        assert task.build_spec() == task.build_spec()
+
+    def test_infeasible_counts_raise(self):
+        with pytest.raises(ValueError):
+            task_by_name("no1").build_spec(n_pos=10_000, max_len=3)
+
+    def test_all_tasks_build(self):
+        for task in ALPHAREGEX_TASKS:
+            spec = task.build_spec(n_pos=6, n_neg=6, max_len=7)
+            assert spec.n_examples == 12

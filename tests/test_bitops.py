@@ -1,0 +1,103 @@
+"""Bit-kernel tests: the scalar and packed kernels against the IPS /
+regex-semantics oracles."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import regexes
+from repro.core.bitops import (
+    concat_cs,
+    concat_cs_naive,
+    int_to_lanes,
+    lanes_to_int,
+    popcount,
+    popcount_rows,
+    question_cs,
+    star_cs,
+    union_cs,
+)
+from repro.language.guide_table import GuideTable
+from repro.language.universe import Universe
+from repro.regex.ast import Concat, Question, Star, Union
+
+
+@pytest.fixture(scope="module")
+def setting():
+    universe = Universe(["0110", "1001", "111", "00"])
+    return universe, GuideTable(universe)
+
+
+class TestPopcount:
+    @given(st.integers(min_value=0, max_value=1 << 200))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_bin_count(self, value):
+        assert popcount(value) == bin(value).count("1")
+
+
+class TestScalarKernelsAgainstRegexSemantics:
+    @given(regexes(max_leaves=4), regexes(max_leaves=4))
+    @settings(max_examples=60, deadline=None)
+    def test_concat(self, r, s):
+        universe = Universe(["0110", "1001", "111"])
+        guide = GuideTable(universe)
+        lhs = concat_cs(
+            universe.cs_of_regex(r), universe.cs_of_regex(s), guide
+        )
+        assert lhs == universe.cs_of_regex(Concat(r, s))
+
+    @given(regexes(max_leaves=4))
+    @settings(max_examples=50, deadline=None)
+    def test_star(self, r):
+        universe = Universe(["0110", "1001", "111"])
+        guide = GuideTable(universe)
+        lhs = star_cs(universe.cs_of_regex(r), guide, universe)
+        assert lhs == universe.cs_of_regex(Star(r))
+
+    @given(regexes(max_leaves=4), regexes(max_leaves=4))
+    @settings(max_examples=40, deadline=None)
+    def test_union_and_question(self, r, s):
+        universe = Universe(["0110", "111"])
+        lhs = union_cs(universe.cs_of_regex(r), universe.cs_of_regex(s))
+        assert lhs == universe.cs_of_regex(Union(r, s))
+        lhs = question_cs(universe.cs_of_regex(r), universe)
+        assert lhs == universe.cs_of_regex(Question(r))
+
+
+class TestNaiveConcatAgreesWithGuideTable:
+    @given(st.integers(min_value=0), st.integers(min_value=0))
+    @settings(max_examples=60, deadline=None)
+    def test_agreement(self, a, b):
+        universe = Universe(["0101", "110"])
+        guide = GuideTable(universe)
+        left = a & universe.full_mask
+        right = b & universe.full_mask
+        assert concat_cs(left, right, guide) == concat_cs_naive(
+            left, right, universe
+        )
+
+
+class TestLanePacking:
+    @given(st.integers(min_value=0, max_value=(1 << 192) - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip(self, cs):
+        lanes = int_to_lanes(cs, 3)
+        assert lanes.dtype == np.uint64
+        assert lanes_to_int(lanes) == cs
+
+    def test_single_lane(self):
+        assert lanes_to_int(int_to_lanes(0, 1)) == 0
+        assert lanes_to_int(int_to_lanes(2**63, 1)) == 2**63
+
+
+class TestPopcountRows:
+    def test_matches_scalar_popcount(self):
+        values = [0, 1, 2**64 - 1, (1 << 100) | 7]
+        matrix = np.stack([int_to_lanes(v, 2) for v in values])
+        counts = popcount_rows(matrix)
+        assert list(counts) == [popcount(v) for v in values]
+
+    def test_empty_matrix(self):
+        matrix = np.zeros((0, 2), dtype=np.uint64)
+        assert popcount_rows(matrix).shape == (0,)

@@ -1,0 +1,92 @@
+"""Bit-parallel (Glushkov/Shift-And) contains-check tests, cross-checked
+against the derivative matcher — the third independent matcher."""
+
+from hypothesis import given, settings
+
+from conftest import regexes, words
+from repro.regex.bitparallel import (
+    GlushkovAutomaton,
+    bitparallel_matches,
+    compile_pattern,
+    find_all,
+)
+from repro.regex.derivatives import matches
+from repro.regex.parser import parse
+
+
+class TestGlushkovStructure:
+    def test_positions_count_char_occurrences(self):
+        automaton = compile_pattern(parse("0(0+1)*0"))
+        assert automaton.n_positions == 4
+
+    def test_nullable(self):
+        assert compile_pattern(parse("0*")).nullable
+        assert compile_pattern(parse("0?1?")).nullable
+        assert not compile_pattern(parse("0")).nullable
+
+    def test_empty_regex(self):
+        automaton = compile_pattern(parse("∅"))
+        assert automaton.n_positions == 0
+        assert not automaton.accepts("")
+        assert not automaton.accepts("0")
+
+    def test_epsilon_regex(self):
+        automaton = compile_pattern(parse("ε"))
+        assert automaton.accepts("")
+        assert not automaton.accepts("0")
+
+    def test_transition_memoisation(self):
+        automaton = compile_pattern(parse("(01)*"))
+        automaton.accepts("010101")
+        visited = automaton.count_states_visited()
+        automaton.accepts("010101")
+        assert automaton.count_states_visited() == visited
+
+
+class TestAcceptance:
+    def test_intro_regex(self):
+        automaton = compile_pattern(parse("10(0+1)*"))
+        for word in ("10", "101", "1011", "1000"):
+            assert automaton.accepts(word)
+        for word in ("", "0", "1", "01", "010"):
+            assert not automaton.accepts(word)
+
+    def test_unknown_symbol(self):
+        assert not compile_pattern(parse("0*")).accepts("x")
+
+    @given(regexes(max_leaves=7), words(max_size=6))
+    @settings(max_examples=150, deadline=None)
+    def test_agrees_with_derivative_matcher(self, regex, word):
+        assert bitparallel_matches(regex, word) == matches(regex, word)
+
+    def test_wide_pattern_beyond_64_positions(self):
+        # 70 literal positions: masks exceed one machine word; Python
+        # ints keep the construction exact.
+        pattern = parse("0" * 70)
+        automaton = compile_pattern(pattern)
+        assert automaton.n_positions == 70
+        assert automaton.accepts("0" * 70)
+        assert not automaton.accepts("0" * 69)
+
+
+class TestFindAll:
+    def test_extraction(self):
+        spans = find_all(parse("10"), "110100")
+        assert spans == [(1, 3), (3, 5)]
+
+    def test_nullable_pattern_matches_everywhere(self):
+        spans = find_all(parse("1*"), "011")
+        assert (0, 0) in spans
+        assert (1, 3) in spans
+
+    def test_no_matches(self):
+        assert find_all(parse("11"), "000") == []
+
+    @given(regexes(max_leaves=5), words(max_size=5))
+    @settings(max_examples=60, deadline=None)
+    def test_spans_are_sound_and_complete(self, regex, text):
+        spans = set(find_all(regex, text))
+        for start in range(len(text) + 1):
+            for end in range(start, len(text) + 1):
+                expected = matches(regex, text[start:end])
+                assert ((start, end) in spans) == expected

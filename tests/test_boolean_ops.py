@@ -1,0 +1,77 @@
+"""Boolean CS/IPS operations (Def. 3.5's negation/conjunction remark),
+verified against DFA products and complements."""
+
+import pytest
+from hypothesis import given, settings
+
+from conftest import regexes
+from repro.core.bitops import intersect_cs, negate_cs
+from repro.language.universe import Universe
+from repro.regex import dfa
+from repro.regex.derivatives import matches
+from repro.semiring.ips import IPSSpace
+from repro.semiring.semiring import BOOLEAN, NATURAL
+
+
+@pytest.fixture(scope="module")
+def universe():
+    return Universe(["0110", "1001", "111"])
+
+
+class TestCSOps:
+    @given(regexes(max_leaves=5), regexes(max_leaves=5))
+    @settings(max_examples=40, deadline=None)
+    def test_intersection_matches_dfa_product(self, r, s):
+        universe = Universe(["0110", "1001", "111"])
+        cs = intersect_cs(universe.cs_of_regex(r), universe.cs_of_regex(s))
+        expected = universe.cs_of_predicate(
+            lambda w: matches(r, w) and matches(s, w)
+        )
+        assert cs == expected
+
+    @given(regexes(max_leaves=5))
+    @settings(max_examples=40, deadline=None)
+    def test_negation_matches_complement(self, r):
+        universe = Universe(["0110", "1001", "111"])
+        cs = negate_cs(universe.cs_of_regex(r), universe)
+        expected = universe.cs_of_predicate(lambda w: not matches(r, w))
+        assert cs == expected
+
+    def test_double_negation(self, universe):
+        cs = universe.cs_of(["0", "11", "0110"])
+        assert negate_cs(negate_cs(cs, universe), universe) == cs
+
+    def test_de_morgan(self, universe):
+        a = universe.cs_of(["0", "01"])
+        b = universe.cs_of(["01", "111"])
+        lhs = negate_cs(intersect_cs(a, b), universe)
+        rhs = negate_cs(a, universe) | negate_cs(b, universe)
+        assert lhs == rhs
+
+
+class TestIPSOps:
+    def test_conjunction(self, universe):
+        space = IPSSpace(universe, BOOLEAN)
+        a = space.of_words(["0", "01", "111"])
+        b = space.of_words(["01", "111", "10"])
+        assert set((a.conjunction(b)).support) == {"01", "111"}
+
+    def test_negation(self, universe):
+        space = IPSSpace(universe, BOOLEAN)
+        a = space.of_words(["0"])
+        negated = a.negation()
+        assert "0" not in negated.support
+        assert "" in negated.support
+        assert a.negation().negation() == a
+
+    def test_negation_requires_boolean(self, universe):
+        space = IPSSpace(universe, NATURAL)
+        with pytest.raises(ValueError):
+            space.one().negation()
+
+    def test_conjunction_distributes_over_sum(self, universe):
+        space = IPSSpace(universe, BOOLEAN)
+        a = space.of_words(["0", "01"])
+        b = space.of_words(["01", "111"])
+        c = space.of_words(["0", "111"])
+        assert a.conjunction(b + c) == a.conjunction(b) + a.conjunction(c)

@@ -1,0 +1,57 @@
+"""Brute-force baseline tests."""
+
+from repro import CostFunction, Spec
+from repro.baselines.bruteforce import bruteforce_synthesize
+from repro.regex.ast import EMPTY, EPSILON
+
+
+class TestTrivials:
+    def test_empty_language(self):
+        result = bruteforce_synthesize(Spec([], ["0"]))
+        assert result.found and result.regex == EMPTY
+
+    def test_epsilon(self):
+        result = bruteforce_synthesize(Spec([""], ["1"]))
+        assert result.found and result.regex == EPSILON
+
+    def test_char(self):
+        result = bruteforce_synthesize(Spec(["1"], ["", "0"]))
+        assert result.found and result.regex_str == "1"
+
+
+class TestSearch:
+    def test_finds_star(self):
+        spec = Spec(["", "0", "00", "000"], ["1", "01"])
+        result = bruteforce_synthesize(spec)
+        assert result.found
+        assert result.regex_str == "0*"
+        assert result.cost == 2
+
+    def test_finds_union(self):
+        spec = Spec(["0", "1"], ["", "00", "11"])
+        result = bruteforce_synthesize(spec)
+        assert result.found
+        assert result.cost == 3  # 0+1
+
+    def test_result_is_precise(self):
+        spec = Spec(["01", "0101"], ["", "0", "1", "10"])
+        result = bruteforce_synthesize(spec)
+        assert result.found
+        assert spec.is_satisfied_by(result.regex)
+
+    def test_not_found_within_budget(self):
+        spec = Spec(["010101"], ["01"])
+        result = bruteforce_synthesize(spec, max_cost=3)
+        assert not result.found
+        assert result.status == "not_found"
+
+    def test_checked_counter(self):
+        result = bruteforce_synthesize(Spec(["0"], ["1"]))
+        assert result.checked >= 3  # ∅, ε, then chars
+
+    def test_nonuniform_cost(self):
+        spec = Spec(["", "0"], ["1"])
+        cost_fn = CostFunction.from_tuple((1, 5, 9, 1, 1))
+        result = bruteforce_synthesize(spec, cost_fn=cost_fn, max_cost=12)
+        assert result.found
+        assert cost_fn.cost(result.regex) == result.cost

@@ -1,0 +1,93 @@
+"""Language-cache tests: level index, int cache, packed cache."""
+
+import numpy as np
+import pytest
+
+from repro.core.cache import IntCache, LevelIndex, PackedCache
+
+
+class TestLevelIndex:
+    def test_mark_and_bounds(self):
+        levels = LevelIndex()
+        levels.mark(1, 0, 2)
+        levels.mark(3, 2, 7)
+        assert levels.bounds(1) == (0, 2)
+        assert levels.bounds(3) == (2, 7)
+        assert levels.bounds(2) is None
+        assert levels.costs() == (1, 3)
+        assert levels.last_complete_cost == 3
+        assert levels.size_of(3) == 5
+        assert levels.size_of(99) == 0
+
+    def test_double_mark_rejected(self):
+        levels = LevelIndex()
+        levels.mark(1, 0, 1)
+        with pytest.raises(ValueError):
+            levels.mark(1, 1, 2)
+
+    def test_decreasing_cost_rejected(self):
+        levels = LevelIndex()
+        levels.mark(5, 0, 1)
+        with pytest.raises(ValueError):
+            levels.mark(3, 1, 2)
+
+    def test_empty_levels_allowed(self):
+        levels = LevelIndex()
+        levels.mark(1, 0, 0)
+        assert levels.size_of(1) == 0
+        assert levels.last_complete_cost == 1
+
+    def test_initially_no_complete_cost(self):
+        assert LevelIndex().last_complete_cost is None
+
+
+class TestIntCache:
+    def test_append_returns_indices(self):
+        cache = IntCache()
+        assert cache.append(5, 2, 0, -1) == 0
+        assert cache.append(9, 3, 0, -1) == 1
+        assert cache.cs_at(0) == 5
+        assert cache.provenance[1] == (3, 0, -1)
+        assert len(cache) == 2
+
+    def test_capacity(self):
+        cache = IntCache(max_size=2)
+        assert not cache.is_full
+        cache.append(1, 0, 0, -1)
+        cache.append(2, 0, 0, -1)
+        assert cache.is_full
+
+    def test_unbounded_never_full(self):
+        cache = IntCache()
+        cache.append(1, 0, 0, -1)
+        assert not cache.is_full
+
+
+class TestPackedCache:
+    def test_append_and_read(self):
+        cache = PackedCache(lanes=2)
+        row = np.array([7, 1], dtype=np.uint64)
+        index = cache.append_row(row, 5, 3, 4)
+        assert index == 0
+        assert list(cache.row(0)) == [7, 1]
+        assert cache.provenance[0] == (5, 3, 4)
+
+    def test_growth_preserves_rows(self):
+        cache = PackedCache(lanes=1)
+        for value in range(200):
+            cache.append_row(np.array([value], dtype=np.uint64), 0, value, -1)
+        assert len(cache) == 200
+        assert int(cache.row(123)[0]) == 123
+        assert cache.matrix.shape[0] >= 200
+
+    def test_rows_view(self):
+        cache = PackedCache(lanes=1)
+        for value in range(10):
+            cache.append_row(np.array([value], dtype=np.uint64), 0, value, -1)
+        view = cache.rows(2, 5)
+        assert [int(v[0]) for v in view] == [2, 3, 4]
+
+    def test_capacity(self):
+        cache = PackedCache(lanes=1, max_size=1)
+        cache.append_row(np.zeros(1, dtype=np.uint64), 0, 0, -1)
+        assert cache.is_full

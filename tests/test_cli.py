@@ -1,0 +1,59 @@
+"""CLI tests (fast subcommands only)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_synth_args(self):
+        args = build_parser().parse_args(
+            ["synth", "--pos", "0", "--neg", "1", "--backend", "cpu"]
+        )
+        assert args.pos == ["0"]
+        assert args.backend == "cpu"
+
+
+class TestSynthCommand:
+    def test_success_exit_code(self, capsys):
+        code = main(["synth", "--pos", "0", "00", "--neg", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "status     : success" in out
+        assert "regex" in out
+
+    def test_not_found_exit_code(self, capsys):
+        code = main(["synth", "--pos", "0101", "--neg", "01",
+                     "--max-generated", "5"])
+        assert code == 1
+
+    def test_error_flag(self, capsys):
+        code = main(["synth", "--pos", "0", "1", "--neg", "00",
+                     "--error", "0.4"])
+        assert code == 0
+
+    def test_cost_flag(self, capsys):
+        code = main(["synth", "--pos", "0", "--neg", "1",
+                     "--cost", "(5,5,5,5,5)"])
+        assert code == 0
+        assert "cost       : 5" in capsys.readouterr().out
+
+
+class TestSuiteCommand:
+    def test_prints_benchmarks(self, capsys):
+        code = main(["suite", "--type", "2", "--count", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.count("T2-") == 3
+
+
+class TestErrorTableCommand:
+    def test_small_sweep(self, capsys):
+        code = main(["error-table", "--errors", "50", "45"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "∅" in out

@@ -1,0 +1,50 @@
+"""Reporting/rendering tests."""
+
+from repro.eval.reporting import ascii_series_plot, render_markdown, render_table
+
+
+class TestRenderTable:
+    def test_alignment_and_title(self):
+        text = render_table(
+            ["name", "value"],
+            [["a", 1], ["long-name", 2.5]],
+            title="My Table",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "My Table"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert "-+-" in lines[2]
+        assert "2.5000" in text
+
+    def test_none_renders_as_na(self):
+        text = render_table(["x"], [[None]])
+        assert "N/A" in text
+
+    def test_empty_rows(self):
+        text = render_table(["a", "b"], [])
+        assert "a" in text
+
+
+class TestRenderMarkdown:
+    def test_structure(self):
+        text = render_markdown(["h1", "h2"], [["x", 1]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "### T"
+        assert lines[2].startswith("| h1 ")
+        assert lines[3].startswith("|---")
+        assert lines[4] == "| x | 1 |"
+
+
+class TestAsciiPlot:
+    def test_no_data(self):
+        assert ascii_series_plot([None, None]) == "(no data)"
+
+    def test_plot_dimensions(self):
+        text = ascii_series_plot([0.1, 0.5, 1.0], height=5, label="xs")
+        lines = text.splitlines()
+        assert len(lines) == 5 + 2  # bars + axis + label
+        assert "xs" in lines[-1]
+
+    def test_gaps_are_blank(self):
+        text = ascii_series_plot([1.0, None, 1.0], height=3)
+        assert " " in text.splitlines()[0]

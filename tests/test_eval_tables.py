@@ -1,0 +1,136 @@
+"""Table-regeneration tests on tiny configurations.
+
+These exercise every experiment path end-to-end; the real-scale runs
+live in benchmarks/ and are recorded in EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.eval.figures import figure1
+from repro.eval.tables import (
+    ERROR_TABLE_SPEC,
+    ablation_cache_capacity,
+    ablation_guide_table,
+    ablation_uniqueness,
+    error_table,
+    outlier_table,
+    table1,
+    table2,
+)
+from repro.spec import Spec
+from repro.suites.alpharegex_suite import task_by_name
+
+
+class TestTable1:
+    def test_tiny_run(self):
+        from repro.regex.cost import CostFunction
+
+        cfs = [CostFunction.uniform(), CostFunction.from_tuple((1, 1, 10, 1, 1))]
+        table = table1(pool_size=2, cost_functions=cfs,
+                       max_generated=40_000, base_seed=5)
+        # 2 types × 2 cost fns + average row
+        assert len(table.rows) == 5
+        rendered = table.render()
+        assert "Speed-up" in rendered
+        # every data row that completed reports a shared # REs column
+        for row in table.rows[:-1]:
+            if row[8] is not None:
+                assert row[8] > 0
+
+    def test_speedup_direction(self):
+        """The Table 1 shape: the vectorised engine wins on hard rows."""
+        from repro.regex.cost import CostFunction
+
+        table = table1(pool_size=3, cost_functions=[CostFunction.uniform()],
+                       max_generated=120_000, base_seed=2)
+        data_rows = [r for r in table.rows if r[5] is not None]
+        assert data_rows, "expected at least one completed row"
+        hard = [r for r in data_rows if r[8] and r[8] > 20_000]
+        for row in hard:
+            cpu_s, gpu_s = row[5], row[6]
+            assert cpu_s > gpu_s
+
+
+class TestTable2:
+    def test_three_tasks(self):
+        tasks = [task_by_name("no1"), task_by_name("no11"), task_by_name("no17")]
+        table = table2(tasks=tasks, n_pos=6, n_neg=6, max_len=6,
+                       paresy_budget=500_000, alpharegex_budget=20_000)
+        assert len(table.rows) == 3
+        for row in table.rows:
+            # Paresy cost never exceeds AlphaRegex's (minimality).
+            if row[4] is not None and row[5] is not None:
+                assert row[5] <= row[4]
+
+    def test_budget_rows_render_na(self):
+        tasks = [task_by_name("no9")]  # the paper's OOM task
+        table = table2(tasks=tasks, n_pos=6, n_neg=6, max_len=6,
+                       paresy_budget=2_000, alpharegex_budget=50)
+        rendered = table.render()
+        assert "N/A" in rendered
+
+
+class TestOutliers:
+    def test_percentages(self):
+        table = outlier_table([0.05, 0.2, 3.0, None], thresholds=(0.1, 1.0, 5.0))
+        row = table.rows[0]
+        assert row[1] == "25.00"   # only 0.05 under 0.1
+        assert row[2] == "50.00"   # 0.05 and 0.2 under 1.0
+        assert row[3] == "75.00"   # all but the None under 5.0
+
+    def test_empty(self):
+        table = outlier_table([])
+        assert table.rows[0][1] == "0.00"
+
+
+class TestErrorTable:
+    def test_paper_rows(self):
+        table = error_table(errors=(0.50, 0.40, 0.30))
+        rendered = table.render()
+        assert "∅" in rendered
+        assert "10?" in rendered
+        assert "(0+11)*1" in rendered
+
+    def test_budget_row_is_na(self):
+        table = error_table(errors=(0.0,), max_generated=1_000)
+        assert table.rows[0][1] is None
+
+
+class TestAblations:
+    def test_guide_table_ablation(self):
+        spec = Spec(["10", "100"], ["", "0", "1"])
+        table = ablation_guide_table(spec)
+        assert len(table.rows) == 2
+        # identical candidate counts and result with and without staging
+        assert table.rows[0][2] == table.rows[1][2]
+        assert table.rows[0][3] == table.rows[1][3]
+
+    def test_uniqueness_ablation(self):
+        spec = Spec(["10", "100"], ["", "0", "1"])
+        table = ablation_uniqueness(spec, max_generated=500_000)
+        on, off = table.rows
+        assert on[1] == "success"
+        # without deduplication the cache holds at least as many CSs
+        assert off[4] >= on[4]
+
+    def test_cache_capacity_ablation(self):
+        table = ablation_cache_capacity(
+            Spec(["10", "101", "100"], ["", "0", "1", "11"]),
+            capacities=(None, 50, 3),
+        )
+        statuses = [row[1] for row in table.rows]
+        assert statuses[0] == "success"
+        assert statuses[-1] == "oom"
+
+
+class TestFigure1Small:
+    def test_structure_and_render(self):
+        data = figure1(type1_count=2, type2_count=2, max_generated=60_000)
+        assert len(data.benchmark_names) == 4
+        assert len(data.cost_functions) == 12
+        rendered = data.render()
+        assert "Figure 1 summary" in rendered
+        sorted_data = data.sorted_by_uniform()
+        series = sorted_data.elapsed[(1, 1, 1, 1, 1)]
+        solved = [v for v in series if v is not None]
+        assert solved == sorted(solved)

@@ -1,0 +1,52 @@
+"""Smoke-tests: every example script must run to completion.
+
+The examples are part of the public deliverable; running them in-process
+(via runpy) keeps them from rotting as the API evolves.  The slowest
+example (the full AlphaRegex head-to-head) is exercised with a reduced
+task list instead of end-to-end.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "log_pattern_inference.py",
+    "cost_functions.py",
+    "error_tolerant.py",
+    "interactive_refinement.py",
+    "cache_visualization.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script, capsys):
+    runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), "example %s printed nothing" % script
+
+
+def test_quickstart_output_matches_paper(capsys):
+    runpy.run_path(str(EXAMPLES_DIR / "quickstart.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "10(0+1)*" in out
+    assert "precision verified" in out
+
+
+def test_alpharegex_comparison_one_task(capsys):
+    import importlib.util
+
+    spec = importlib.util.spec_from_file_location(
+        "alpharegex_comparison", EXAMPLES_DIR / "alpharegex_comparison.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    module.TASKS = ["no1"]
+    module.main()
+    out = capsys.readouterr().out
+    assert "no1" in out

@@ -1,0 +1,89 @@
+"""Formal-power-series tests (Def. 2.9): semantics and semiring laws."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import words
+from repro.semiring.fps import FPS
+from repro.semiring.semiring import BOOLEAN, NATURAL
+
+
+def _bool_series(max_words: int = 4):
+    return st.builds(
+        lambda ws: FPS.of_language(ws, BOOLEAN),
+        st.lists(words(max_size=3), max_size=max_words),
+    )
+
+
+class TestBasics:
+    def test_zero_and_one(self):
+        zero = FPS.zero(BOOLEAN)
+        one = FPS.one(BOOLEAN)
+        assert zero("") is False
+        assert one("") is True
+        assert one("0") is False
+        assert zero.support == frozenset()
+        assert one.support == frozenset({""})
+
+    def test_zero_coefficients_dropped(self):
+        series = FPS(NATURAL, {"a": 0, "b": 2})
+        assert series.support == frozenset({"b"})
+
+    def test_call_outside_support(self):
+        series = FPS.of_word(BOOLEAN, "01")
+        assert series("01") is True
+        assert series("0") is False
+
+    def test_mixing_semirings_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            FPS.one(BOOLEAN) + FPS.one(NATURAL)
+
+
+class TestProduct:
+    def test_product_is_concatenation(self):
+        a = FPS.of_language(["0", "1"], BOOLEAN)
+        b = FPS.of_language(["0"], BOOLEAN)
+        assert (a * b).support == frozenset({"00", "10"})
+
+    def test_product_counts_derivations_in_nat(self):
+        # "aa"·"a" + "a"·"aa" gives coefficient 2 for "aaa".
+        a = FPS(NATURAL, {"a": 1, "aa": 1})
+        b = FPS(NATURAL, {"a": 1, "aa": 1})
+        assert (a * b)("aaa") == 2
+
+    def test_one_is_multiplicative_identity(self):
+        series = FPS.of_language(["01", "1"], BOOLEAN)
+        assert series * FPS.one(BOOLEAN) == series
+        assert FPS.one(BOOLEAN) * series == series
+
+    @given(_bool_series(), _bool_series(), _bool_series())
+    @settings(max_examples=40, deadline=None)
+    def test_semiring_laws_on_series(self, a, b, c):
+        assert (a + b) + c == a + (b + c)
+        assert a + b == b + a
+        assert (a * b) * c == a * (b * c)
+        assert a * (b + c) == a * b + a * c
+        assert (a + b) * c == a * c + b * c
+        assert a + FPS.zero(BOOLEAN) == a
+        assert a * FPS.zero(BOOLEAN) == FPS.zero(BOOLEAN)
+
+
+class TestStar:
+    def test_star_of_single_char(self):
+        series = FPS.of_word(BOOLEAN, "a")
+        star = series.star_truncated(3)
+        assert star.support == frozenset({"", "a", "aa", "aaa"})
+
+    def test_star_ignores_epsilon_coefficient(self):
+        series = FPS.of_language(["", "a"], BOOLEAN)
+        assert series.star_truncated(2).support == frozenset({"", "a", "aa"})
+
+    def test_star_of_zero_is_one(self):
+        assert FPS.zero(BOOLEAN).star_truncated(4) == FPS.one(BOOLEAN)
+
+    def test_star_truncation_bound(self):
+        series = FPS.of_word(BOOLEAN, "ab")
+        star = series.star_truncated(5)
+        assert star.support == frozenset({"", "ab", "abab"})

@@ -1,0 +1,69 @@
+"""Tests for deriving specifications from a target regex."""
+
+import pytest
+from hypothesis import given, settings
+
+from conftest import regexes
+from repro import synthesize
+from repro.regex.cost import CostFunction
+from repro.regex.derivatives import matches
+from repro.regex.parser import parse
+from repro.suites.from_regex import spec_from_regex
+
+
+class TestConstruction:
+    def test_labels_respect_target(self):
+        target = parse("10(0+1)*")
+        spec = spec_from_regex(target, "01", n_pos=6, n_neg=6)
+        assert all(matches(target, w) for w in spec.positive)
+        assert not any(matches(target, w) for w in spec.negative)
+
+    def test_shortlex_prefix_when_unseeded(self):
+        spec = spec_from_regex(parse("0*"), "01", n_pos=3, n_neg=3)
+        assert spec.positive == ("", "0", "00")
+        assert spec.negative == ("1", "01", "10")
+
+    def test_seeded_sampling_is_deterministic(self):
+        a = spec_from_regex(parse("(0+1)*1"), "01", seed=4)
+        b = spec_from_regex(parse("(0+1)*1"), "01", seed=4)
+        assert a == b
+        c = spec_from_regex(parse("(0+1)*1"), "01", seed=5)
+        assert a != c
+
+    def test_epsilon_exclusion(self):
+        spec = spec_from_regex(parse("0*"), "01", n_pos=3, n_neg=3,
+                               include_epsilon=False)
+        assert "" not in spec.all_words
+
+    def test_unfillable_class_raises(self):
+        with pytest.raises(ValueError):
+            spec_from_regex(parse("(0+1)*"), "01", n_neg=1)
+
+    def test_ternary_alphabet(self):
+        spec = spec_from_regex(parse("a(b+c)*"), "abc", n_pos=5, n_neg=5)
+        assert set(spec.alphabet) == {"a", "b", "c"}
+
+
+class TestRoundTripThroughSynthesis:
+    def test_synthesis_recovers_a_consistent_regex(self):
+        target = parse("10(0+1)*")
+        spec = spec_from_regex(target, "01", n_pos=8, n_neg=8)
+        result = synthesize(spec)
+        assert result.found
+        assert spec.is_satisfied_by(result.regex)
+
+    @given(regexes(max_leaves=4))
+    @settings(max_examples=10, deadline=None)
+    def test_random_targets_yield_solvable_specs(self, target):
+        try:
+            spec = spec_from_regex(target, "01", n_pos=3, n_neg=3, max_len=4)
+        except ValueError:
+            return  # target too universal/empty to label both classes
+        result = synthesize(spec, cost_fn=CostFunction.uniform())
+        assert result.found
+        assert spec.is_satisfied_by(result.regex)
+        # the optimum never costs more than the (simplified) target
+        from repro.regex.simplify import simplify
+
+        target_cost = CostFunction.uniform().cost(simplify(target))
+        assert result.cost <= max(target_cost, 1)

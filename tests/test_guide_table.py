@@ -1,0 +1,75 @@
+"""Guide-table tests: completeness and correctness of precomputed splits."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import words
+from repro.language.guide_table import GuideTable
+from repro.language.universe import Universe
+
+
+class TestSplits:
+    def test_epsilon_has_single_split(self):
+        universe = Universe(["0"])
+        guide = GuideTable(universe)
+        eps = universe.eps_index
+        assert guide[eps] == ((eps, eps),)
+
+    def test_split_count_is_length_plus_one(self):
+        universe = Universe(["0101"])
+        guide = GuideTable(universe)
+        for index, word in enumerate(universe.words):
+            assert len(guide[index]) == len(word) + 1
+
+    def test_paper_110_example(self):
+        # §3: the guide-table row for "110" includes the split (11, 0).
+        universe = Universe(["110"])
+        guide = GuideTable(universe)
+        row = guide[universe.index["110"]]
+        pairs = {(universe.words[i], universe.words[j]) for i, j in row}
+        assert pairs == {("", "110"), ("1", "10"), ("11", "0"), ("110", "")}
+
+    def test_all_split_halves_are_universe_words(self):
+        universe = Universe(["0110", "101"])
+        guide = GuideTable(universe)
+        for index, word in enumerate(universe.words):
+            for i, j in guide[index]:
+                assert universe.words[i] + universe.words[j] == word
+
+    @given(st.lists(words(max_size=5), min_size=1, max_size=3))
+    @settings(max_examples=50, deadline=None)
+    def test_splits_complete_and_sound(self, base):
+        universe = Universe(base, alphabet=("0", "1"))
+        guide = GuideTable(universe)
+        for index, word in enumerate(universe.words):
+            expected = {
+                (word[:cut], word[cut:]) for cut in range(len(word) + 1)
+            }
+            actual = {
+                (universe.words[i], universe.words[j])
+                for i, j in guide[index]
+            }
+            assert actual == expected
+
+
+class TestFlatView:
+    def test_flat_matches_nested(self):
+        universe = Universe(["0101", "11"])
+        guide = GuideTable(universe)
+        flat = guide.flat
+        assert flat.offsets[0] == 0
+        assert flat.offsets[-1] == guide.n_splits
+        for w, pairs in enumerate(guide.splits):
+            lo, hi = flat.offsets[w], flat.offsets[w + 1]
+            rebuilt = list(zip(flat.left_index[lo:hi], flat.right_index[lo:hi]))
+            assert [(int(i), int(j)) for i, j in rebuilt] == list(pairs)
+
+    def test_flat_is_cached(self):
+        guide = GuideTable(Universe(["01"]))
+        assert guide.flat is guide.flat
+
+    def test_dtypes(self):
+        flat = GuideTable(Universe(["0011"])).flat
+        assert flat.offsets.dtype == np.int64
+        assert flat.left_index.dtype == np.int64

@@ -1,0 +1,91 @@
+"""WarpCore-substitute hash set tests, incl. model-based properties."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.hashset import FingerprintHashSet, fingerprint, splitmix64
+
+
+class TestSplitmix:
+    def test_deterministic(self):
+        assert splitmix64(42) == splitmix64(42)
+
+    def test_stays_in_64_bits(self):
+        for value in (0, 1, 2**63, 2**64 - 1):
+            assert 0 <= splitmix64(value) < 2**64
+
+    def test_avalanche_on_nearby_inputs(self):
+        a, b = splitmix64(1), splitmix64(2)
+        assert bin(a ^ b).count("1") > 16
+
+
+class TestFingerprint:
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            fingerprint(-1)
+
+    def test_wide_keys_fold_lanes(self):
+        narrow = fingerprint(123)
+        wide = fingerprint(123 + (1 << 200))
+        assert narrow != wide
+
+    @given(st.integers(min_value=0, max_value=1 << 300))
+    @settings(max_examples=80, deadline=None)
+    def test_in_range(self, key):
+        assert 0 <= fingerprint(key) < 2**64
+
+
+class TestHashSet:
+    def test_insert_reports_new(self):
+        hs = FingerprintHashSet()
+        assert hs.insert(7) is True
+        assert hs.insert(7) is False
+        assert hs.insert(8) is True
+        assert len(hs) == 2
+
+    def test_contains(self):
+        hs = FingerprintHashSet()
+        hs.insert(5)
+        assert 5 in hs
+        assert 6 not in hs
+
+    def test_capacity_is_power_of_two(self):
+        hs = FingerprintHashSet(initial_capacity=1000)
+        assert hs.capacity == 1024
+
+    def test_growth(self):
+        hs = FingerprintHashSet(initial_capacity=4)
+        for key in range(100):
+            hs.insert(key)
+        assert len(hs) == 100
+        assert all(key in hs for key in range(100))
+        assert hs.capacity >= 100 / 0.6
+
+    def test_bad_load_factor(self):
+        with pytest.raises(ValueError):
+            FingerprintHashSet(max_load=1.5)
+
+    def test_iteration(self):
+        hs = FingerprintHashSet()
+        for key in (3, 1, 4, 1, 5):
+            hs.insert(key)
+        assert sorted(hs) == [1, 3, 4, 5]
+
+    def test_wide_keys(self):
+        hs = FingerprintHashSet()
+        big = (1 << 500) | 3
+        assert hs.insert(big)
+        assert not hs.insert(big)
+        assert big in hs
+
+    @given(st.lists(st.integers(min_value=0, max_value=1 << 150), max_size=300))
+    @settings(max_examples=40, deadline=None)
+    def test_model_matches_builtin_set(self, keys):
+        hs = FingerprintHashSet(initial_capacity=4)
+        model = set()
+        for key in keys:
+            assert hs.insert(key) == (key not in model)
+            model.add(key)
+        assert len(hs) == len(model)
+        assert sorted(hs) == sorted(model)

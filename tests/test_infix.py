@@ -1,0 +1,94 @@
+"""Infix-closure and shortlex tests (Defs. 2.2/2.5), incl. properties."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import words
+from repro.language.infix import (
+    all_infixes,
+    infix_closure,
+    is_infix_closed,
+    shortlex_key,
+    sort_shortlex,
+)
+
+
+class TestAllInfixes:
+    def test_empty_word(self):
+        assert all_infixes("") == {""}
+
+    def test_single_char(self):
+        assert all_infixes("a") == {"", "a"}
+
+    def test_paper_example_heterogeneity(self):
+        # ic({aaa, aa}) is smaller than ic({abc, de}) (§4.3).
+        assert infix_closure(["aaa", "aa"]) == {"aaa", "aa", "a", ""}
+        assert infix_closure(["abc", "de"]) == {
+            "abc", "ab", "bc", "de", "a", "b", "c", "d", "e", "",
+        }
+
+    def test_count_for_distinct_characters(self):
+        # A word with n distinct characters has n(n+1)/2 + 1 infixes.
+        assert len(all_infixes("abcd")) == 4 * 5 // 2 + 1
+
+
+class TestInfixClosure:
+    def test_empty_set(self):
+        assert infix_closure([]) == {""}
+
+    def test_always_contains_epsilon(self):
+        assert "" in infix_closure(["01"])
+
+    def test_example36(self):
+        # The paper's Example 3.6: ic(P ∪ N) has exactly 15 elements.
+        words_ = ["1", "011", "1011", "11011", "", "10", "101", "0011"]
+        closure = infix_closure(words_)
+        expected = {
+            "11011", "1101", "110", "11", "1011", "101", "10", "1",
+            "011", "01", "0011", "001", "00", "0", "",
+        }
+        assert closure == expected
+
+    def test_is_infix_closed(self):
+        assert is_infix_closed({"", "a", "aa"})
+        assert not is_infix_closed({"aa"})
+        assert is_infix_closed(infix_closure(["0101", "11"]))
+
+    @given(st.lists(words(max_size=5), max_size=5))
+    @settings(max_examples=60, deadline=None)
+    def test_closure_is_a_closure_operator(self, word_list):
+        closure = infix_closure(word_list)
+        # extensive
+        assert set(word_list) <= closure
+        # closed
+        assert is_infix_closed(closure)
+        # idempotent
+        assert infix_closure(closure) == closure
+
+    @given(st.lists(words(max_size=4), max_size=4),
+           st.lists(words(max_size=4), max_size=4))
+    @settings(max_examples=40, deadline=None)
+    def test_monotone(self, smaller, extra):
+        assert infix_closure(smaller) <= infix_closure(smaller + extra)
+
+
+class TestShortlex:
+    def test_sorts_by_length_first(self):
+        out = sort_shortlex(["11", "0", "", "1", "00"], "01")
+        assert out == ["", "0", "1", "00", "11"]
+
+    def test_respects_alphabet_order(self):
+        assert sort_shortlex(["a", "b"], "ba") == ["b", "a"]
+
+    def test_deduplicates(self):
+        assert sort_shortlex(["0", "0", "1"], "01") == ["0", "1"]
+
+    @given(st.lists(words(max_size=5), min_size=2, max_size=8))
+    @settings(max_examples=60, deadline=None)
+    def test_total_order(self, word_list):
+        rank = {"0": 0, "1": 1}
+        out = sort_shortlex(word_list, "01")
+        keys = [shortlex_key(w, rank) for w in out]
+        assert keys == sorted(keys)
+        # strictly increasing (duplicates removed)
+        assert all(a < b for a, b in zip(keys, keys[1:]))

@@ -1,0 +1,118 @@
+"""Infix-power-series tests (Def. 3.5).
+
+The decisive property: over the Boolean semiring, IPS operations agree
+with regex semantics restricted to the universe — `cs_of_regex` is the
+oracle.  The optimised engines are tested against IPS in turn (see
+test_bitops.py), closing the verification chain.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import regexes
+from repro.language.universe import Universe
+from repro.regex.ast import Concat, Question, Star, Union
+from repro.semiring.ips import IPS, IPSSpace
+from repro.semiring.semiring import BOOLEAN, NATURAL
+
+
+@pytest.fixture
+def space():
+    universe = Universe(["1", "011", "1011", "11011", "", "10", "101", "0011"])
+    return IPSSpace(universe, BOOLEAN)
+
+
+class TestBasics:
+    def test_zero_and_one(self, space):
+        assert space.zero().support == ()
+        assert space.one().support == ("",)
+
+    def test_of_char_absent_from_universe(self):
+        universe = Universe(["0"], alphabet=("0", "1"))
+        space = IPSSpace(universe, BOOLEAN)
+        assert space.of_char("1") == space.zero()
+
+    def test_wrong_length_rejected(self, space):
+        with pytest.raises(ValueError):
+            IPS(space, (True,))
+
+    def test_cs_roundtrip(self, space):
+        series = space.of_words(["1", "11", "011"])
+        assert space.from_cs(series.to_cs()) == series
+
+    def test_mixing_spaces_rejected(self, space):
+        other = IPSSpace(Universe(["0"]), BOOLEAN)
+        with pytest.raises(ValueError):
+            space.one() + other.one()
+
+
+class TestAgainstRegexSemantics:
+    @given(regexes(max_leaves=5), regexes(max_leaves=5))
+    @settings(max_examples=50, deadline=None)
+    def test_sum_is_union(self, r, s):
+        universe = Universe(["0110", "1001", "111"])
+        space = IPSSpace(universe, BOOLEAN)
+        lhs = (space.from_cs(universe.cs_of_regex(r))
+               + space.from_cs(universe.cs_of_regex(s)))
+        assert lhs.to_cs() == universe.cs_of_regex(Union(r, s))
+
+    @given(regexes(max_leaves=4), regexes(max_leaves=4))
+    @settings(max_examples=50, deadline=None)
+    def test_product_is_concatenation(self, r, s):
+        universe = Universe(["0110", "1001", "111"])
+        space = IPSSpace(universe, BOOLEAN)
+        lhs = (space.from_cs(universe.cs_of_regex(r))
+               * space.from_cs(universe.cs_of_regex(s)))
+        assert lhs.to_cs() == universe.cs_of_regex(Concat(r, s))
+
+    @given(regexes(max_leaves=4))
+    @settings(max_examples=50, deadline=None)
+    def test_star_is_kleene_star(self, r):
+        universe = Universe(["0110", "1001", "111"])
+        space = IPSSpace(universe, BOOLEAN)
+        lhs = space.from_cs(universe.cs_of_regex(r)).star()
+        assert lhs.to_cs() == universe.cs_of_regex(Star(r))
+
+    @given(regexes(max_leaves=4))
+    @settings(max_examples=30, deadline=None)
+    def test_question_is_option(self, r):
+        universe = Universe(["0110", "111"])
+        space = IPSSpace(universe, BOOLEAN)
+        lhs = space.from_cs(universe.cs_of_regex(r)).question()
+        assert lhs.to_cs() == universe.cs_of_regex(Question(r))
+
+
+class TestAlgebraicLaws:
+    def test_product_distributes_over_sum(self, space):
+        a = space.of_words(["1", "01"])
+        b = space.of_words(["0", "10"])
+        c = space.of_words(["", "11"])
+        assert a * (b + c) == a * b + a * c
+
+    def test_one_is_identity(self, space):
+        a = space.of_words(["101", "0"])
+        assert a * space.one() == a
+        assert space.one() * a == a
+
+    def test_zero_annihilates(self, space):
+        a = space.of_words(["101", "0"])
+        assert a * space.zero() == space.zero()
+
+    def test_star_fixpoint_equation(self, space):
+        # r* = ε + r·r*  (restricted to the universe)
+        r = space.of_words(["1", "10"])
+        star = r.star()
+        assert star == space.one() + r * star
+
+
+class TestNaturalSemiringIPS:
+    def test_counts_split_ambiguity(self):
+        universe = Universe(["aa"])
+        space = IPSSpace(universe, NATURAL)
+        # ({a} ∪ {aa})·({a} ∪ {aa}): "aa" = a·a, so coefficient 1;
+        # with r = {ε,a}: "a" has two derivations ε·a and a·ε.
+        r = IPS(space, [1 if w in ("", "a") else 0 for w in universe.words])
+        product = r * r
+        assert product("a") == 2
+        assert product("") == 1

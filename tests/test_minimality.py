@@ -1,0 +1,56 @@
+"""Minimality: Paresy's optimum must match the independent brute-force
+syntactic enumerator on small instances, under several cost functions."""
+
+import pytest
+from hypothesis import given, settings
+
+from conftest import small_specs
+from repro import CostFunction, Spec, synthesize
+from repro.baselines.bruteforce import bruteforce_synthesize
+
+
+FIXED_SPECS = [
+    Spec(["0"], ["", "1"]),
+    Spec(["01", "0101"], ["", "0", "1"]),
+    Spec(["", "0", "00"], ["1", "01"]),
+    Spec(["1", "11", "111"], ["", "0"]),
+    Spec(["10", "100"], ["", "0", "01"]),
+    Spec(["a", "ab"], ["", "b"]),
+]
+
+
+@pytest.mark.parametrize("spec", FIXED_SPECS, ids=[str(s) for s in FIXED_SPECS])
+@pytest.mark.parametrize("backend", ["scalar", "vector"])
+def test_fixed_specs_match_bruteforce(spec, backend):
+    brute = bruteforce_synthesize(spec, max_cost=8)
+    assert brute.found, "brute force must solve these within cost 8"
+    result = synthesize(spec, backend=backend)
+    assert result.found
+    assert result.cost == brute.cost
+    assert spec.is_satisfied_by(result.regex)
+
+
+@pytest.mark.parametrize(
+    "cost_tuple",
+    [(1, 1, 1, 1, 1), (2, 1, 1, 1, 1), (1, 2, 3, 1, 2), (1, 1, 5, 1, 1)],
+)
+def test_nonuniform_costs_match_bruteforce(cost_tuple):
+    cost_fn = CostFunction.from_tuple(cost_tuple)
+    spec = Spec(["0", "00"], ["", "1", "10"])
+    brute = bruteforce_synthesize(spec, cost_fn=cost_fn, max_cost=14)
+    result = synthesize(spec, cost_fn=cost_fn)
+    assert brute.found and result.found
+    assert result.cost == brute.cost
+
+
+@given(small_specs(max_len=3, max_each=3))
+@settings(max_examples=20, deadline=None)
+def test_random_specs_match_bruteforce(spec):
+    brute = bruteforce_synthesize(spec, max_cost=7)
+    result = synthesize(spec)
+    assert result.found
+    if brute.found:
+        assert result.cost == brute.cost
+    else:
+        # brute force gave up at cost 7, so the optimum must be above it
+        assert result.cost > 7

@@ -1,0 +1,81 @@
+"""OnTheFly-mode tests (§3): capacity limits, graceful degradation,
+preserved minimality, and the out-of-memory verdict."""
+
+import pytest
+
+from repro import CostFunction, Spec, synthesize
+
+
+@pytest.fixture
+def medium_spec():
+    return Spec(
+        positive=["10", "101", "100", "1010", "1011"],
+        negative=["", "0", "1", "00", "11", "010"],
+    )
+
+
+@pytest.mark.parametrize("backend", ["scalar", "vector"])
+class TestCapacitySweep:
+    def test_unbounded_reference(self, medium_spec, backend):
+        result = synthesize(medium_spec, backend=backend)
+        assert result.found
+        self.reference_cost = result.cost
+
+    def test_generous_capacity_still_succeeds(self, medium_spec, backend):
+        reference = synthesize(medium_spec, backend=backend)
+        capped = synthesize(medium_spec, backend=backend,
+                            max_cache_size=reference.unique_cs)
+        assert capped.found
+        assert capped.cost == reference.cost
+
+    def test_moderate_capacity_preserves_minimality(self, medium_spec, backend):
+        """If a capped run still succeeds, its cost must equal the
+        unbounded optimum — OnTheFly never compromises minimality."""
+        reference = synthesize(medium_spec, backend=backend)
+        for capacity in (400, 150, 60, 25):
+            capped = synthesize(medium_spec, backend=backend,
+                                max_cache_size=capacity)
+            assert capped.status in ("success", "oom")
+            if capped.found:
+                assert capped.cost == reference.cost
+                assert medium_spec.is_satisfied_by(capped.regex)
+
+    def test_tiny_capacity_reports_oom(self, medium_spec, backend):
+        result = synthesize(medium_spec, backend=backend, max_cache_size=5)
+        assert result.status == "oom"
+        assert result.regex is None
+
+    def test_cache_never_exceeds_capacity(self, medium_spec, backend):
+        for capacity in (10, 50, 200):
+            result = synthesize(medium_spec, backend=backend,
+                                max_cache_size=capacity)
+            assert result.unique_cs <= capacity
+
+
+class TestOnTheFlyWindow:
+    def test_expensive_constructors_extend_the_window(self):
+        """§3: 'if the cost of all regular constructors is > 55, then the
+        algorithm needs only CSs of target cost minus 55' — with
+        expensive constructors OnTheFly survives more levels past the
+        point where the cache froze, so an expensive-constructor run can
+        succeed at a capacity where a cheap-constructor run cannot."""
+        spec = Spec(["10", "101", "100"], ["", "0", "1", "11"])
+        cheap = CostFunction.uniform()
+        pricey = CostFunction.from_tuple((1, 9, 9, 9, 9))
+        reference = synthesize(spec, cost_fn=pricey)
+        assert reference.found
+        capped = synthesize(spec, cost_fn=pricey,
+                            max_cache_size=reference.unique_cs // 2)
+        # min_constructor_cost = 9 gives a 9-level OnTheFly window.
+        assert capped.status in ("success", "oom")
+        assert pricey.min_constructor_cost == 9
+        assert cheap.min_constructor_cost == 1
+
+    def test_statistics_in_oom_runs(self):
+        spec = Spec(["0110", "1001"], ["", "0", "1", "01", "10", "11"])
+        result = synthesize(spec, max_cache_size=6)
+        assert result.status == "oom"
+        # It still did work before giving up, and the cache respected
+        # its bound.
+        assert result.generated > 0
+        assert result.unique_cs <= 6

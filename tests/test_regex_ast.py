@@ -1,0 +1,110 @@
+"""Unit tests for the regex AST module."""
+
+import pytest
+
+from repro.regex.ast import (
+    Char,
+    Concat,
+    EMPTY,
+    EPSILON,
+    HOLE,
+    Empty,
+    Epsilon,
+    Question,
+    Star,
+    Union,
+    alphabet_of,
+    concat_all,
+    count_holes,
+    depth,
+    has_hole,
+    literal,
+    size,
+    subterms,
+    union_all,
+)
+
+
+class TestNodes:
+    def test_char_requires_single_character(self):
+        with pytest.raises(ValueError):
+            Char("ab")
+        with pytest.raises(ValueError):
+            Char("")
+
+    def test_structural_equality(self):
+        assert Char("0") == Char("0")
+        assert Char("0") != Char("1")
+        assert Concat(Char("0"), Char("1")) == Concat(Char("0"), Char("1"))
+        assert Union(Char("0"), Char("1")) != Union(Char("1"), Char("0"))
+
+    def test_nodes_are_hashable(self):
+        seen = {EMPTY, EPSILON, Char("0"), Star(Char("0"))}
+        assert Star(Char("0")) in seen
+        assert Question(Char("0")) not in seen
+
+    def test_singletons(self):
+        assert EMPTY == Empty()
+        assert EPSILON == Epsilon()
+
+    def test_operator_sugar(self):
+        regex = Char("0") + Char("1")
+        assert regex == Union(Char("0"), Char("1"))
+        regex = Char("0") * Char("1")
+        assert regex == Concat(Char("0"), Char("1"))
+        assert Char("0").star() == Star(Char("0"))
+        assert Char("0").opt() == Question(Char("0"))
+
+
+class TestLiteral:
+    def test_empty_word_is_epsilon(self):
+        assert literal("") == EPSILON
+
+    def test_single_char(self):
+        assert literal("0") == Char("0")
+
+    def test_word(self):
+        assert literal("011") == Concat(Concat(Char("0"), Char("1")), Char("1"))
+
+
+class TestCombinators:
+    def test_union_all_empty(self):
+        assert union_all([]) == EMPTY
+
+    def test_union_all(self):
+        parts = [Char("0"), Char("1"), EPSILON]
+        assert union_all(parts) == Union(Union(Char("0"), Char("1")), EPSILON)
+
+    def test_concat_all_empty(self):
+        assert concat_all([]) == EPSILON
+
+    def test_concat_all(self):
+        parts = [Char("0"), Char("1")]
+        assert concat_all(parts) == Concat(Char("0"), Char("1"))
+
+
+class TestMeasures:
+    def test_size(self):
+        assert size(Char("0")) == 1
+        assert size(Star(Union(Char("0"), Char("1")))) == 4
+
+    def test_depth(self):
+        assert depth(Char("0")) == 1
+        assert depth(Star(Union(Char("0"), Char("1")))) == 3
+
+    def test_subterms_preorder(self):
+        regex = Concat(Char("0"), Star(Char("1")))
+        nodes = list(subterms(regex))
+        assert nodes[0] == regex
+        assert Char("0") in nodes
+        assert Star(Char("1")) in nodes
+        assert len(nodes) == 4
+
+    def test_alphabet_of(self):
+        regex = Union(Concat(Char("a"), Char("b")), Star(Char("a")))
+        assert alphabet_of(regex) == frozenset({"a", "b"})
+
+    def test_holes(self):
+        assert has_hole(HOLE)
+        assert not has_hole(Char("0"))
+        assert count_holes(Concat(HOLE, Union(HOLE, Char("0")))) == 2

@@ -1,0 +1,103 @@
+"""Unit tests for cost homomorphisms."""
+
+import pytest
+
+from repro.regex.ast import Char, Concat, EMPTY, EPSILON, HOLE, Question, Star, Union
+from repro.regex.cost import (
+    ALPHAREGEX_COST,
+    EVALUATION_COST_FUNCTIONS,
+    CostFunction,
+)
+from repro.regex.parser import parse
+
+
+class TestConstruction:
+    def test_uniform(self):
+        assert CostFunction.uniform().as_tuple() == (1, 1, 1, 1, 1)
+
+    def test_from_tuple_order_matches_paper(self):
+        cf = CostFunction.from_tuple((5, 2, 7, 2, 19))
+        assert cf.star == 7  # the paper's worked example: cost(*) = 7
+        assert cf.literal == 5
+        assert cf.question == 2
+        assert cf.concat == 2
+        assert cf.union == 19
+
+    def test_costs_must_be_positive(self):
+        with pytest.raises(ValueError):
+            CostFunction(0, 1, 1, 1, 1)
+        with pytest.raises(ValueError):
+            CostFunction(1, 1, -3, 1, 1)
+
+    def test_from_tuple_wrong_arity(self):
+        with pytest.raises(ValueError):
+            CostFunction.from_tuple((1, 2, 3))
+
+
+class TestCost:
+    def test_atoms_cost_c1(self):
+        cf = CostFunction.from_tuple((7, 1, 1, 1, 1))
+        assert cf.cost(EMPTY) == 7
+        assert cf.cost(EPSILON) == 7
+        assert cf.cost(Char("0")) == 7
+        assert cf.cost(HOLE) == 7
+
+    def test_homomorphism_equations(self):
+        cf = CostFunction.from_tuple((1, 2, 3, 4, 5))
+        r = Char("0")
+        assert cf.cost(Question(r)) == cf.cost(r) + 2
+        assert cf.cost(Star(r)) == cf.cost(r) + 3
+        assert cf.cost(Concat(r, r)) == 2 * cf.cost(r) + 4
+        assert cf.cost(Union(r, r)) == 2 * cf.cost(r) + 5
+
+    def test_paper_intro_example_cost(self):
+        # 10(0+1)* has cost 8 under (1,1,1,1,1).
+        assert CostFunction.uniform().cost(parse("10(0+1)*")) == 8
+
+    def test_alpharegex_scale(self):
+        # Same expression at 5x scale.
+        assert ALPHAREGEX_COST.cost(parse("10(0+1)*")) == 40
+
+
+class TestWordAndOverfitCosts:
+    def test_word_cost(self):
+        cf = CostFunction.uniform()
+        assert cf.word_cost("") == 1
+        assert cf.word_cost("0") == 1
+        assert cf.word_cost("011") == 3 + 2  # three chars, two concats
+
+    def test_overfit_cost_empty_positives(self):
+        assert CostFunction.uniform().overfit_cost([]) == 1  # ∅
+
+    def test_overfit_cost_only_epsilon(self):
+        assert CostFunction.uniform().overfit_cost([""]) == 1  # ε
+
+    def test_overfit_cost_mixture(self):
+        cf = CostFunction.uniform()
+        # ("0" + "11")? = cost(0) + cost(11) + union + question = 1+3+1+1
+        assert cf.overfit_cost(["", "0", "11"]) == 6
+
+    def test_overfit_cost_is_an_upper_bound(self):
+        from repro import Spec, synthesize
+
+        spec = Spec(positive=["0", "11"], negative=["1"])
+        result = synthesize(spec)
+        assert result.found
+        assert result.cost <= CostFunction.uniform().overfit_cost(spec.positive)
+
+
+class TestEvaluationCostFunctions:
+    def test_twelve_of_them(self):
+        assert len(EVALUATION_COST_FUNCTIONS) == 12
+
+    def test_first_is_uniform(self):
+        assert EVALUATION_COST_FUNCTIONS[0] == CostFunction.uniform()
+
+    def test_last_is_paper_mixed(self):
+        assert EVALUATION_COST_FUNCTIONS[-1].as_tuple() == (20, 20, 20, 5, 30)
+
+    def test_min_constructor_cost(self):
+        cf = CostFunction.from_tuple((1, 2, 3, 4, 5))
+        # min(question=2, star=3, concat+literal=5, union+literal=6) = 2
+        assert cf.min_constructor_cost == 2
+        assert CostFunction.uniform().min_constructor_cost == 1

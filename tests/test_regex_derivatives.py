@@ -1,0 +1,79 @@
+"""Derivative-matcher tests, cross-checked against the NFA simulator."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import regexes, words
+from repro.regex import nfa
+from repro.regex.ast import Char, Concat, EMPTY, EPSILON, Question, Star, Union
+from repro.regex.derivatives import (
+    derivative,
+    matches,
+    nullable,
+    satisfies,
+    word_derivative,
+)
+from repro.regex.parser import parse
+
+
+class TestDerivative:
+    def test_char_hit(self):
+        assert derivative(Char("0"), "0") == EPSILON
+
+    def test_char_miss(self):
+        assert derivative(Char("0"), "1") == EMPTY
+
+    def test_epsilon_and_empty(self):
+        assert derivative(EPSILON, "0") == EMPTY
+        assert derivative(EMPTY, "0") == EMPTY
+
+    def test_word_derivative_short_circuits(self):
+        assert word_derivative(Char("0"), "11") == EMPTY
+
+
+class TestMatches:
+    def test_intro_regex(self):
+        regex = parse("10(0+1)*")
+        for word in ("10", "101", "100", "1010", "1011", "1000", "1001"):
+            assert matches(regex, word)
+        for word in ("", "0", "1", "00", "11", "010"):
+            assert not matches(regex, word)
+
+    def test_example36_regex(self):
+        # Lang((0?1)*1) ∩ ic = {11011, 1011, 011, 11, 1} per the paper.
+        regex = parse("(0?1)*1")
+        for word in ("11011", "1011", "011", "11", "1"):
+            assert matches(regex, word)
+        for word in ("", "10", "101", "0011", "110"):
+            assert not matches(regex, word)
+
+    def test_star_matches_epsilon(self):
+        assert matches(parse("(01)*"), "")
+        assert matches(parse("(01)*"), "0101")
+        assert not matches(parse("(01)*"), "010")
+
+    def test_question(self):
+        assert matches(parse("0?1"), "1")
+        assert matches(parse("0?1"), "01")
+        assert not matches(parse("0?1"), "001")
+
+
+class TestSatisfies:
+    def test_positive_and_negative(self):
+        regex = parse("0*")
+        assert satisfies(regex, ["", "0", "00"], ["1", "01"])
+        assert not satisfies(regex, ["1"], [])
+        assert not satisfies(regex, ["0"], ["00"])
+
+
+class TestAgainstNFA:
+    @given(regexes(max_leaves=6), words(max_size=5))
+    @settings(max_examples=150, deadline=None)
+    def test_derivatives_agree_with_thompson_nfa(self, regex, word):
+        automaton = nfa.from_regex(regex)
+        assert matches(regex, word) == automaton.accepts(word)
+
+    @given(regexes(max_leaves=6))
+    @settings(max_examples=80, deadline=None)
+    def test_nullable_is_epsilon_membership(self, regex):
+        assert nullable(regex) == matches(regex, "")

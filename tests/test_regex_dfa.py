@@ -1,0 +1,117 @@
+"""DFA pipeline tests: determinisation, minimisation, products,
+equivalence, and cross-checks against the derivative matcher."""
+
+import pytest
+from hypothesis import given, settings
+
+from conftest import regexes, words
+from repro.regex import dfa
+from repro.regex.ast import Char, Star, Union
+from repro.regex.derivatives import matches
+from repro.regex.parser import parse
+
+
+class TestFromRegex:
+    def test_accepts_matches_semantics(self):
+        automaton = dfa.from_regex(parse("10(0+1)*"), "01")
+        assert automaton.accepts("10")
+        assert automaton.accepts("1011")
+        assert not automaton.accepts("")
+        assert not automaton.accepts("01")
+
+    def test_is_complete_over_given_alphabet(self):
+        automaton = dfa.from_regex(Char("0"), "01")
+        # every state has transitions for both symbols
+        for row in automaton.transitions:
+            assert set(row) == {"0", "1"}
+
+    def test_symbol_outside_alphabet_rejected(self):
+        automaton = dfa.from_regex(Char("0"), "01")
+        assert not automaton.accepts("x")
+
+
+class TestEmptinessAndComplement:
+    def test_empty(self):
+        assert dfa.from_regex(parse("∅"), "01").is_empty()
+        assert not dfa.from_regex(parse("0"), "01").is_empty()
+
+    def test_complement(self):
+        automaton = dfa.from_regex(parse("0*"), "01").complement()
+        assert automaton.accepts("1")
+        assert not automaton.accepts("00")
+
+
+class TestMinimize:
+    def test_minimal_dfa_for_even_zeros(self):
+        # Even number of 0s: minimal complete DFA has exactly 2 states.
+        automaton = dfa.from_regex(parse("(1*01*0)*1*"), "01")
+        minimal = dfa.minimize(automaton)
+        assert minimal.n_states == 2
+        assert minimal.accepts("00")
+        assert not minimal.accepts("0")
+
+    def test_minimization_preserves_language(self):
+        automaton = dfa.from_regex(parse("10(0+1)*"), "01")
+        minimal = dfa.minimize(automaton)
+        assert dfa.equivalent(automaton, minimal)
+        assert minimal.n_states <= automaton.n_states
+
+
+class TestProductsAndEquivalence:
+    def test_product_requires_same_alphabet(self):
+        a = dfa.from_regex(Char("0"), "0")
+        b = dfa.from_regex(Char("1"), "01")
+        with pytest.raises(ValueError):
+            dfa.product(a, b, "and")
+
+    def test_intersection(self):
+        a = dfa.from_regex(parse("0(0+1)*"), "01")   # starts with 0
+        b = dfa.from_regex(parse("(0+1)*1"), "01")   # ends with 1
+        both = dfa.product(a, b, "and")
+        assert both.accepts("01")
+        assert both.accepts("011")
+        assert not both.accepts("0")
+        assert not both.accepts("11")
+
+    def test_union_product(self):
+        a = dfa.from_regex(parse("00"), "01")
+        b = dfa.from_regex(parse("11"), "01")
+        either = dfa.product(a, b, "or")
+        assert either.accepts("00")
+        assert either.accepts("11")
+        assert not either.accepts("01")
+
+    def test_unknown_mode(self):
+        a = dfa.from_regex(Char("0"), "01")
+        with pytest.raises(ValueError):
+            dfa.product(a, a, "xor")
+
+    def test_regex_equivalence_classics(self):
+        assert dfa.regex_equivalent(parse("(0+1)*"), parse("(0*1*)*"), "01")
+        assert dfa.regex_equivalent(parse("0?"), parse("ε+0"), "01")
+        assert not dfa.regex_equivalent(parse("0*"), parse("0?"), "01")
+
+
+class TestEnumerateWords:
+    def test_shortlex_enumeration(self):
+        automaton = dfa.from_regex(parse("0*"), "01")
+        accepted = list(dfa.enumerate_words(automaton, 3))
+        assert accepted == ["", "0", "00", "000"]
+
+    def test_rejected_enumeration(self):
+        automaton = dfa.from_regex(parse("(0+1)*"), "01")
+        assert list(dfa.enumerate_words(automaton, 2, accepted=False)) == []
+
+
+class TestAgainstDerivatives:
+    @given(regexes(max_leaves=6), words(max_size=5))
+    @settings(max_examples=120, deadline=None)
+    def test_dfa_agrees_with_derivatives(self, regex, word):
+        automaton = dfa.from_regex(regex, "01")
+        assert automaton.accepts(word) == matches(regex, word)
+
+    @given(regexes(max_leaves=5))
+    @settings(max_examples=40, deadline=None)
+    def test_minimize_preserves_language_random(self, regex):
+        automaton = dfa.from_regex(regex, "01")
+        assert dfa.equivalent(automaton, dfa.minimize(automaton))

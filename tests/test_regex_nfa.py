@@ -1,0 +1,70 @@
+"""Thompson-construction NFA unit tests."""
+
+from repro.regex import nfa
+from repro.regex.ast import Char, Concat, EMPTY, EPSILON, Question, Star, Union
+from repro.regex.parser import parse
+
+
+class TestConstruction:
+    def test_empty_accepts_nothing(self):
+        automaton = nfa.from_regex(EMPTY)
+        assert not automaton.accepts("")
+        assert not automaton.accepts("0")
+
+    def test_epsilon_accepts_only_empty(self):
+        automaton = nfa.from_regex(EPSILON)
+        assert automaton.accepts("")
+        assert not automaton.accepts("0")
+
+    def test_char(self):
+        automaton = nfa.from_regex(Char("0"))
+        assert automaton.accepts("0")
+        assert not automaton.accepts("")
+        assert not automaton.accepts("1")
+        assert not automaton.accepts("00")
+
+    def test_concat(self):
+        automaton = nfa.from_regex(Concat(Char("0"), Char("1")))
+        assert automaton.accepts("01")
+        assert not automaton.accepts("0")
+        assert not automaton.accepts("10")
+
+    def test_union(self):
+        automaton = nfa.from_regex(Union(Char("0"), Char("1")))
+        assert automaton.accepts("0")
+        assert automaton.accepts("1")
+        assert not automaton.accepts("01")
+
+    def test_star(self):
+        automaton = nfa.from_regex(Star(Char("0")))
+        for word in ("", "0", "00", "000"):
+            assert automaton.accepts(word)
+        assert not automaton.accepts("01")
+
+    def test_question(self):
+        automaton = nfa.from_regex(Question(Char("0")))
+        assert automaton.accepts("")
+        assert automaton.accepts("0")
+        assert not automaton.accepts("00")
+
+    def test_nontrivial(self):
+        automaton = nfa.from_regex(parse("10(0+1)*"))
+        assert automaton.accepts("10")
+        assert automaton.accepts("1001")
+        assert not automaton.accepts("01")
+
+
+class TestStructure:
+    def test_alphabet(self):
+        automaton = nfa.from_regex(parse("0+1a"))
+        assert automaton.alphabet == frozenset({"0", "1", "a"})
+
+    def test_epsilon_closure_is_reflexive(self):
+        automaton = nfa.from_regex(parse("0"))
+        closure = automaton.epsilon_closure({automaton.start})
+        assert automaton.start in closure
+
+    def test_step_on_missing_symbol_is_empty(self):
+        automaton = nfa.from_regex(parse("0"))
+        start = automaton.epsilon_closure({automaton.start})
+        assert automaton.step(start, "x") == frozenset()

@@ -1,0 +1,105 @@
+"""Printer/parser unit tests and the round-trip property."""
+
+import pytest
+from hypothesis import given, settings
+
+from conftest import regexes
+from repro.regex.ast import (
+    Char,
+    Concat,
+    EMPTY,
+    EPSILON,
+    HOLE,
+    Question,
+    Star,
+    Union,
+)
+from repro.regex.parser import RegexSyntaxError, parse
+from repro.regex.printer import to_string
+
+
+class TestPrinter:
+    def test_atoms(self):
+        assert to_string(EMPTY) == "∅"
+        assert to_string(EPSILON) == "ε"
+        assert to_string(Char("0")) == "0"
+        assert to_string(HOLE) == "□"
+
+    def test_minimal_parentheses(self):
+        regex = Union(Char("0"), Star(Concat(Char("1"), Char("0"))))
+        assert to_string(regex) == "0+(10)*"
+
+    def test_union_in_concat_is_parenthesised(self):
+        regex = Concat(Char("1"), Union(Char("0"), Char("1")))
+        assert to_string(regex) == "1(0+1)"
+
+    def test_postfix_on_atom_needs_no_parens(self):
+        assert to_string(Star(Char("0"))) == "0*"
+        assert to_string(Question(Char("0"))) == "0?"
+
+    def test_postfix_on_union_is_parenthesised(self):
+        assert to_string(Star(Union(Char("0"), Char("1")))) == "(0+1)*"
+
+    def test_nested_postfix(self):
+        assert to_string(Star(Star(Char("0")))) == "0**"
+
+    def test_escapes_special_literals(self):
+        assert to_string(Char("+")) == "\\+"
+        assert to_string(Char("(")) == "\\("
+
+
+class TestParser:
+    def test_atoms(self):
+        assert parse("ε") == EPSILON
+        assert parse("∅") == EMPTY
+        assert parse("□") == HOLE
+        assert parse("a") == Char("a")
+
+    def test_union_is_left_associative(self):
+        assert parse("0+1+0") == Union(Union(Char("0"), Char("1")), Char("0"))
+
+    def test_pipe_is_union(self):
+        assert parse("0|1") == Union(Char("0"), Char("1"))
+
+    def test_concat_binds_tighter_than_union(self):
+        assert parse("01+1") == Union(Concat(Char("0"), Char("1")), Char("1"))
+
+    def test_postfix_binds_tightest(self):
+        assert parse("01*") == Concat(Char("0"), Star(Char("1")))
+        assert parse("(01)*") == Star(Concat(Char("0"), Char("1")))
+
+    def test_question(self):
+        assert parse("0?1") == Concat(Question(Char("0")), Char("1"))
+
+    def test_whitespace_ignored(self):
+        assert parse(" 0 + 1 ") == parse("0+1")
+
+    def test_escape(self):
+        assert parse("\\+") == Char("+")
+
+    def test_paper_intro_regex(self):
+        regex = parse("10(0+1)*")
+        assert to_string(regex) == "10(0+1)*"
+
+    @pytest.mark.parametrize(
+        "bad", ["", "(", ")", "0+", "*", "(0", "0)", "+1", "\\"]
+    )
+    def test_syntax_errors(self, bad):
+        with pytest.raises(RegexSyntaxError):
+            parse(bad)
+
+
+class TestRoundTrip:
+    @given(regexes(max_leaves=8))
+    @settings(max_examples=120, deadline=None)
+    def test_parse_inverts_print_up_to_associativity(self, regex):
+        from repro.regex.simplify import left_associate
+
+        assert parse(to_string(regex)) == left_associate(regex)
+
+    @given(regexes(max_leaves=8))
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_preserves_language(self, regex):
+        from repro.regex import dfa
+
+        assert dfa.regex_equivalent(parse(to_string(regex)), regex, "01")

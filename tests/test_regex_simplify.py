@@ -1,0 +1,96 @@
+"""Smart-constructor and simplification tests.
+
+The key invariant: simplification preserves the denoted language, which
+is checked against the DFA-equivalence oracle.
+"""
+
+from hypothesis import given, settings
+
+from conftest import regexes
+from repro.regex import dfa
+from repro.regex.ast import Char, Concat, EMPTY, EPSILON, Question, Star, Union
+from repro.regex.simplify import (
+    is_nullable,
+    simplify,
+    smart_concat,
+    smart_question,
+    smart_star,
+    smart_union,
+)
+
+
+class TestNullable:
+    def test_atoms(self):
+        assert is_nullable(EPSILON)
+        assert not is_nullable(EMPTY)
+        assert not is_nullable(Char("0"))
+
+    def test_star_and_question_are_nullable(self):
+        assert is_nullable(Star(Char("0")))
+        assert is_nullable(Question(Char("0")))
+
+    def test_concat_needs_both(self):
+        assert is_nullable(Concat(Star(Char("0")), Question(Char("1"))))
+        assert not is_nullable(Concat(Star(Char("0")), Char("1")))
+
+    def test_union_needs_one(self):
+        assert is_nullable(Union(Char("0"), EPSILON))
+        assert not is_nullable(Union(Char("0"), Char("1")))
+
+
+class TestSmartConstructors:
+    def test_union_identity(self):
+        assert smart_union(EMPTY, Char("0")) == Char("0")
+        assert smart_union(Char("0"), EMPTY) == Char("0")
+
+    def test_union_idempotence(self):
+        assert smart_union(Char("0"), Char("0")) == Char("0")
+
+    def test_union_of_empties(self):
+        assert smart_union(EMPTY, EMPTY) == EMPTY
+
+    def test_union_commutative_normalisation(self):
+        a = smart_union(Char("0"), Char("1"))
+        b = smart_union(Char("1"), Char("0"))
+        assert a == b
+
+    def test_concat_annihilator(self):
+        assert smart_concat(EMPTY, Char("0")) == EMPTY
+        assert smart_concat(Char("0"), EMPTY) == EMPTY
+
+    def test_concat_unit(self):
+        assert smart_concat(EPSILON, Char("0")) == Char("0")
+        assert smart_concat(Char("0"), EPSILON) == Char("0")
+
+    def test_star_of_trivial(self):
+        assert smart_star(EMPTY) == EPSILON
+        assert smart_star(EPSILON) == EPSILON
+
+    def test_star_idempotence(self):
+        inner = Star(Char("0"))
+        assert smart_star(inner) == inner
+
+    def test_star_absorbs_question(self):
+        assert smart_star(Question(Char("0"))) == Star(Char("0"))
+
+    def test_question_of_nullable(self):
+        assert smart_question(Star(Char("0"))) == Star(Char("0"))
+        assert smart_question(EPSILON) == EPSILON
+        assert smart_question(EMPTY) == EPSILON
+
+    def test_question_of_char(self):
+        assert smart_question(Char("0")) == Question(Char("0"))
+
+
+class TestSimplifyPreservesLanguage:
+    @given(regexes(max_leaves=7))
+    @settings(max_examples=60, deadline=None)
+    def test_language_preserved(self, regex):
+        simplified = simplify(regex)
+        assert dfa.regex_equivalent(regex, simplified, "01")
+
+    @given(regexes(max_leaves=7))
+    @settings(max_examples=60, deadline=None)
+    def test_idempotent(self, regex):
+        once = simplify(regex)
+        assert simplify(once) == once

@@ -1,0 +1,86 @@
+"""Semiring-law property tests (Def. 2.2)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.semiring.semiring import (
+    BOOLEAN,
+    NATURAL,
+    TROPICAL,
+    BooleanSemiring,
+    NaturalSemiring,
+    TropicalSemiring,
+)
+
+_ELEMENTS = {
+    id(BOOLEAN): st.booleans(),
+    id(NATURAL): st.integers(min_value=0, max_value=1000),
+    # Integer-valued floats: float addition is not associative in general,
+    # but the tropical laws hold exactly on ℤ∪{∞}.
+    id(TROPICAL): st.one_of(
+        st.just(float("inf")),
+        st.integers(min_value=0, max_value=1000).map(float),
+    ),
+}
+
+_SEMIRINGS = [BOOLEAN, NATURAL, TROPICAL]
+
+
+@pytest.mark.parametrize("semiring", _SEMIRINGS, ids=["bool", "nat", "trop"])
+class TestLaws:
+    def _triples(self, semiring):
+        return st.tuples(*[_ELEMENTS[id(semiring)]] * 3)
+
+    def test_laws(self, semiring):
+        @given(self._triples(semiring))
+        @settings(max_examples=80, deadline=None)
+        def laws(triple):
+            a, b, c = triple
+            add, mul = semiring.add, semiring.mul
+            zero, one = semiring.zero, semiring.one
+            # (S, +, 0) commutative monoid
+            assert add(a, add(b, c)) == add(add(a, b), c)
+            assert add(a, b) == add(b, a)
+            assert add(a, zero) == a
+            # (S, ·, 1) monoid
+            assert mul(a, mul(b, c)) == mul(mul(a, b), c)
+            assert mul(a, one) == a
+            assert mul(one, a) == a
+            # distributivity
+            assert mul(a, add(b, c)) == add(mul(a, b), mul(a, c))
+            assert mul(add(a, b), c) == add(mul(a, c), mul(b, c))
+            # annihilation
+            assert mul(zero, a) == zero
+            assert mul(a, zero) == zero
+
+        laws()
+
+
+class TestSpecifics:
+    def test_boolean_identities(self):
+        assert BOOLEAN.zero is False
+        assert BOOLEAN.one is True
+        assert BOOLEAN.is_idempotent_add()
+
+    def test_boolean_closure_total(self):
+        assert BOOLEAN.closure(False) is True
+        assert BOOLEAN.closure(True) is True
+
+    def test_natural_not_idempotent(self):
+        assert not NATURAL.is_idempotent_add()
+
+    def test_natural_closure_only_at_zero(self):
+        assert NATURAL.closure(0) == 1
+        assert NATURAL.closure(2) is None
+
+    def test_tropical(self):
+        assert TROPICAL.add(3.0, 5.0) == 3.0
+        assert TROPICAL.mul(3.0, 5.0) == 8.0
+        assert TROPICAL.zero == float("inf")
+        assert TROPICAL.closure(4.0) == 0.0
+
+    def test_add_all(self):
+        assert NATURAL.add_all([1, 2, 3]) == 6
+        assert NATURAL.add_all([]) == 0
+        assert BOOLEAN.add_all([False, True]) is True

@@ -1,0 +1,75 @@
+"""Specification (Def. 3.1) tests."""
+
+import pytest
+
+from repro.errors import InvalidSpecError
+from repro.regex.parser import parse
+from repro.spec import Spec
+
+
+class TestConstruction:
+    def test_dedup_and_sort(self):
+        spec = Spec(["10", "0", "10"], ["1"])
+        assert spec.positive == ("0", "10")
+        assert spec.negative == ("1",)
+
+    def test_overlap_rejected(self):
+        with pytest.raises(InvalidSpecError):
+            Spec(["0"], ["0", "1"])
+
+    def test_alphabet_inferred(self):
+        spec = Spec(["ab"], ["c"])
+        assert spec.alphabet == ("a", "b", "c")
+
+    def test_alphabet_explicit_widening(self):
+        spec = Spec(["0"], [], alphabet=("0", "1"))
+        assert spec.alphabet == ("0", "1")
+
+    def test_alphabet_must_cover_examples(self):
+        with pytest.raises(InvalidSpecError):
+            Spec(["2"], [], alphabet=("0", "1"))
+
+    def test_alphabet_duplicates_rejected(self):
+        with pytest.raises(InvalidSpecError):
+            Spec(["0"], [], alphabet=("0", "0"))
+
+    def test_empty_spec(self):
+        spec = Spec([], [])
+        assert spec.n_examples == 0
+        assert spec.alphabet == ()
+
+    def test_value_equality(self):
+        assert Spec(["0", "1"], []) == Spec(["1", "0"], [])
+
+
+class TestObservations:
+    def test_n_examples_and_all_words(self):
+        spec = Spec(["0"], ["1", "11"])
+        assert spec.n_examples == 3
+        assert spec.all_words == ("0", "1", "11")
+
+    def test_is_satisfied_by(self):
+        spec = Spec(["0", "00"], ["1", ""])
+        assert spec.is_satisfied_by(parse("00*"))
+        assert not spec.is_satisfied_by(parse("0*"))   # accepts ε ∈ N
+        assert not spec.is_satisfied_by(parse("0"))    # misses 00 ∈ P
+
+    def test_errors_of(self):
+        spec = Spec(["0", "00"], ["1", ""])
+        assert spec.errors_of(parse("00*")) == 0
+        assert spec.errors_of(parse("0*")) == 1   # wrongly accepts ε
+        assert spec.errors_of(parse("∅")) == 2    # misses both positives
+
+
+class TestSerialisation:
+    def test_json_roundtrip(self):
+        spec = Spec(["10", ""], ["0"], alphabet=("0", "1"))
+        assert Spec.from_json(spec.to_json()) == spec
+
+    def test_dict_roundtrip(self):
+        spec = Spec(["a"], ["b"])
+        assert Spec.from_dict(spec.to_dict()) == spec
+
+    def test_str_shows_epsilon(self):
+        text = str(Spec([""], ["0"]))
+        assert "ε" in text

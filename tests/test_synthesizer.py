@@ -1,0 +1,179 @@
+"""End-to-end synthesis tests: precision, minimality, trivial cases,
+statuses, cost functions, reconstruction."""
+
+import pytest
+
+from repro import CostFunction, Spec, synthesize
+from repro.regex.ast import EMPTY, EPSILON
+from repro.regex.derivatives import matches
+from repro.regex.parser import parse
+
+
+BACKENDS = ("scalar", "vector")
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestPaperExamples:
+    def test_intro_example(self, intro_spec, backend):
+        result = synthesize(intro_spec, backend=backend)
+        assert result.found
+        assert result.regex_str == "10(0+1)*"
+        assert result.cost == 8
+
+    def test_example36(self, example36_spec, backend):
+        result = synthesize(example36_spec, backend=backend)
+        assert result.found
+        assert result.cost == 7  # (0?1)*1 has cost 7 under (1,1,1,1,1)
+        assert example36_spec.is_satisfied_by(result.regex)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestTrivialSpecifications:
+    def test_empty_positives_gives_empty_language(self, backend):
+        result = synthesize(Spec([], ["0", "1"]), backend=backend)
+        assert result.found
+        assert result.regex == EMPTY
+        assert result.cost == 1
+
+    def test_completely_empty_spec(self, backend):
+        result = synthesize(Spec([], []), backend=backend)
+        assert result.found
+        assert result.regex == EMPTY
+
+    def test_only_epsilon_positive(self, backend):
+        result = synthesize(Spec([""], ["0", "11"]), backend=backend)
+        assert result.found
+        assert result.regex == EPSILON
+        assert result.cost == 1
+
+    def test_single_char(self, backend):
+        result = synthesize(Spec(["0"], ["", "1", "00"]), backend=backend)
+        assert result.found
+        assert result.regex_str == "0"
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestPrecision:
+    """Synthesised regexes must always satisfy the specification."""
+
+    @pytest.mark.parametrize(
+        "pos,neg",
+        [
+            (["0", "00", "000"], ["", "1", "01", "10"]),
+            (["", "01", "0101"], ["0", "1", "010"]),
+            (["1", "11", "111"], [""]),
+            (["ab", "aab", "abb"], ["", "a", "b", "ba"]),
+            (["0"], ["1"]),
+        ],
+    )
+    def test_result_satisfies_spec(self, pos, neg, backend):
+        spec = Spec(pos, neg)
+        result = synthesize(spec, backend=backend)
+        assert result.found
+        assert spec.is_satisfied_by(result.regex)
+        assert result.errors() == 0
+
+    def test_cost_matches_reported(self, intro_spec, backend):
+        cost_fn = CostFunction.from_tuple((2, 3, 4, 1, 2))
+        result = synthesize(intro_spec, cost_fn=cost_fn, backend=backend)
+        assert result.found
+        assert cost_fn.cost(result.regex) == result.cost
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestCostFunctionEffects:
+    def test_expensive_star_avoids_star(self, backend):
+        # P = all strings of 0s up to 3; with cheap star the answer is 0*
+        # or 00*; making the star cost 50 forbids it within the overfit
+        # bound, forcing a star-free (hence union/option) answer.
+        spec = Spec(["0", "00", "000"], ["", "1"])
+        cheap = synthesize(spec, backend=backend)
+        assert "*" in cheap.regex_str
+        expensive = synthesize(
+            spec,
+            cost_fn=CostFunction.from_tuple((1, 1, 50, 1, 1)),
+            backend=backend,
+        )
+        assert expensive.found
+        assert "*" not in expensive.regex_str
+        assert spec.is_satisfied_by(expensive.regex)
+
+    def test_star_free_via_high_star_cost_matches_paper_claim(self, backend):
+        # §5.1: "We can already search in the star-free fragment, by
+        # setting cost(∗) high enough."
+        spec = Spec(["01", "0011"], ["", "0", "1", "001"])
+        result = synthesize(
+            spec,
+            cost_fn=CostFunction.from_tuple((1, 1, 40, 1, 1)),
+            backend=backend,
+        )
+        assert result.found
+        assert "*" not in result.regex_str
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestStatuses:
+    def test_not_found_when_max_cost_too_small(self, intro_spec, backend):
+        result = synthesize(intro_spec, max_cost=4, backend=backend)
+        assert result.status == "not_found"
+        assert result.regex is None
+
+    def test_budget_status(self, intro_spec, backend):
+        result = synthesize(intro_spec, max_generated=10, backend=backend)
+        assert result.status == "budget"
+
+    def test_oom_with_tiny_cache(self, backend):
+        spec = Spec(
+            ["0110", "1001", "010010"], ["", "0", "1", "11", "0101", "1010"]
+        )
+        result = synthesize(spec, max_cache_size=8, backend=backend)
+        assert result.status in ("oom", "success")
+        if result.status == "oom":
+            assert result.regex is None
+
+
+class TestArguments:
+    def test_pair_spec_accepted(self):
+        result = synthesize((["0"], ["1"]))
+        assert result.found
+
+    def test_unknown_backend(self, tiny_spec):
+        with pytest.raises(ValueError):
+            synthesize(tiny_spec, backend="tpu")
+
+    def test_backend_aliases(self, tiny_spec):
+        assert synthesize(tiny_spec, backend="cpu").backend == "scalar"
+        assert synthesize(tiny_spec, backend="gpu").backend == "vector"
+
+    def test_invalid_error(self, tiny_spec):
+        with pytest.raises(ValueError):
+            synthesize(tiny_spec, allowed_error=1.5)
+
+    def test_result_to_dict(self, tiny_spec):
+        data = synthesize(tiny_spec).to_dict()
+        assert data["status"] == "success"
+        assert data["regex"] == "00?"
+        assert isinstance(data["elapsed_seconds"], float)
+
+    def test_result_str(self, tiny_spec):
+        assert "00?" in str(synthesize(tiny_spec))
+
+
+class TestStatistics:
+    def test_universe_and_padding_reported(self, intro_spec):
+        result = synthesize(intro_spec)
+        assert result.universe_size == len(
+            __import__("repro.language.universe", fromlist=["Universe"])
+            .Universe(intro_spec.all_words).words
+        )
+        assert result.padded_bits >= result.universe_size
+        assert result.padded_bits & (result.padded_bits - 1) == 0
+
+    def test_generated_counts_grow_with_difficulty(self):
+        easy = synthesize(Spec(["0"], ["1"]))
+        hard = synthesize(Spec(["0110", "1001"], ["", "0", "1", "01", "10"]))
+        assert hard.generated > easy.generated
+
+    def test_res_checked_alias(self, tiny_spec):
+        result = synthesize(tiny_spec)
+        assert result.res_checked == result.generated

@@ -1,0 +1,120 @@
+"""Universe tests: ordering, bit indexing, padding, CS translation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import words
+from repro.language.universe import Universe, next_power_of_two
+from repro.regex.parser import parse
+
+
+class TestNextPowerOfTwo:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [(0, 1), (1, 1), (2, 2), (3, 4), (8, 8), (9, 16), (100, 128),
+         (1 << 20, 1 << 20), ((1 << 20) + 1, 1 << 21)],
+    )
+    def test_values(self, value, expected):
+        assert next_power_of_two(value) == expected
+
+
+class TestConstruction:
+    def test_example36_size_and_order(self):
+        universe = Universe(
+            ["1", "011", "1011", "11011", "", "10", "101", "0011"]
+        )
+        assert universe.n_words == 15
+        assert universe.words[0] == ""          # shortlex: ε first
+        assert universe.words[-1] == "11011"    # longest last
+        assert universe.padded_bits == 16       # next power of two ≥ 15
+        assert universe.lanes == 1
+
+    def test_min_padding_is_eight(self):
+        universe = Universe(["0"])
+        assert universe.n_words == 2
+        assert universe.padded_bits == 8
+
+    def test_alphabet_inferred_and_sorted(self):
+        universe = Universe(["ba"])
+        assert universe.alphabet == ("a", "b")
+
+    def test_explicit_alphabet_may_widen(self):
+        universe = Universe(["0"], alphabet=("0", "1"))
+        assert universe.alphabet == ("0", "1")
+
+    def test_explicit_alphabet_must_cover(self):
+        with pytest.raises(ValueError):
+            Universe(["2"], alphabet=("0", "1"))
+
+    def test_empty_base(self):
+        universe = Universe([])
+        assert universe.n_words == 1
+        assert universe.words == ("",)
+        assert universe.eps_index == 0
+
+    def test_lanes_for_wide_universe(self):
+        # 65 distinct one-char words force > 64 bits → 2 lanes (128 padded).
+        chars = [chr(ord("a") + i) for i in range(26)]
+        chars += [chr(ord("A") + i) for i in range(26)]
+        chars += [str(d) for d in range(10)] + ["!", "@", "#"]
+        assert len(chars) == 65
+        universe = Universe(chars)
+        assert universe.n_words == 66  # incl. ε
+        assert universe.padded_bits == 128
+        assert universe.lanes == 2
+
+
+class TestBits:
+    def test_eps_bit(self):
+        universe = Universe(["0", "1"])
+        assert universe.eps_index == 0
+        assert universe.eps_bit == 1
+
+    def test_word_bit_and_cs_roundtrip(self):
+        universe = Universe(["011"])
+        cs = universe.cs_of(["0", "01", "011"])
+        assert universe.words_of(cs) == ("0", "01", "011")
+
+    def test_word_bit_unknown_word(self):
+        universe = Universe(["0"])
+        with pytest.raises(KeyError):
+            universe.word_bit("00")
+
+    def test_char_cs_for_absent_char_is_zero(self):
+        universe = Universe(["0"], alphabet=("0", "1"))
+        assert universe.char_cs("1") == 0
+        assert universe.char_cs("0") == universe.word_bit("0")
+
+    def test_full_mask(self):
+        universe = Universe(["01"])
+        assert universe.full_mask == (1 << universe.n_words) - 1
+
+    def test_contains(self):
+        universe = Universe(["01"])
+        assert "0" in universe
+        assert "" in universe
+        assert "10" not in universe
+
+
+class TestCSOfRegex:
+    def test_example36_cs(self):
+        # The paper: Lang((0?1)*1) ∩ ic = {11011, 1011, 011, 11, 1}.
+        universe = Universe(
+            ["1", "011", "1011", "11011", "", "10", "101", "0011"]
+        )
+        cs = universe.cs_of_regex(parse("(0?1)*1"))
+        assert set(universe.words_of(cs)) == {"11011", "1011", "011", "11", "1"}
+
+    def test_predicate_equals_regex(self):
+        universe = Universe(["0011", "1100"])
+        by_predicate = universe.cs_of_predicate(lambda w: w.endswith("0"))
+        by_regex = universe.cs_of_regex(parse("(0+1)*0"))
+        assert by_predicate == by_regex
+
+    @given(st.lists(words(max_size=4), min_size=1, max_size=4))
+    @settings(max_examples=50, deadline=None)
+    def test_cs_of_words_of_roundtrip(self, base):
+        universe = Universe(base, alphabet=("0", "1"))
+        subset = tuple(w for i, w in enumerate(universe.words) if i % 2 == 0)
+        assert universe.words_of(universe.cs_of(subset)) == subset
