@@ -1,0 +1,35 @@
+"""Plain helpers shared by the benchmark modules.
+
+Imported explicitly (``from _bench_utils import ...``) so that
+``benchmarks/conftest.py`` stays fixture-only and never collides with
+``tests/conftest.py`` during root-level collection.  The benchmark
+suite's role and layout are documented in ``docs/ARCHITECTURE.md``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Repo root — the kernel micro-benchmark drops ``BENCH_kernels.json``
+#: here so successive PRs accumulate a perf trajectory.
+REPO_ROOT = Path(__file__).parent.parent
+
+
+def bench_scale() -> str:
+    """Current scale: ``quick`` (default) or ``full``."""
+    return os.environ.get("REPRO_BENCH_SCALE", "quick")
+
+
+def is_full() -> bool:
+    """True when running at full (EXPERIMENTS.md) scale."""
+    return bench_scale() == "full"
+
+
+def save_artifact(results_dir: Path, name: str, text: str) -> None:
+    """Write a regenerated table/figure to ``benchmarks/results/``."""
+    path = results_dir / name
+    path.write_text(text + "\n", encoding="utf-8")
+    print("\n" + text)

@@ -8,7 +8,7 @@
 
 from __future__ import annotations
 
-from conftest import is_full, save_artifact
+from _bench_utils import is_full, save_artifact
 from repro import Spec
 from repro.eval.tables import (
     ERROR_TABLE_SPEC,

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import pytest
 
-from conftest import is_full, save_artifact
+from _bench_utils import is_full, save_artifact
 from repro import synthesize
 from repro.eval.tables import ERROR_TABLE_SPEC, error_table
 

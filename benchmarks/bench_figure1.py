@@ -12,7 +12,7 @@ observations that are stable at reproduction scale:
 
 from __future__ import annotations
 
-from conftest import is_full, save_artifact
+from _bench_utils import is_full, save_artifact
 from repro.eval.figures import figure1
 
 

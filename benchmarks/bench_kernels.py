@@ -1,22 +1,79 @@
 """Micro-benchmarks of the primitive kernels both engines are built on.
 
 Not a paper table, but the evidence behind the Table 1 speed-up: the
-batched concatenation kernel amortises Python overhead across a whole
-candidate block, while the scalar kernel pays it per candidate.
+batched array-level kernels amortise Python overhead across a whole
+candidate block, while the scalar kernels pay it per candidate (see
+``docs/ARCHITECTURE.md``, "Kernel design").
+
+Besides the pytest-benchmark timings, :func:`test_emit_kernel_bench_artifact`
+writes ``BENCH_kernels.json`` to the repo root — one record per kernel
+with ns/candidate and the speedup against both the scalar kernel and the
+*seed* vector implementation (the pre-flat-gather Python loop nest,
+preserved below as :class:`_SeedLoopKernels`) — so successive PRs have a
+perf trajectory to compare against.
 """
 
 from __future__ import annotations
 
+import json
+import time
+
 import numpy as np
 import pytest
 
-from repro.core.bitops import concat_cs, int_to_lanes, star_cs
-from repro.core.hashset import FingerprintHashSet
+from _bench_utils import REPO_ROOT, bench_scale, is_full
+from repro.core.bitops import concat_cs, star_cs
+from repro.core.hashset import FingerprintHashSet, PackedKeySet
 from repro.core.vector_engine import _Kernels
 from repro.language.guide_table import GuideTable
 from repro.language.universe import Universe
 
 WORDS = ["110100", "001011", "111000", "010101"]
+
+#: Universe for the perf-trajectory artifact: 10-char heterogeneous
+#: words, like the paper's harder Table 1 rows (larger guide table,
+#: multi-lane CSs) — the regime the batched kernels are built for.
+ARTIFACT_WORDS = ["1101001010", "0010110101", "1110001110"]
+
+_ONE = np.uint64(1)
+
+
+class _SeedLoopKernels:
+    """The seed implementation of the concat kernel (reference baseline).
+
+    This is the pre-rewrite ``_Kernels.concat``: a Python ``for`` loop
+    over every universe word and every guide-table split, i.e. the
+    "GPU-sim" engine before the flat-gather rewrite.  Kept verbatim so
+    ``BENCH_kernels.json`` always measures the new kernels against the
+    true seed behaviour.
+    """
+
+    def __init__(self, universe: Universe, guide: GuideTable) -> None:
+        flat = guide.flat
+        self.n_words = universe.n_words
+        self.lanes = universe.lanes
+        self.offsets = flat.offsets
+        self.left_lane = (flat.left_index >> 6).astype(np.int64)
+        self.left_off = (flat.left_index & 63).astype(np.uint64)
+        self.right_lane = (flat.right_index >> 6).astype(np.int64)
+        self.right_off = (flat.right_index & 63).astype(np.uint64)
+        self.word_lane = np.arange(self.n_words, dtype=np.int64) >> 6
+        self.word_off = (np.arange(self.n_words, dtype=np.int64) & 63).astype(
+            np.uint64
+        )
+
+    def concat(self, left: np.ndarray, right: np.ndarray) -> np.ndarray:
+        m = left.shape[0]
+        out = np.zeros((m, self.lanes), dtype=np.uint64)
+        offsets = self.offsets
+        for w in range(self.n_words):
+            acc = np.zeros(m, dtype=np.uint64)
+            for k in range(offsets[w], offsets[w + 1]):
+                left_bit = (left[:, self.left_lane[k]] >> self.left_off[k]) & _ONE
+                right_bit = (right[:, self.right_lane[k]] >> self.right_off[k]) & _ONE
+                acc |= left_bit & right_bit
+            out[:, self.word_lane[w]] |= acc << self.word_off[w]
+        return out
 
 
 @pytest.fixture(scope="module")
@@ -57,11 +114,33 @@ def test_bench_vector_concat_batch(benchmark, setting):
     assert out.shape == batch.shape
 
 
+def test_bench_vector_star_batch(benchmark, setting):
+    universe, guide = setting
+    kernels = _Kernels(universe, guide)
+    rng = np.random.default_rng(2)
+    batch = rng.integers(0, 2**63, size=(1024, universe.lanes),
+                         dtype=np.uint64)
+    out = benchmark(lambda: kernels.star(batch))
+    assert out.shape == batch.shape
+
+
+def test_bench_vector_dedupe_batch(benchmark, setting):
+    universe, _ = setting
+    rng = np.random.default_rng(3)
+    batch = rng.integers(0, 1 << 12, size=(4096, universe.lanes),
+                         dtype=np.uint64)
+
+    def run():
+        seen = PackedKeySet(universe.lanes, initial_capacity=1 << 12)
+        return seen.insert_batch(batch)
+
+    novelty = benchmark(run)
+    assert novelty.shape == (4096,)
+
+
 def test_vector_kernel_throughput_beats_scalar(setting):
     """The per-candidate cost of the batched kernel must be far below
     the scalar kernel's — the microscopic source of Table 1."""
-    import time
-
     universe, guide = setting
     kernels = _Kernels(universe, guide)
     rng = np.random.default_rng(1)
@@ -97,3 +176,128 @@ def test_bench_universe_build(benchmark):
     words = ["1101001010", "0010110101", "1110001110"]
     universe = benchmark(lambda: Universe(words))
     assert universe.n_words > 50
+
+
+# ----------------------------------------------------------------------
+# Perf-trajectory artifact: BENCH_kernels.json at the repo root
+# ----------------------------------------------------------------------
+
+def _time_per_item(fn, items: int, repeats: int) -> float:
+    """Best-of-``repeats`` wall-clock per item, in nanoseconds."""
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best * 1e9 / items
+
+
+def test_emit_kernel_bench_artifact():
+    """Measure every rewritten kernel and record the perf trajectory.
+
+    Asserts the headline acceptance criterion of the bit-sliced kernel
+    rewrite: ≥ 10× concat throughput over the seed loop nest.
+    """
+    universe = Universe(ARTIFACT_WORDS)
+    guide = GuideTable(universe)
+    kernels = _Kernels(universe, guide)
+    seed = _SeedLoopKernels(universe, guide)
+    batch_size = 1 << 17 if is_full() else 1 << 16
+    repeats = 5
+    rng = np.random.default_rng(42)
+    batch = rng.integers(0, 2**63, size=(batch_size, universe.lanes),
+                         dtype=np.uint64)
+    left_int = universe.cs_of_predicate(lambda w: w.endswith("0"))
+    right_int = universe.cs_of_predicate(lambda w: w.startswith("1"))
+
+    results = []
+
+    # --- concat: flat gather vs seed loop nest vs scalar kernel -------
+    vector_ns = _time_per_item(
+        lambda: kernels.concat(batch, batch), batch_size, repeats
+    )
+    seed_ns = _time_per_item(
+        lambda: seed.concat(batch, batch), batch_size, repeats
+    )
+    scalar_reps = 200
+    scalar_ns = _time_per_item(
+        lambda: [concat_cs(left_int, right_int, guide)
+                 for _ in range(scalar_reps)],
+        scalar_reps,
+        repeats,
+    )
+    results.append({
+        "op": "concat",
+        "batch_size": batch_size,
+        "ns_per_candidate": vector_ns,
+        "ns_per_candidate_seed": seed_ns,
+        "ns_per_candidate_scalar": scalar_ns,
+        "speedup_vs_seed": seed_ns / vector_ns,
+        "speedup_vs_scalar": scalar_ns / vector_ns,
+    })
+
+    # --- star: masked fixpoint vs scalar fixpoint ---------------------
+    star_batch = batch[: max(batch_size // 4, 1)]
+    star_ns = _time_per_item(
+        lambda: kernels.star(star_batch), star_batch.shape[0], repeats
+    )
+    star_reps = 50
+    scalar_star_ns = _time_per_item(
+        lambda: [star_cs(left_int, guide, universe) for _ in range(star_reps)],
+        star_reps,
+        repeats,
+    )
+    results.append({
+        "op": "star",
+        "batch_size": int(star_batch.shape[0]),
+        "ns_per_candidate": star_ns,
+        "ns_per_candidate_scalar": scalar_star_ns,
+        "speedup_vs_scalar": scalar_star_ns / star_ns,
+    })
+
+    # --- dedupe: batched packed set vs per-row bytes/set loop ---------
+    dedupe_batch = rng.integers(0, 1 << 12, size=(batch_size, universe.lanes),
+                                dtype=np.uint64)
+
+    def vector_dedupe():
+        seen = PackedKeySet(universe.lanes, initial_capacity=1 << 12)
+        return seen.insert_batch(dedupe_batch)
+
+    def python_dedupe():
+        seen = set()
+        kept = []
+        for k in range(dedupe_batch.shape[0]):
+            key = dedupe_batch[k].tobytes()
+            if key not in seen:
+                seen.add(key)
+                kept.append(k)
+        return kept
+
+    dedupe_ns = _time_per_item(vector_dedupe, batch_size, repeats)
+    python_dedupe_ns = _time_per_item(python_dedupe, batch_size, repeats)
+    results.append({
+        "op": "dedupe",
+        "batch_size": batch_size,
+        "ns_per_candidate": dedupe_ns,
+        "ns_per_candidate_seed": python_dedupe_ns,
+        "speedup_vs_seed": python_dedupe_ns / dedupe_ns,
+    })
+
+    artifact = {
+        "scale": bench_scale(),
+        "universe_words": universe.n_words,
+        "guide_splits": guide.n_splits,
+        "lanes": universe.lanes,
+        "results": results,
+    }
+    (REPO_ROOT / "BENCH_kernels.json").write_text(
+        json.dumps(artifact, indent=2) + "\n", encoding="utf-8"
+    )
+    print("\n" + json.dumps(artifact, indent=2))
+
+    concat_record = results[0]
+    assert concat_record["speedup_vs_seed"] >= 10.0, (
+        "flat-gather concat must be >= 10x the seed loop nest, got %.1fx"
+        % concat_record["speedup_vs_seed"]
+    )
+    assert universe.n_words > 0 and len(results) == 3

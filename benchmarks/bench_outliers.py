@@ -10,7 +10,7 @@ row (with thresholds rescaled to this engine).
 
 from __future__ import annotations
 
-from conftest import is_full, save_artifact
+from _bench_utils import is_full, save_artifact
 from repro.eval.figures import figure1
 from repro.eval.tables import outlier_table
 from repro.regex.cost import CostFunction

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import pytest
 
-from conftest import is_full, save_artifact
+from _bench_utils import is_full, save_artifact
 from repro import CostFunction, Spec, synthesize
 from repro.eval.harness import staging_for
 from repro.eval.tables import table1

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import pytest
 
-from conftest import is_full, save_artifact
+from _bench_utils import is_full, save_artifact
 from repro import ALPHAREGEX_COST, synthesize
 from repro.baselines.alpharegex import alpharegex_synthesize
 from repro.eval.tables import table2

@@ -1,33 +1,25 @@
-"""Shared infrastructure for the benchmark harness.
+"""Shared pytest fixtures for the benchmark harness.
 
 Every ``bench_*`` module regenerates one table or figure of the paper
-(see DESIGN.md §4).  Regenerated artefacts are written to
-``benchmarks/results/`` so a benchmark run leaves the evidence that
-EXPERIMENTS.md records.
+(see ``docs/ARCHITECTURE.md``, "Benchmark harness").  Regenerated
+artefacts are written to ``benchmarks/results/`` so a benchmark run
+leaves the evidence that EXPERIMENTS.md records.
 
 Scale knob: set ``REPRO_BENCH_SCALE=full`` for the full-size runs used
 to produce EXPERIMENTS.md; the default ``quick`` scale keeps a complete
 ``pytest benchmarks/ --benchmark-only`` run in the minutes range.
+
+Fixture-only by design — plain helpers (scale knob, artefact writers)
+live in ``benchmarks/_bench_utils.py`` and are imported explicitly.
 """
 
 from __future__ import annotations
 
-import os
 from pathlib import Path
 
 import pytest
 
-RESULTS_DIR = Path(__file__).parent / "results"
-
-
-def bench_scale() -> str:
-    """Current scale: ``quick`` (default) or ``full``."""
-    return os.environ.get("REPRO_BENCH_SCALE", "quick")
-
-
-def is_full() -> bool:
-    """True when running at full (EXPERIMENTS.md) scale."""
-    return bench_scale() == "full"
+from _bench_utils import RESULTS_DIR
 
 
 @pytest.fixture(scope="session")
@@ -35,10 +27,3 @@ def results_dir() -> Path:
     """Directory artefacts are written into."""
     RESULTS_DIR.mkdir(exist_ok=True)
     return RESULTS_DIR
-
-
-def save_artifact(results_dir: Path, name: str, text: str) -> None:
-    """Write a regenerated table/figure to ``benchmarks/results/``."""
-    path = results_dir / name
-    path.write_text(text + "\n", encoding="utf-8")
-    print("\n" + text)

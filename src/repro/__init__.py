@@ -12,7 +12,7 @@ Quick start::
     result = synthesize(spec, cost_fn=CostFunction.uniform())
     print(result.regex_str)   # 10(0+1)*
 
-See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+See docs/ARCHITECTURE.md for the system design and EXPERIMENTS.md for the
 reproduction of every table and figure of the paper.
 """
 

@@ -113,12 +113,32 @@ def negate_cs(cs: int, universe: Universe) -> int:
 # ----------------------------------------------------------------------
 
 def int_to_lanes(cs: int, lanes: int) -> np.ndarray:
-    """Pack an int CS into ``lanes`` little-endian uint64 words."""
-    out = np.zeros(lanes, dtype=np.uint64)
-    mask = (1 << 64) - 1
-    for lane in range(lanes):
-        out[lane] = (cs >> (64 * lane)) & mask
-    return out
+    """Pack an int CS into ``lanes`` little-endian uint64 words.
+
+    Single ``int.to_bytes`` + ``np.frombuffer`` reinterpretation instead
+    of a per-lane shift loop; bits beyond ``64 * lanes`` are dropped,
+    matching the historical per-lane masking behaviour.
+    """
+    cs &= (1 << (64 * lanes)) - 1
+    data = cs.to_bytes(lanes * 8, "little")
+    return np.frombuffer(data, dtype="<u8").astype(np.uint64, copy=True)
+
+
+def ints_to_matrix(cs_values: Sequence[int], lanes: int) -> np.ndarray:
+    """Pack int CSs into a contiguous ``(n, lanes)`` uint64 matrix.
+
+    Bulk counterpart of :func:`int_to_lanes`: one buffer build and one
+    ``frombuffer`` for the whole batch — used to seed the vectorised
+    engine's cache and to pack test batches.
+    """
+    n = len(cs_values)
+    if n == 0:
+        return np.zeros((0, lanes), dtype=np.uint64)
+    width = lanes * 8
+    mask = (1 << (64 * lanes)) - 1
+    data = b"".join((cs & mask).to_bytes(width, "little") for cs in cs_values)
+    packed = np.frombuffer(data, dtype="<u8").astype(np.uint64, copy=True)
+    return packed.reshape(n, lanes)
 
 
 def lanes_to_int(row: Sequence[int]) -> int:
@@ -127,6 +147,91 @@ def lanes_to_int(row: Sequence[int]) -> int:
     for lane, value in enumerate(row):
         cs |= int(value) << (64 * lane)
     return cs
+
+
+# ----------------------------------------------------------------------
+# Bit-sliced (candidate-transposed) representation
+# ----------------------------------------------------------------------
+#
+# The vectorised concat kernel works on *bit-sliced* batches: instead of
+# one packed row per candidate, it keeps one packed row per universe
+# word ("plane"), with one bit per candidate.  A split's contribution is
+# then a single AND of two planes — 8 candidates per byte, 64 per uint64
+# — which is what makes the per-split work effectively free.  The
+# conversion between the two layouts is a bit-matrix transpose; doing it
+# with ``np.packbits``/``unpackbits`` costs large strided byte copies,
+# so it is done with the classic 8×8 bit-block butterfly (Hacker's
+# Delight §7-3) over uint64 views: two small reshuffles plus twelve
+# vector ops, an order of magnitude faster.
+
+_T8_M1 = np.uint64(0x00AA00AA00AA00AA)
+_T8_M2 = np.uint64(0x0000CCCC0000CCCC)
+_T8_M3 = np.uint64(0x00000000F0F0F0F0)
+_T8_S1 = np.uint64(7)
+_T8_S2 = np.uint64(14)
+_T8_S3 = np.uint64(28)
+
+
+def _transpose_8x8_tiles(x: np.ndarray) -> np.ndarray:
+    """In-place 8×8 bit-matrix transpose of every uint64 in ``x``.
+
+    Each uint64 is read as an 8×8 bit tile (byte ``r`` = row ``r``, bit
+    ``c`` of the byte = column ``c``) and replaced by its transpose via
+    the three-step butterfly exchange.  Involutive.
+    """
+    t = (x ^ (x >> _T8_S1)) & _T8_M1
+    x ^= t ^ (t << _T8_S1)
+    t = (x ^ (x >> _T8_S2)) & _T8_M2
+    x ^= t ^ (t << _T8_S2)
+    t = (x ^ (x >> _T8_S3)) & _T8_M3
+    x ^= t ^ (t << _T8_S3)
+    return x
+
+
+def bitslice_rows(rows: np.ndarray, n_bits: int) -> np.ndarray:
+    """Transpose a packed ``(m, lanes)`` uint64 batch into bit planes.
+
+    Returns a ``(8 * ceil(n_bits / 8), ceil(m / 8))`` uint8 matrix whose
+    row ``w`` holds bit ``w`` of every batch row, packed 8 candidates
+    per byte (candidate ``k`` → bit ``k & 7`` of byte ``k >> 3``).
+    Plane rows ≥ ``n_bits`` are the padding bits of the last source
+    byte — callers index planes by universe word, so they never read
+    them.
+    """
+    rows = np.ascontiguousarray(rows)
+    m = rows.shape[0]
+    m8 = (m + 7) // 8
+    nb8 = (n_bits + 7) // 8
+    src = rows.view(np.uint8)[:, :nb8]
+    if m8 * 8 != m:
+        padded = np.zeros((m8 * 8, nb8), dtype=np.uint8)
+        padded[:m] = src
+        src = padded
+    tiles = np.ascontiguousarray(src.reshape(m8, 8, nb8).transpose(2, 0, 1))
+    x = _transpose_8x8_tiles(tiles.view(np.uint64).reshape(nb8, m8))
+    return np.ascontiguousarray(
+        x.view(np.uint8).reshape(nb8, m8, 8).transpose(0, 2, 1)
+    ).reshape(nb8 * 8, m8)
+
+
+def unbitslice_rows(planes: np.ndarray, m: int, lanes: int) -> np.ndarray:
+    """Inverse of :func:`bitslice_rows`: planes back to packed rows.
+
+    ``planes`` must have ``8 * nb8`` rows (zero any rows beyond the
+    meaningful bit count); returns an ``(m, lanes)`` uint64 batch.
+    """
+    nb8 = planes.shape[0] // 8
+    m8 = planes.shape[1]
+    tiles = np.ascontiguousarray(
+        planes.reshape(nb8, 8, m8).transpose(0, 2, 1)
+    )
+    x = _transpose_8x8_tiles(tiles.view(np.uint64).reshape(nb8, m8))
+    bytes_rows = np.ascontiguousarray(
+        x.view(np.uint8).reshape(nb8, m8, 8).transpose(1, 2, 0)
+    ).reshape(m8 * 8, nb8)[:m]
+    out = np.zeros((m, lanes * 8), dtype=np.uint8)
+    out[:, :nb8] = bytes_rows
+    return out.view(np.uint64)
 
 
 if hasattr(np, "bitwise_count"):

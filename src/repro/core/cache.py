@@ -104,15 +104,33 @@ class PackedCache:
     Rows are CSs (``lanes`` little-endian 64-bit words each, power-of-two
     padded as in the paper's second space-time trade-off); the matrix
     grows by doubling but rows, once written, never change.
+
+    Provenance is held column-wise (three parallel int64 arrays) so a
+    batch append is three slice assignments — the store-side analogue of
+    the batched kernels; the row-wise :attr:`provenance` view used by
+    reconstruction and the equivalence tests is materialised lazily.
     """
 
-    __slots__ = ("lanes", "matrix", "n_rows", "provenance", "levels", "max_size")
+    __slots__ = (
+        "lanes",
+        "matrix",
+        "n_rows",
+        "levels",
+        "max_size",
+        "_ops",
+        "_lefts",
+        "_rights",
+        "_provenance_view",
+    )
 
     def __init__(self, lanes: int, max_size: Optional[int] = None) -> None:
         self.lanes = lanes
         self.matrix = np.zeros((64, lanes), dtype=np.uint64)
         self.n_rows = 0
-        self.provenance: List[Tuple[int, int, int]] = []
+        self._ops = np.zeros(64, dtype=np.int64)
+        self._lefts = np.zeros(64, dtype=np.int64)
+        self._rights = np.zeros(64, dtype=np.int64)
+        self._provenance_view: Optional[List[Tuple[int, int, int]]] = None
         self.levels = LevelIndex()
         self.max_size = max_size
 
@@ -124,6 +142,23 @@ class PackedCache:
         """True once the configured capacity has been reached."""
         return self.max_size is not None and self.n_rows >= self.max_size
 
+    @property
+    def provenance(self) -> List[Tuple[int, int, int]]:
+        """Row-wise ``(op, left, right)`` triples (lazily materialised)."""
+        if (
+            self._provenance_view is None
+            or len(self._provenance_view) != self.n_rows
+        ):
+            n = self.n_rows
+            self._provenance_view = list(
+                zip(
+                    self._ops[:n].tolist(),
+                    self._lefts[:n].tolist(),
+                    self._rights[:n].tolist(),
+                )
+            )
+        return self._provenance_view
+
     def _ensure(self, extra: int) -> None:
         needed = self.n_rows + extra
         capacity = self.matrix.shape[0]
@@ -134,29 +169,45 @@ class PackedCache:
         grown = np.zeros((capacity, self.lanes), dtype=np.uint64)
         grown[: self.n_rows] = self.matrix[: self.n_rows]
         self.matrix = grown
+        for name in ("_ops", "_lefts", "_rights"):
+            column = getattr(self, name)
+            grown_col = np.zeros(capacity, dtype=np.int64)
+            grown_col[: self.n_rows] = column[: self.n_rows]
+            setattr(self, name, grown_col)
 
     def append_row(self, row: np.ndarray, op: int, left: int, right: int) -> int:
         """Store one CS row with provenance; returns its global index."""
         self._ensure(1)
         self.matrix[self.n_rows] = row
-        self.provenance.append((op, left, right))
+        self._ops[self.n_rows] = op
+        self._lefts[self.n_rows] = left
+        self._rights[self.n_rows] = right
         self.n_rows += 1
         return self.n_rows - 1
 
-    def append_rows(self, rows: np.ndarray, provenance) -> None:
-        """Bulk-store CS rows with their provenance triples.
+    def append_rows(
+        self,
+        rows: np.ndarray,
+        op: int,
+        lefts: np.ndarray,
+        rights: np.ndarray,
+    ) -> None:
+        """Bulk-store CS rows built by one ``op`` from operand indices.
 
-        One contiguous copy instead of a Python loop — the store-side
-        analogue of the batched kernels.
+        Four contiguous slice assignments instead of a Python loop over
+        provenance tuples.
         """
         count = rows.shape[0]
         if count == 0:
             return
-        if count != len(provenance):
+        if count != len(lefts) or count != len(rights):
             raise ValueError("rows and provenance lengths differ")
         self._ensure(count)
-        self.matrix[self.n_rows:self.n_rows + count] = rows
-        self.provenance.extend(provenance)
+        lo, hi = self.n_rows, self.n_rows + count
+        self.matrix[lo:hi] = rows
+        self._ops[lo:hi] = op
+        self._lefts[lo:hi] = lefts
+        self._rights[lo:hi] = rights
         self.n_rows += count
 
     def rows(self, start: int, end: int) -> np.ndarray:

@@ -15,6 +15,8 @@ from __future__ import annotations
 
 from typing import Iterator, List, Optional
 
+import numpy as np
+
 from .bitops import popcount
 
 _MASK64 = (1 << 64) - 1
@@ -43,6 +45,150 @@ def fingerprint(key: int) -> int:
         acc = splitmix64(acc ^ (key & _MASK64))
         key >>= 64
     return acc
+
+
+_SM_GAMMA = np.uint64(0x9E3779B97F4A7C15)
+_SM_MUL1 = np.uint64(0xBF58476D1CE4E5B9)
+_SM_MUL2 = np.uint64(0x94D049BB133111EB)
+
+
+def splitmix64_array(values: np.ndarray) -> np.ndarray:
+    """Vectorised :func:`splitmix64` over a uint64 array.
+
+    uint64 arithmetic wraps modulo 2⁶⁴, so this is bit-identical to the
+    scalar finaliser applied element-wise (property-tested).
+    """
+    v = values.astype(np.uint64, copy=True)
+    v += _SM_GAMMA
+    v = (v ^ (v >> np.uint64(30))) * _SM_MUL1
+    v = (v ^ (v >> np.uint64(27))) * _SM_MUL2
+    return v ^ (v >> np.uint64(31))
+
+
+class PackedKeySet:
+    """Batched open-addressing set of multi-lane uint64 keys.
+
+    The numpy-native counterpart of :class:`FingerprintHashSet` for the
+    vectorised engine: keys are rows of a ``(n, lanes)`` uint64 matrix
+    (packed CSs), and the one operation — :meth:`insert_batch` — checks
+    and inserts a whole batch with array-level probing, no per-row
+    Python loop.  This is the paper's WarpCore uniqueness check: every
+    candidate probes the table "in parallel"; contended empty slots are
+    claimed by the candidate with the lowest batch index, so the
+    returned novelty mask marks exactly the *first* occurrence of each
+    distinct key in batch order — the property the engine needs to keep
+    its enumeration order bit-identical to the scalar engine's.
+    """
+
+    __slots__ = ("_lanes", "_keys", "_used", "_mask", "_size", "_max_load")
+
+    def __init__(
+        self,
+        lanes: int,
+        initial_capacity: int = 1024,
+        max_load: float = 0.6,
+    ) -> None:
+        if lanes < 1:
+            raise ValueError("lanes must be >= 1")
+        if not (0.1 <= max_load < 1.0):
+            raise ValueError("max_load must be in [0.1, 1.0)")
+        capacity = 2
+        while capacity < initial_capacity:
+            capacity <<= 1
+        self._lanes = lanes
+        self._keys = np.zeros((capacity, lanes), dtype=np.uint64)
+        self._used = np.zeros(capacity, dtype=bool)
+        self._mask = capacity - 1
+        self._size = 0
+        self._max_load = max_load
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def capacity(self) -> int:
+        """Current table size (a power of two)."""
+        return self._mask + 1
+
+    @property
+    def lanes(self) -> int:
+        """Number of uint64 lanes per key."""
+        return self._lanes
+
+    def _fingerprints(self, rows: np.ndarray) -> np.ndarray:
+        """Fold each row's lanes through splitmix64 (chunked, WarpCore-style)."""
+        acc = splitmix64_array(rows[:, 0])
+        for lane in range(1, self._lanes):
+            acc = splitmix64_array(acc ^ rows[:, lane])
+        return acc
+
+    def _reserve(self, extra: int) -> None:
+        """Grow (and vectorised-rehash) so ``extra`` keys surely fit."""
+        needed = self._size + extra
+        new_capacity = self.capacity
+        while needed > self._max_load * new_capacity:
+            new_capacity *= 2
+        if new_capacity == self.capacity:
+            return
+        old_keys = self._keys[self._used]
+        self._keys = np.zeros((new_capacity, self._lanes), dtype=np.uint64)
+        self._used = np.zeros(new_capacity, dtype=bool)
+        self._mask = new_capacity - 1
+        self._size = 0
+        if old_keys.shape[0]:
+            self.insert_batch(old_keys)
+
+    def insert_batch(self, rows: np.ndarray) -> np.ndarray:
+        """Insert a ``(n, lanes)`` batch; return the novelty mask.
+
+        ``mask[i]`` is True iff row ``i`` is the first occurrence of its
+        key — not present before the call and not preceded by an equal
+        row within the batch.  Equivalent to ``n`` sequential
+        ``FingerprintHashSet.insert`` calls, evaluated with batched
+        linear probing: per probing round every unresolved row either
+        resolves against an occupied slot (duplicate), claims an empty
+        slot (lowest batch index wins contended slots), or advances.
+        """
+        if rows.ndim != 2 or rows.shape[1] != self._lanes:
+            raise ValueError("rows must have shape (n, %d)" % self._lanes)
+        n = rows.shape[0]
+        is_new = np.zeros(n, dtype=bool)
+        if n == 0:
+            return is_new
+        self._reserve(n)
+        rows = np.ascontiguousarray(rows, dtype=np.uint64)
+        idx = (
+            self._fingerprints(rows) & np.uint64(self._mask)
+        ).astype(np.int64)
+        pending = np.arange(n, dtype=np.int64)
+        while pending.size:
+            slots = idx[pending]
+            used = self._used[slots]
+            advancing = pending[:0]
+            occupied = pending[used]
+            if occupied.size:
+                equal = (self._keys[idx[occupied]] == rows[occupied]).all(axis=1)
+                advancing = occupied[~equal]
+                idx[advancing] = (idx[advancing] + 1) & self._mask
+            losers = pending[:0]
+            empty = pending[~used]
+            if empty.size:
+                # ``empty`` ascends, so a stable sort by slot keeps batch
+                # order within each contended group: the first entry per
+                # slot claims it, the rest re-probe the now-used slot.
+                order = np.argsort(idx[empty], kind="stable")
+                contenders = empty[order]
+                slot_ids = idx[contenders]
+                first = np.ones(contenders.size, dtype=bool)
+                first[1:] = slot_ids[1:] != slot_ids[:-1]
+                winners = contenders[first]
+                losers = contenders[~first]
+                self._keys[idx[winners]] = rows[winners]
+                self._used[idx[winners]] = True
+                is_new[winners] = True
+                self._size += int(winners.size)
+            pending = np.sort(np.concatenate((advancing, losers)))
+        return is_new
 
 
 class FingerprintHashSet:

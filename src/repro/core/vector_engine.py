@@ -8,20 +8,30 @@ implementation on top of numpy:
 * each ``(constructor, cost-level)`` combination is a single batched
   kernel over *all* candidate operand pairs — the analogue of one CUDA
   kernel launch with one thread per candidate,
-* the concatenation/star kernels fold over every guide-table split with
-  no data-dependent early exit (the paper folds "as fast exits are
-  data-dependent branching and problematic on GPUs"),
-* uniqueness and solution checks are evaluated on whole batches.
+* the concatenation kernel folds over every guide-table split with no
+  data-dependent early exit (the paper folds "as fast exits are
+  data-dependent branching and problematic on GPUs"): the batch is
+  transposed into *bit-sliced* planes (one packed row per universe
+  word, one bit per candidate), every split becomes one AND of two
+  gathered planes, and each word's splits are collapsed with one
+  segmented OR-reduction — all array-level numpy operations, no Python
+  loop over words or splits,
+* the Kleene-star fixpoint masks out converged rows, so each iteration
+  re-concatenates only the still-growing remainder of the batch,
+* uniqueness is a batched probe of a numpy-native open-addressing set
+  (:class:`~repro.core.hashset.PackedKeySet` — the WarpCore check), and
+  solution checks are evaluated on whole batches.
 
 Enumeration order matches the scalar engine exactly, so both engines
 return identical expressions and identical ``generated`` counters; only
 the wall-clock differs — which is precisely the comparison Table 1 of
-the paper makes.
+the paper makes.  The kernel design is documented in
+``docs/ARCHITECTURE.md``.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Set, Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -29,7 +39,13 @@ from ..language.guide_table import GuideTable
 from ..language.universe import Universe
 from ..regex.cost import CostFunction
 from ..spec import Spec
-from .bitops import int_to_lanes, popcount_rows
+from .bitops import (
+    bitslice_rows,
+    int_to_lanes,
+    ints_to_matrix,
+    popcount_rows,
+    unbitslice_rows,
+)
 from .cache import PackedCache
 from .engine import (
     OP_CHAR,
@@ -39,55 +55,111 @@ from .engine import (
     OP_UNION,
     SearchEngine,
 )
+from .hashset import PackedKeySet
 
-_ONE = np.uint64(1)
+#: Byte budget for the concat kernel's bit-sliced gather intermediates
+#: (the batch × padded-splits planes).  Word-aligned blocks of the split
+#: axis are sized so the gathered planes stay within this budget.
+DEFAULT_SPLIT_BLOCK_BYTES = 1 << 25
 
 
 class _Kernels:
-    """Precompiled index/shift tables and the batched bit-kernels."""
+    """Precompiled index/shift tables and the batched bit-kernels.
 
-    def __init__(self, universe: Universe, guide: GuideTable) -> None:
+    The concat kernel is *bit-sliced*: the packed ``(m, lanes)`` batch
+    is transposed into word planes (one packed uint8 row per universe
+    word, one bit per candidate), so each guide-table split costs a
+    single AND of two gathered plane rows — 8 candidates per byte — and
+    each word's splits collapse with one vectorised OR-reduction over
+    the uniform-width padded segment.  See ``docs/ARCHITECTURE.md`` for
+    why this layout beats the row-layout flat gather in numpy.
+    """
+
+    def __init__(
+        self,
+        universe: Universe,
+        guide: GuideTable,
+        split_block_bytes: int = DEFAULT_SPLIT_BLOCK_BYTES,
+    ) -> None:
         flat = guide.flat
         self.n_words = universe.n_words
         self.lanes = universe.lanes
+        self.n_splits = flat.n_splits
         self.offsets = flat.offsets
-        self.left_lane = (flat.left_index >> 6).astype(np.int64)
-        self.left_off = (flat.left_index & 63).astype(np.uint64)
-        self.right_lane = (flat.right_index >> 6).astype(np.int64)
-        self.right_off = (flat.right_index & 63).astype(np.uint64)
-        self.word_lane = np.arange(self.n_words, dtype=np.int64) >> 6
-        self.word_off = (np.arange(self.n_words, dtype=np.int64) & 63).astype(
-            np.uint64
-        )
+        self.left_padded = flat.left_padded
+        self.right_padded = flat.right_padded
+        self.pad_width = flat.max_splits_per_word
+        self.split_block_bytes = split_block_bytes
         self.eps_lane = universe.eps_index >> 6
         self.eps_mask = np.uint64(1 << (universe.eps_index & 63))
         self.max_word_length = universe.max_word_length
+        # Plane matrices carry 8·ceil(n_words/8) rows (whole bytes).
+        self.n_planes = 8 * ((self.n_words + 7) // 8)
 
     def concat(self, left: np.ndarray, right: np.ndarray) -> np.ndarray:
         """Batched Algorithm 2: concatenate row ``k`` of ``left`` with row
-        ``k`` of ``right`` for every ``k``, folding over all splits."""
+        ``k`` of ``right`` for every ``k``, folding over all splits.
+
+        Three array-level stages, no Python loop over words or splits:
+
+        1. bit-slice both operands into word planes,
+        2. one flat gather of the padded split table per operand, one
+           AND, and one segmented OR-reduction per word (the padded
+           segments have uniform width, so the reduction is a single
+           ``bitwise_or.reduce`` over a reshaped axis),
+        3. un-bit-slice the word planes into packed output rows (the
+           precomputed scatter: word ``w`` → lane ``w >> 6``, bit
+           ``w & 63``).
+
+        The split axis is blocked (word-aligned) so the gathered plane
+        intermediates stay under ``split_block_bytes``.
+        """
         m = left.shape[0]
-        out = np.zeros((m, self.lanes), dtype=np.uint64)
-        offsets = self.offsets
-        for w in range(self.n_words):
-            acc = np.zeros(m, dtype=np.uint64)
-            for k in range(offsets[w], offsets[w + 1]):
-                left_bit = (left[:, self.left_lane[k]] >> self.left_off[k]) & _ONE
-                right_bit = (right[:, self.right_lane[k]] >> self.right_off[k]) & _ONE
-                acc |= left_bit & right_bit
-            out[:, self.word_lane[w]] |= acc << self.word_off[w]
-        return out
+        if m == 0 or self.n_splits == 0:
+            return np.zeros((m, self.lanes), dtype=np.uint64)
+        left_planes = bitslice_rows(left, self.n_words)
+        right_planes = bitslice_rows(right, self.n_words)
+        m8 = left_planes.shape[1]
+        word_planes = np.zeros((self.n_planes, m8), dtype=np.uint8)
+        pad = self.pad_width
+        block_words = max(1, self.split_block_bytes // (3 * pad * m8))
+        for w0 in range(0, self.n_words, block_words):
+            w1 = min(w0 + block_words, self.n_words)
+            gathered = (
+                left_planes[self.left_padded[w0 * pad : w1 * pad]]
+                & right_planes[self.right_padded[w0 * pad : w1 * pad]]
+            )
+            np.bitwise_or.reduce(
+                gathered.reshape(w1 - w0, pad, m8),
+                axis=1,
+                out=word_planes[w0:w1],
+            )
+        return unbitslice_rows(word_planes, m, self.lanes)
 
     def star(self, batch: np.ndarray) -> np.ndarray:
-        """Batched Kleene star: fixpoint of ``res ← res | res·cs``."""
+        """Batched Kleene star: fixpoint of ``res ← res | res·cs``.
+
+        Row fixpoints are independent, so converged rows are masked out
+        and each iteration re-enters the concat kernel with only the
+        still-growing rows — the result is identical to iterating the
+        whole batch until global convergence, without the wasted work.
+        """
         m = batch.shape[0]
         result = np.zeros((m, self.lanes), dtype=np.uint64)
         result[:, self.eps_lane] |= self.eps_mask
+        if m == 0:
+            return result
+        active = np.arange(m, dtype=np.int64)
         for _ in range(self.max_word_length + 1):
-            grown = result | self.concat(result, batch)
-            if np.array_equal(grown, result):
+            current = result[active]
+            grown = current | self.concat(current, batch[active])
+            changed = (grown != current).any(axis=1)
+            if not changed.any():
                 break
-            result = grown
+            active = active[changed]
+            result[active] = grown[changed]
+            if active.size == 0:
+                break
         return result
 
     def question(self, batch: np.ndarray) -> np.ndarray:
@@ -112,6 +184,7 @@ class VectorEngine(SearchEngine):
         check_uniqueness: bool = True,
         max_generated: Optional[int] = None,
         max_batch: int = 1 << 17,
+        split_block_bytes: int = DEFAULT_SPLIT_BLOCK_BYTES,
     ) -> None:
         super().__init__(
             spec,
@@ -125,12 +198,13 @@ class VectorEngine(SearchEngine):
             max_generated=max_generated,
         )
         self._cache = PackedCache(universe.lanes, max_size=max_cache_size)
-        self._seen: Set[bytes] = set()
-        self._kernels = _Kernels(universe, guide)
+        self._seen = PackedKeySet(universe.lanes, initial_capacity=1 << 12)
+        self._kernels = _Kernels(
+            universe, guide, split_block_bytes=split_block_bytes
+        )
         self._max_batch = max_batch
         self._pos_lanes = int_to_lanes(self.pos_mask, universe.lanes)
         self._neg_lanes = int_to_lanes(self.neg_mask, universe.lanes)
-        self._void_dtype = np.dtype((np.void, universe.lanes * 8))
 
     @property
     def cache(self) -> PackedCache:
@@ -209,48 +283,47 @@ class VectorEngine(SearchEngine):
         a_idx: np.ndarray,
         b_idx: Optional[np.ndarray],
     ) -> None:
-        """Dedupe (order-preserving) and bulk-append a batch to the cache."""
+        """Dedupe (order-preserving) and bulk-append a batch to the cache.
+
+        Uniqueness is one batched probe of the packed hash set; its
+        novelty mask marks exactly the first occurrence of each distinct
+        key in batch order, so the surviving rows — and therefore the
+        cache — are ordered identically to the scalar engine's
+        sequential inserts.  No per-row Python loop anywhere.
+        """
         if rows.shape[0] == 0:
             return
         contiguous = np.ascontiguousarray(rows)
         if self.check_uniqueness:
-            keys = contiguous.view(self._void_dtype).ravel()
-            _, first_occurrence = np.unique(keys, return_index=True)
-            first_occurrence.sort()
-            seen = self._seen
-            kept = []
-            for k in first_occurrence:
-                key = contiguous[k].tobytes()
-                if key in seen:
-                    continue
-                seen.add(key)
-                kept.append(int(k))
+            kept = np.flatnonzero(self._seen.insert_batch(contiguous))
         else:
-            kept = list(range(rows.shape[0]))
-        if not kept:
+            kept = np.arange(rows.shape[0], dtype=np.int64)
+        if kept.size == 0:
             return
         if self._cache.max_size is not None:
             space = self._cache.max_size - len(self._cache)
-            if len(kept) > space:
+            if kept.size > space:
                 # Capacity reached mid-batch: store the prefix that fits
                 # and enter OnTheFly mode (paper §3), exactly as the
                 # scalar engine does one candidate at a time.
                 kept = kept[:space]
                 self.otf = True
-        if not kept:
+        if kept.size == 0:
             return
+        lefts = a_idx[kept]
         if b_idx is None:
-            provenance = [(op, int(a_idx[k]), -1) for k in kept]
+            rights = np.full(kept.size, -1, dtype=np.int64)
         else:
-            provenance = [(op, int(a_idx[k]), int(b_idx[k])) for k in kept]
-        self._cache.append_rows(contiguous[kept], provenance)
+            rights = b_idx[kept]
+        self._cache.append_rows(contiguous[kept], op, lefts, rights)
 
     # ------------------------------------------------------------------
     def _seed_alphabet(self) -> bool:
         universe = self.universe
-        rows = np.zeros((len(universe.alphabet), universe.lanes), dtype=np.uint64)
-        for char_index, symbol in enumerate(universe.alphabet):
-            rows[char_index] = int_to_lanes(universe.char_cs(symbol), universe.lanes)
+        rows = ints_to_matrix(
+            [universe.char_cs(symbol) for symbol in universe.alphabet],
+            universe.lanes,
+        )
         indices = np.arange(len(universe.alphabet), dtype=np.int64)
         return self._handle_batch(OP_CHAR, rows, indices, None)
 

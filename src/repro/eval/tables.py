@@ -1,7 +1,7 @@
 """Regeneration of the paper's tables (Table 1, Table 2, the outlier
 table, the §5.2 allowed-error table) plus the design-choice ablations.
 
-All experiments run at reproduction scale (see DESIGN.md §2): the
+All experiments run at reproduction scale (see docs/ARCHITECTURE.md): the
 absolute wall-clock numbers belong to this machine and a pure-Python
 engine, but each table preserves the paper's *shape* claims, which
 EXPERIMENTS.md records side by side.

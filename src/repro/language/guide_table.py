@@ -11,7 +11,10 @@ to the branch-free bit-gather loop of Algorithm 2:
 The table is computed once per ``(P, N)`` — it only depends on the
 universe — and reused for every concatenation and Kleene-star during the
 whole search.  :attr:`GuideTable.flat` exposes the same data as flattened
-numpy arrays for the vectorised engine.
+numpy arrays for the vectorised engine, together with the padded gather
+tables the bit-sliced concat kernel needs, so the kernel itself does no
+index arithmetic at all — the staging discipline of §3 applied to the
+kernel's own bookkeeping.
 """
 
 from __future__ import annotations
@@ -32,11 +35,31 @@ class FlatGuideTable:
     ``(left_index[k], right_index[k])`` for ``k`` in
     ``offsets[w] : offsets[w+1]``.  This mirrors the paper's "array of
     arrays of pairs of offsets into the language cache".
+
+    The remaining fields are the precomputed gather tables of the
+    bit-sliced concat kernel:
+
+    * ``max_splits_per_word`` — the padded per-word segment width;
+    * ``left_padded[w * max_splits_per_word + t]`` /
+      ``right_padded[...]`` — the split table padded to a uniform
+      ``max_splits_per_word`` splits per word by *repeating each word's
+      last split* (OR is idempotent, so duplicated splits never change
+      the result).  The bit-sliced concat kernel gathers these in one
+      shot and OR-reduces each word's fixed-width segment with a single
+      vectorised reduction — no ragged ``reduceat`` on the hot path.
     """
 
     offsets: np.ndarray
     left_index: np.ndarray
     right_index: np.ndarray
+    max_splits_per_word: int
+    left_padded: np.ndarray
+    right_padded: np.ndarray
+
+    @property
+    def n_splits(self) -> int:
+        """Total number of splits across all words."""
+        return int(self.left_index.shape[0])
 
 
 class GuideTable:
@@ -68,7 +91,8 @@ class GuideTable:
     def flat(self) -> FlatGuideTable:
         """Flattened numpy view (built lazily, cached)."""
         if self._flat is None:
-            offsets = np.zeros(len(self.splits) + 1, dtype=np.int64)
+            n_words = len(self.splits)
+            offsets = np.zeros(n_words + 1, dtype=np.int64)
             left: List[int] = []
             right: List[int] = []
             for w, pairs in enumerate(self.splits):
@@ -76,9 +100,26 @@ class GuideTable:
                 for i, j in pairs:
                     left.append(i)
                     right.append(j)
+            left_index = np.asarray(left, dtype=np.int64)
+            right_index = np.asarray(right, dtype=np.int64)
+            sizes = offsets[1:] - offsets[:-1]
+            pad = int(sizes.max()) if n_words else 0
+            if n_words:
+                # (n_words, pad) split positions, clamped to each word's
+                # last split — the duplicate-padding described above.
+                position = np.minimum(
+                    np.arange(pad, dtype=np.int64)[None, :],
+                    (sizes - 1)[:, None],
+                )
+                padded = (offsets[:-1, None] + position).ravel()
+            else:
+                padded = np.zeros(0, dtype=np.int64)
             self._flat = FlatGuideTable(
                 offsets=offsets,
-                left_index=np.asarray(left, dtype=np.int64),
-                right_index=np.asarray(right, dtype=np.int64),
+                left_index=left_index,
+                right_index=right_index,
+                max_splits_per_word=pad,
+                left_padded=left_index[padded],
+                right_padded=right_index[padded],
             )
         return self._flat

@@ -11,7 +11,7 @@ order with lengths in ``1..max_len`` (``ε`` excluded, mirroring
 AlphaRegex's inability to handle the empty string that the paper
 notes).
 
-The reconstruction is documented as a substitution in DESIGN.md §2.
+The reconstruction is a documented substitution (see docs/ARCHITECTURE.md).
 """
 
 from __future__ import annotations

@@ -16,7 +16,7 @@ Both schemes are fully deterministic given a seed.  The paper's
 parameter ranges (Type 1: ``p, n ∈ 8..12``, ``le ∈ 0..7``; Type 2:
 ``p, n ∈ 7..14``, ``le ∈ 0..10``) target a 25 GB A100; the scaled
 defaults below target a pure-Python engine and are the ones the
-benchmark harness uses — see DESIGN.md §2 for the substitution note.
+benchmark harness uses (a documented substitution; see docs/ARCHITECTURE.md).
 """
 
 from __future__ import annotations

@@ -1,0 +1,62 @@
+"""Shared hypothesis strategies for the test-suite.
+
+Imported explicitly (``from _fixtures import ...``) rather than from
+``conftest`` — ``conftest.py`` modules are loaded by pytest under the
+bare module name ``conftest``, so importing strategies from them
+collides with ``benchmarks/conftest.py`` when collecting from the repo
+root.  pytest fixtures stay in ``tests/conftest.py``; plain helpers
+live here.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.regex.ast import (
+    Char,
+    Concat,
+    EMPTY,
+    EPSILON,
+    Question,
+    Star,
+    Union,
+)
+from repro.spec import Spec
+
+
+def regexes(alphabet: str = "01", max_leaves: int = 6):
+    """Hypothesis strategy for hole-free regular expressions."""
+    leaves = st.one_of(
+        st.sampled_from([EMPTY, EPSILON]),
+        st.sampled_from([Char(ch) for ch in alphabet]),
+    )
+    return st.recursive(
+        leaves,
+        lambda inner: st.one_of(
+            st.builds(Star, inner),
+            st.builds(Question, inner),
+            st.builds(Concat, inner, inner),
+            st.builds(Union, inner, inner),
+        ),
+        max_leaves=max_leaves,
+    )
+
+
+def words(alphabet: str = "01", max_size: int = 6):
+    """Hypothesis strategy for words over ``alphabet``."""
+    return st.text(alphabet=alphabet, max_size=max_size)
+
+
+def small_specs(alphabet: str = "01", max_len: int = 4, max_each: int = 5):
+    """Hypothesis strategy for small valid specifications."""
+
+    def build(pos, neg):
+        neg = [w for w in neg if w not in set(pos)]
+        return Spec(pos, neg, alphabet=tuple(alphabet))
+
+    word = words(alphabet, max_len)
+    return st.builds(
+        build,
+        st.lists(word, min_size=1, max_size=max_each),
+        st.lists(word, min_size=0, max_size=max_each),
+    )

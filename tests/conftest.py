@@ -1,19 +1,16 @@
-"""Shared fixtures and hypothesis strategies for the test-suite."""
+"""Shared pytest fixtures for the test-suite.
+
+Fixture-only by design: hypothesis strategies and other plain helpers
+live in ``tests/_fixtures.py`` and are imported explicitly by the test
+modules that use them.  (Importing helpers from ``conftest`` breaks
+root-level collection, because ``benchmarks/conftest.py`` is loaded
+under the same ``conftest`` module name.)
+"""
 
 from __future__ import annotations
 
 import pytest
-from hypothesis import strategies as st
 
-from repro.regex.ast import (
-    Char,
-    Concat,
-    EMPTY,
-    EPSILON,
-    Question,
-    Star,
-    Union,
-)
 from repro.spec import Spec
 
 
@@ -39,41 +36,3 @@ def example36_spec() -> Spec:
 def tiny_spec() -> Spec:
     """A very small spec every backend solves instantly."""
     return Spec(positive=["0", "00"], negative=["", "1"])
-
-
-def regexes(alphabet: str = "01", max_leaves: int = 6):
-    """Hypothesis strategy for hole-free regular expressions."""
-    leaves = st.one_of(
-        st.sampled_from([EMPTY, EPSILON]),
-        st.sampled_from([Char(ch) for ch in alphabet]),
-    )
-    return st.recursive(
-        leaves,
-        lambda inner: st.one_of(
-            st.builds(Star, inner),
-            st.builds(Question, inner),
-            st.builds(Concat, inner, inner),
-            st.builds(Union, inner, inner),
-        ),
-        max_leaves=max_leaves,
-    )
-
-
-def words(alphabet: str = "01", max_size: int = 6):
-    """Hypothesis strategy for words over ``alphabet``."""
-    return st.text(alphabet=alphabet, max_size=max_size)
-
-
-def small_specs(alphabet: str = "01", max_len: int = 4, max_each: int = 5):
-    """Hypothesis strategy for small valid specifications."""
-
-    def build(pos, neg):
-        neg = [w for w in neg if w not in set(pos)]
-        return Spec(pos, neg, alphabet=tuple(alphabet))
-
-    word = words(alphabet, max_len)
-    return st.builds(
-        build,
-        st.lists(word, min_size=1, max_size=max_each),
-        st.lists(word, min_size=0, max_size=max_each),
-    )

@@ -6,7 +6,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from conftest import regexes
+from _fixtures import regexes
 from repro.core.bitops import (
     concat_cs,
     concat_cs_naive,

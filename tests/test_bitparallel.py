@@ -3,7 +3,7 @@ against the derivative matcher — the third independent matcher."""
 
 from hypothesis import given, settings
 
-from conftest import regexes, words
+from _fixtures import regexes, words
 from repro.regex.bitparallel import (
     GlushkovAutomaton,
     bitparallel_matches,

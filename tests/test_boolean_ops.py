@@ -4,7 +4,7 @@ verified against DFA products and complements."""
 import pytest
 from hypothesis import given, settings
 
-from conftest import regexes
+from _fixtures import regexes
 from repro.core.bitops import intersect_cs, negate_cs
 from repro.language.universe import Universe
 from repro.regex import dfa

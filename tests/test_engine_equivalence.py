@@ -10,7 +10,7 @@ on random specifications.
 
 from hypothesis import given, settings
 
-from conftest import small_specs
+from _fixtures import small_specs
 from repro.core.bitops import lanes_to_int
 from repro.core.synthesizer import make_engine
 from repro.regex.cost import CostFunction

@@ -3,7 +3,7 @@
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from conftest import words
+from _fixtures import words
 from repro.semiring.fps import FPS
 from repro.semiring.semiring import BOOLEAN, NATURAL
 

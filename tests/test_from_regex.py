@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, settings
 
-from conftest import regexes
+from _fixtures import regexes
 from repro import synthesize
 from repro.regex.cost import CostFunction
 from repro.regex.derivatives import matches

@@ -4,7 +4,7 @@ import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from conftest import words
+from _fixtures import words
 from repro.language.guide_table import GuideTable
 from repro.language.universe import Universe
 

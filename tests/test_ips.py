@@ -10,7 +10,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from conftest import regexes
+from _fixtures import regexes
 from repro.language.universe import Universe
 from repro.regex.ast import Concat, Question, Star, Union
 from repro.semiring.ips import IPS, IPSSpace

@@ -4,7 +4,7 @@ syntactic enumerator on small instances, under several cost functions."""
 import pytest
 from hypothesis import given, settings
 
-from conftest import small_specs
+from _fixtures import small_specs
 from repro import CostFunction, Spec, synthesize
 from repro.baselines.bruteforce import bruteforce_synthesize
 

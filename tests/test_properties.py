@@ -13,7 +13,7 @@ These are the "grand" invariants of the reproduction:
 
 from hypothesis import given, settings
 
-from conftest import small_specs
+from _fixtures import small_specs
 from repro import CostFunction, Spec, synthesize
 from repro.regex import dfa
 

@@ -3,7 +3,7 @@
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from conftest import regexes, words
+from _fixtures import regexes, words
 from repro.regex import nfa
 from repro.regex.ast import Char, Concat, EMPTY, EPSILON, Question, Star, Union
 from repro.regex.derivatives import (

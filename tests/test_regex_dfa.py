@@ -4,7 +4,7 @@ equivalence, and cross-checks against the derivative matcher."""
 import pytest
 from hypothesis import given, settings
 
-from conftest import regexes, words
+from _fixtures import regexes, words
 from repro.regex import dfa
 from repro.regex.ast import Char, Star, Union
 from repro.regex.derivatives import matches

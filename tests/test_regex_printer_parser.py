@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, settings
 
-from conftest import regexes
+from _fixtures import regexes
 from repro.regex.ast import (
     Char,
     Concat,

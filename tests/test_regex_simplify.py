@@ -6,7 +6,7 @@ is checked against the DFA-equivalence oracle.
 
 from hypothesis import given, settings
 
-from conftest import regexes
+from _fixtures import regexes
 from repro.regex import dfa
 from repro.regex.ast import Char, Concat, EMPTY, EPSILON, Question, Star, Union
 from repro.regex.simplify import (

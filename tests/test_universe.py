@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from conftest import words
+from _fixtures import words
 from repro.language.universe import Universe, next_power_of_two
 from repro.regex.parser import parse
 
