@@ -1,0 +1,147 @@
+"""Serving-layer benchmarks: cold vs warm staging and batched serving.
+
+The evidence behind the session API redesign: staging (universe + guide
+table) is paid once per example-string set, and ``synthesize_many``
+serves a shared-universe batch from one enumeration sweep.
+
+:func:`test_emit_session_bench_artifact` writes ``BENCH_session.json``
+to the repo root — cold-vs-warm staging times and the 50-spec batch
+throughput against 50 cold ``synthesize()`` calls — and asserts the
+acceptance criteria: ≥ 3× batch speedup with results bit-identical to
+the one-shot facade.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from _bench_utils import REPO_ROOT
+from repro import Session, Spec, synthesize
+
+#: The shared word set of the batch workload: the paper's introduction
+#: example strings.  Every batched spec is a partition of this set, so
+#: all 50 share one universe ``ic(P ∪ N)``.
+BATCH_WORDS = ("", "0", "1", "00", "10", "100", "1000", "1001", "101",
+               "1010", "11", "010")
+
+BATCH_SIZE = 50
+
+
+def batch_specs(count: int = BATCH_SIZE) -> list:
+    """``count`` deterministic non-trivial partitions of the word set."""
+    specs = []
+    for k in range(count):
+        positives = [w for i, w in enumerate(BATCH_WORDS)
+                     if (i + k) % 3 == 0]
+        if not positives or len(positives) == len(BATCH_WORDS):
+            positives = [BATCH_WORDS[k % len(BATCH_WORDS)]]
+        negatives = [w for w in BATCH_WORDS if w not in positives]
+        specs.append(Spec(positives, negatives))
+    return specs
+
+
+def test_bench_cold_staging(benchmark):
+    spec = batch_specs(1)[0]
+
+    def cold():
+        return Session().staging_for(spec)
+
+    universe, _ = benchmark(cold)
+    assert universe.n_words > 10
+
+
+def test_bench_warm_staging(benchmark):
+    spec = batch_specs(1)[0]
+    session = Session()
+    session.staging_for(spec)
+    universe, _ = benchmark(lambda: session.staging_for(spec))
+    assert universe.n_words > 10
+    assert session.stats.staging_builds == 1
+
+
+def test_bench_synthesize_many(benchmark):
+    specs = batch_specs(10)
+
+    def serve():
+        return Session().synthesize_many(specs)
+
+    results = benchmark(serve)
+    assert all(r.found for r in results)
+
+
+# ----------------------------------------------------------------------
+# Perf-trajectory artifact: BENCH_session.json at the repo root
+# ----------------------------------------------------------------------
+
+def test_emit_session_bench_artifact():
+    """Measure the serving layer and record the perf trajectory.
+
+    Asserts the headline acceptance criteria of the session redesign:
+    ``synthesize_many`` on a 50-spec shared-universe batch is ≥ 3×
+    faster than 50 cold ``synthesize()`` calls, with bit-identical
+    results, and warm staging lookups cost (much) less than cold
+    builds.
+    """
+    specs = batch_specs(BATCH_SIZE)
+
+    # Cold vs warm staging.
+    probe = Session()
+    started = time.perf_counter()
+    probe.staging_for(specs[0])
+    staging_cold_s = time.perf_counter() - started
+    started = time.perf_counter()
+    probe.staging_for(specs[0])
+    staging_warm_s = time.perf_counter() - started
+    assert probe.stats.staging_builds == 1
+
+    # 50 cold facade calls (each pays staging + its own sweep).
+    started = time.perf_counter()
+    cold_results = [synthesize(spec) for spec in specs]
+    cold_s = time.perf_counter() - started
+
+    # One session, one staging build, one shared sweep.
+    session = Session()
+    started = time.perf_counter()
+    warm_results = session.synthesize_many(specs)
+    warm_s = time.perf_counter() - started
+    assert session.stats.staging_builds == 1
+    assert session.stats.batch_requests == BATCH_SIZE
+
+    identical = all(
+        (a.status, a.regex_str, a.cost) == (b.status, b.regex_str, b.cost)
+        for a, b in zip(cold_results, warm_results)
+    )
+    assert identical, "batched results must be bit-identical to the facade"
+
+    speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+    assert speedup >= 3.0, (
+        "synthesize_many must be >= 3x faster than cold calls, got %.2fx"
+        % speedup
+    )
+
+    artifact = {
+        "benchmark": "session serving layer",
+        "batch_size": BATCH_SIZE,
+        "universe_words": warm_results[0].universe_size,
+        "staging_cold_seconds": staging_cold_s,
+        "staging_warm_seconds": staging_warm_s,
+        "staging_speedup": (
+            staging_cold_s / staging_warm_s if staging_warm_s > 0
+            else float("inf")
+        ),
+        "cold_synthesize_seconds": cold_s,
+        "synthesize_many_seconds": warm_s,
+        "batch_speedup": speedup,
+        "batch_throughput_specs_per_second": BATCH_SIZE / warm_s,
+        "results_bit_identical": identical,
+        "solved": sum(1 for r in warm_results if r.found),
+    }
+    (REPO_ROOT / "BENCH_session.json").write_text(
+        json.dumps(artifact, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    print("\nBENCH_session.json:")
+    print(json.dumps(artifact, indent=2, sort_keys=True))

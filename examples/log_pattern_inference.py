@@ -13,7 +13,7 @@ Run with::
     python examples/log_pattern_inference.py
 """
 
-from repro import Spec, synthesize
+from repro import Session, Spec, SynthesisRequest
 from repro.regex.derivatives import matches
 
 
@@ -25,11 +25,20 @@ def main() -> None:
     spec = Spec(positive=LEGACY_IDS, negative=MODERN_IDS)
     print("alphabet inferred from examples:", "".join(spec.alphabet))
 
-    result = synthesize(spec)
-    assert result.found
+    # Both routing questions — "what is legacy?" and "what is modern?" —
+    # are partitions of the same identifier set, so the session serves
+    # them from one staging build and one shared enumeration sweep.
+    session = Session()
+    result, modern = session.synthesize_many([
+        SynthesisRequest(spec=spec, tag="legacy"),
+        SynthesisRequest(spec=Spec(MODERN_IDS, LEGACY_IDS), tag="modern"),
+    ])
+    assert result.found and modern.found
     print("legacy-service pattern:", result.regex_str)
-    print("cost %d, %d candidates, %.3fs"
-          % (result.cost, result.generated, result.elapsed_seconds))
+    print("modern-service pattern:", modern.regex_str)
+    print("cost %d, %d shared-sweep candidates, %.3fs (staging builds: %d)"
+          % (result.cost, result.extra["sweep_generated"],
+             result.elapsed_seconds, session.stats.staging_builds))
 
     # Deploy-time sanity check: classify unseen identifiers.
     print("\nrouting decisions for unseen identifiers:")

@@ -10,7 +10,7 @@ Run with::
     python examples/quickstart.py
 """
 
-from repro import CostFunction, Spec, synthesize
+from repro import CostFunction, Session, Spec, SynthesisRequest, synthesize
 
 
 def main() -> None:
@@ -43,6 +43,23 @@ def main() -> None:
     # rejects every negative example.
     assert spec.is_satisfied_by(result.regex)
     print("precision verified against the derivative matcher ✓")
+    print()
+
+    # Long-lived callers use a Session: the staged universe and guide
+    # table depend only on the example *strings*, so a second spec over
+    # the same strings — here the complementary question, "what matches
+    # the rejected class?" — reuses them instead of rebuilding.
+    session = Session()
+    first = session.synthesize(spec)
+    flipped = session.synthesize(
+        SynthesisRequest(spec=Spec(spec.negative, spec.positive))
+    )
+    assert first.regex == result.regex
+    print("session: complement class :", flipped.regex_str)
+    print("session: staging builds   : %d (1 build serves both specs, "
+          "%d reuse)" % (session.stats.staging_builds,
+                         session.stats.staging_hits))
+    assert session.stats.staging_builds == 1
 
 
 if __name__ == "__main__":

@@ -16,9 +16,23 @@ See docs/ARCHITECTURE.md for the system design and EXPERIMENTS.md for the
 reproduction of every table and figure of the paper.
 """
 
+# The core package must initialise before the api re-exports below:
+# ``core.synthesizer`` (the legacy facade) imports the session layer at
+# a point where every core module it needs is already loaded.
 from .core.incremental import IncrementalSynthesizer
 from .core.result import SynthesisResult
 from .core.synthesizer import make_engine, synthesize
+
+from .api import (
+    BackendRegistry,
+    CancellationToken,
+    EngineConfig,
+    ProgressEvent,
+    Session,
+    SynthesisRequest,
+    SynthesisService,
+    default_registry,
+)
 from .errors import CapacityError, InvalidSpecError, ReproError
 from .regex.ast import Regex
 from .regex.cost import ALPHAREGEX_COST, EVALUATION_COST_FUNCTIONS, CostFunction
@@ -26,9 +40,17 @@ from .regex.parser import parse
 from .regex.printer import to_string
 from .spec import Spec
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "BackendRegistry",
+    "CancellationToken",
+    "EngineConfig",
+    "ProgressEvent",
+    "Session",
+    "SynthesisRequest",
+    "SynthesisService",
+    "default_registry",
     "IncrementalSynthesizer",
     "SynthesisResult",
     "make_engine",

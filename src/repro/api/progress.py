@@ -1,0 +1,65 @@
+"""Progress streaming and cancellation primitives of the session API.
+
+A request's ``on_progress`` callback receives one :class:`ProgressEvent`
+per completed cost level and a final event with :attr:`ProgressEvent.done`
+set and the finished result attached — the serving-layer hook for
+streaming an incumbent to impatient clients.  :class:`CancellationToken`
+is the matching write-once switch for the ``cancel`` hook.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """A snapshot of a running (or just-finished) search.
+
+    ``cost`` is the highest fully-built cost level, ``generated`` and
+    ``stored`` the cumulative candidate and cache counters, and
+    ``elapsed_seconds`` the search wall-clock so far.  On the final
+    event ``done`` is True and ``incumbent`` carries the
+    :class:`~repro.core.result.SynthesisResult` — the minimal solution
+    when the status is ``"success"`` (the bottom-up sweep makes the
+    first solution the best one, so there is never a weaker incumbent
+    to stream before it).
+    """
+
+    cost: int
+    generated: int
+    stored: int
+    elapsed_seconds: float
+    done: bool = False
+    incumbent: Optional[object] = None
+
+
+class CancellationToken:
+    """A write-once cancellation switch, polled between cost levels.
+
+    Pass the token itself as a request's ``cancel`` hook (it is
+    callable) and flip it from any other control flow::
+
+        token = CancellationToken()
+        request = SynthesisRequest(spec, cancel=token)
+        ...
+        token.cancel()        # next level boundary stops the search
+    """
+
+    __slots__ = ("_cancelled",)
+
+    def __init__(self) -> None:
+        self._cancelled = False
+
+    def cancel(self) -> None:
+        """Request cancellation (idempotent)."""
+        self._cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        """True once :meth:`cancel` was called."""
+        return self._cancelled
+
+    def __call__(self) -> bool:
+        return self._cancelled

@@ -16,9 +16,17 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional
 
-from .core.synthesizer import synthesize
+from .api import (
+    EngineConfig,
+    ProgressEvent,
+    Session,
+    SynthesisRequest,
+    default_registry,
+)
+from .errors import ReproError
 from .eval.figures import figure1
 from .eval.tables import (
     ERROR_TABLE_SPEC,
@@ -40,19 +48,79 @@ from .suites.generator import (
 
 
 def _parse_cost(text: str) -> CostFunction:
-    parts = [int(piece) for piece in text.replace("(", "").replace(")", "").split(",")]
-    return CostFunction.from_tuple(tuple(parts))
+    """argparse type for ``--cost``: five comma-separated positive ints.
+
+    Malformed strings become clean ``argparse`` usage errors instead of
+    bare tracebacks.
+    """
+    cleaned = text.replace("(", "").replace(")", "").strip()
+    parts = [piece.strip() for piece in cleaned.split(",")] if cleaned else []
+    try:
+        values = tuple(int(piece) for piece in parts)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            "expected five comma-separated integers c1,c2,c3,c4,c5, got %r"
+            % text
+        )
+    if len(values) != 5:
+        raise argparse.ArgumentTypeError(
+            "expected exactly five cost components c1,c2,c3,c4,c5, got %d in %r"
+            % (len(values), text)
+        )
+    try:
+        return CostFunction.from_tuple(values)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc))
+
+
+def _parse_spec_file(path_text: str) -> Spec:
+    """argparse type for ``--spec-file``: a JSON spec (``Spec.to_json``
+    layout: ``positive``/``negative`` lists plus optional ``alphabet``)."""
+    try:
+        payload = Path(path_text).read_text(encoding="utf-8")
+    except OSError as exc:
+        raise argparse.ArgumentTypeError("cannot read spec file: %s" % exc)
+    try:
+        return Spec.from_json(payload)
+    except (ValueError, KeyError, TypeError, ReproError) as exc:
+        raise argparse.ArgumentTypeError(
+            "invalid spec JSON in %r: %s" % (path_text, exc)
+        )
 
 
 def _cmd_synth(args: argparse.Namespace) -> int:
-    spec = Spec(args.pos, args.neg)
-    result = synthesize(
-        spec,
-        cost_fn=_parse_cost(args.cost),
-        backend=args.backend,
-        allowed_error=args.error,
-        max_cache_size=args.max_cache,
-        max_generated=args.max_generated,
+    if args.spec_file is not None:
+        if args.pos or args.neg:
+            sys.stderr.write(
+                "repro synth: error: --spec-file cannot be combined with "
+                "--pos/--neg\n"
+            )
+            return 2
+        spec = args.spec_file
+    else:
+        spec = Spec(args.pos, args.neg)
+
+    def show_progress(event: ProgressEvent) -> None:
+        if not event.done:
+            print("  level %3d: %8d REs, %7d CSs, %.3f s"
+                  % (event.cost, event.generated, event.stored,
+                     event.elapsed_seconds))
+
+    session = Session(
+        EngineConfig(
+            backend=args.backend,
+            max_cache_size=args.max_cache,
+            max_generated=args.max_generated,
+        )
+    )
+    result = session.synthesize(
+        SynthesisRequest(
+            spec=spec,
+            cost_fn=args.cost,
+            allowed_error=args.error,
+            time_limit=args.time_limit,
+            on_progress=show_progress if args.progress else None,
+        )
     )
     print("status     :", result.status)
     if result.found:
@@ -130,14 +198,25 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("synth", help="infer a regex from examples")
     p.add_argument("--pos", nargs="*", default=[], help="positive examples")
     p.add_argument("--neg", nargs="*", default=[], help="negative examples")
-    p.add_argument("--cost", default="1,1,1,1,1",
+    p.add_argument("--spec-file", type=_parse_spec_file, default=None,
+                   dest="spec_file", metavar="PATH",
+                   help="read the spec from a JSON file (Spec.to_json "
+                        "layout) instead of --pos/--neg")
+    p.add_argument("--cost", type=_parse_cost, default="1,1,1,1,1",
                    help="cost homomorphism c1,c2,c3,c4,c5")
-    p.add_argument("--backend", default="vector", choices=["scalar", "vector",
-                                                           "cpu", "gpu"])
+    registry = default_registry()
+    p.add_argument("--backend", default="vector",
+                   choices=sorted(registry.names())
+                   + sorted(registry.aliases()))
     p.add_argument("--error", type=float, default=0.0, help="allowed error")
     p.add_argument("--max-cache", type=int, default=None, dest="max_cache")
     p.add_argument("--max-generated", type=int, default=None,
                    dest="max_generated")
+    p.add_argument("--time-limit", type=float, default=None, dest="time_limit",
+                   help="wall-clock budget in seconds (status 'cancelled' "
+                        "past it)")
+    p.add_argument("--progress", action="store_true",
+                   help="stream per-cost-level progress lines")
     p.set_defaults(func=_cmd_synth)
 
     p = sub.add_parser("table1", help="scalar vs vector engine comparison")

@@ -8,6 +8,8 @@ from .engine import (
     OP_QUESTION,
     OP_STAR,
     OP_UNION,
+    STATUS_BUDGET,
+    STATUS_CANCELLED,
     STATUS_NOT_FOUND,
     STATUS_OOM,
     STATUS_SUCCESS,
@@ -28,6 +30,8 @@ __all__ = [
     "OP_QUESTION",
     "OP_STAR",
     "OP_UNION",
+    "STATUS_BUDGET",
+    "STATUS_CANCELLED",
     "STATUS_NOT_FOUND",
     "STATUS_OOM",
     "STATUS_SUCCESS",

@@ -15,7 +15,8 @@ property the test-suite asserts.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Tuple
+import time
+from typing import Callable, Iterable, List, Optional, Tuple
 
 from ..language.guide_table import GuideTable
 from ..language.universe import Universe
@@ -38,10 +39,44 @@ STATUS_SUCCESS = "success"
 STATUS_NOT_FOUND = "not_found"
 STATUS_OOM = "oom"
 STATUS_BUDGET = "budget"
+STATUS_CANCELLED = "cancelled"
 
 
 class BudgetExhausted(Exception):
     """Internal control-flow signal: the ``max_generated`` cap was hit."""
+
+
+def cs_solves(cs: int, pos_mask: int, neg_mask: int, max_errors: int) -> bool:
+    """Does a CS satisfy the (possibly error-relaxed) mask pair?
+
+    The single source of truth for the solution predicate: the engines'
+    per-candidate checks and the session layer's batched multi-spec
+    scans both delegate here (or mirror it lane-wise), so solo and
+    batched serving can never drift apart.
+    """
+    if max_errors == 0:
+        return (cs & pos_mask) == pos_mask and (cs & neg_mask) == 0
+    mistakes = popcount((cs & pos_mask) ^ pos_mask)
+    mistakes += popcount(cs & neg_mask)
+    return mistakes <= max_errors
+
+
+def max_errors_for(allowed_error: float, n_examples: int) -> int:
+    """The example-misclassification budget of an ``allowed_error``
+    fraction (validates the fraction; paper §5.2)."""
+    if not 0.0 <= allowed_error < 1.0:
+        raise ValueError("allowed_error must be in [0, 1)")
+    return int(allowed_error * n_examples)
+
+
+class SweepCancelled(Exception):
+    """Internal control-flow signal: a level hook asked the sweep to stop.
+
+    Raised between cost levels when an :attr:`SearchEngine.on_level`
+    callback returns a truthy value, a :attr:`SearchEngine.cancel_check`
+    fires, or the wall-clock :attr:`SearchEngine.deadline` passes.  The
+    run ends with status :data:`STATUS_CANCELLED`.
+    """
 
 
 class SearchEngine:
@@ -59,15 +94,13 @@ class SearchEngine:
         check_uniqueness: bool = True,
         max_generated: Optional[int] = None,
     ) -> None:
-        if not 0.0 <= allowed_error < 1.0:
-            raise ValueError("allowed_error must be in [0, 1)")
         self.spec = spec
         self.cost_fn = cost_fn
         self.universe = universe
         self.guide = guide
         self.max_cache_size = max_cache_size
         self.allowed_error = allowed_error
-        self.max_errors = int(allowed_error * spec.n_examples)
+        self.max_errors = max_errors_for(allowed_error, spec.n_examples)
         self.use_guide_table = use_guide_table
         self.check_uniqueness = check_uniqueness
         self.max_generated = max_generated
@@ -92,6 +125,19 @@ class SearchEngine:
         # Cost of the level currently being built (used when recording a
         # solution from inside a batch kernel).
         self._current_cost = cost_fn.literal
+
+        #: Optional level hook ``(cost, start, end) -> bool``: called after
+        #: each *completed* cost level with the half-open cache range the
+        #: level stored; returning a truthy value stops the sweep with
+        #: status :data:`STATUS_CANCELLED`.  This is the seam the session
+        #: layer's progress streaming and batched multi-spec serving plug
+        #: into.
+        self.on_level: Optional[Callable[[int, int, int], object]] = None
+        #: Optional cancellation probe, checked between cost levels.
+        self.cancel_check: Optional[Callable[[], object]] = None
+        #: Optional ``time.perf_counter()`` deadline, checked between
+        #: cost levels.
+        self.deadline: Optional[float] = None
 
     # ------------------------------------------------------------------
     # Abstract surface (implemented by the scalar / vectorised engines)
@@ -128,16 +174,27 @@ class SearchEngine:
     # ------------------------------------------------------------------
     def solves_int(self, cs: int) -> bool:
         """Does this CS satisfy the (possibly error-relaxed) spec?"""
-        if self.max_errors == 0:
-            return (cs & self.pos_mask) == self.pos_mask and (cs & self.neg_mask) == 0
-        mistakes = popcount((cs & self.pos_mask) ^ self.pos_mask)
-        mistakes += popcount(cs & self.neg_mask)
-        return mistakes <= self.max_errors
+        return cs_solves(cs, self.pos_mask, self.neg_mask, self.max_errors)
 
     def _record_solution(self, op: int, left: int, right: int, cost: int) -> None:
         self.solution = (op, left, right)
         self.solution_cost = cost
         self.status = STATUS_SUCCESS
+
+    def disable_solution_checks(self) -> None:
+        """Turn the run into a pure enumeration sweep.
+
+        Replaces the spec masks with an unsatisfiable pair (the same bit
+        required set and clear), so no candidate ever registers as a
+        solution and the sweep only stops via ``max_cost``, the budget,
+        or an :attr:`on_level` hook.  Batched multi-spec serving drives
+        one such sweep and answers every attached query from the shared
+        cache — sound because enumeration order, dedupe and storage are
+        all independent of the specification.
+        """
+        self.pos_mask = 1
+        self.neg_mask = 1
+        self.max_errors = 0
 
     # ------------------------------------------------------------------
     # The sweep (Algorithm 1)
@@ -149,11 +206,23 @@ class SearchEngine:
         except BudgetExhausted:
             self.status = STATUS_BUDGET
             return self.status
+        except SweepCancelled:
+            self.status = STATUS_CANCELLED
+            return self.status
 
     def _check_budget(self) -> None:
         """Abort the sweep once ``max_generated`` candidates were built."""
         if self.max_generated is not None and self.generated >= self.max_generated:
             raise BudgetExhausted()
+
+    def _after_level(self, cost: int, start: int, end: int) -> None:
+        """Run the between-level hooks (progress, batch scan, cancel)."""
+        if self.on_level is not None and self.on_level(cost, start, end):
+            raise SweepCancelled()
+        if self.cancel_check is not None and self.cancel_check():
+            raise SweepCancelled()
+        if self.deadline is not None and time.perf_counter() > self.deadline:
+            raise SweepCancelled()
 
     def _run(self, max_cost: int) -> str:
         c1 = self.cost_fn.literal
@@ -164,6 +233,7 @@ class SearchEngine:
             return self.status
         self.cache.levels.mark(c1, 0, len(self.cache))
         self.levels_built = 1
+        self._after_level(c1, 0, len(self.cache))
 
         for cost in range(c1 + 1, max_cost + 1):
             if self.otf and not self._otf_can_build(cost):
@@ -186,6 +256,7 @@ class SearchEngine:
             self.levels_built += 1
             if not self.otf:
                 self.cache.levels.mark(cost, start, len(self.cache))
+            self._after_level(cost, start, len(self.cache))
         self.status = STATUS_NOT_FOUND
         return self.status
 

@@ -29,7 +29,7 @@ Example::
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from ..language.guide_table import GuideTable
@@ -38,7 +38,6 @@ from ..regex.cost import CostFunction
 from ..regex.derivatives import matches
 from ..spec import Spec
 from .result import SynthesisResult
-from .synthesizer import synthesize
 
 
 @dataclass
@@ -52,18 +51,48 @@ class IncrementalStats:
 
 
 class IncrementalSynthesizer:
-    """A specification that can grow, with cached staging and solution."""
+    """A specification that can grow, with cached staging and solution.
+
+    Serving goes through a :class:`~repro.api.session.Session` (pass
+    your own to share a backend registry and staging cache with other
+    request streams); the incremental-specific *superset* staging reuse
+    — the universe may cover more than the current spec's infixes after
+    removals and skipped searches — stays here, handed to the session as
+    explicit ``universe``/``guide`` overrides.
+    """
 
     def __init__(
         self,
         spec: Spec,
         cost_fn: Optional[CostFunction] = None,
         backend: str = "vector",
+        session=None,
         **synth_kwargs,
     ) -> None:
+        from ..api.config import EngineConfig, SynthesisRequest
+        from ..api.session import Session
+
         self.cost_fn = cost_fn if cost_fn is not None else CostFunction.uniform()
         self.backend = backend
-        self.synth_kwargs = synth_kwargs
+        config = EngineConfig(
+            backend=backend,
+            max_cache_size=synth_kwargs.pop("max_cache_size", None),
+            use_guide_table=synth_kwargs.pop("use_guide_table", True),
+            check_uniqueness=synth_kwargs.pop("check_uniqueness", True),
+            max_generated=synth_kwargs.pop("max_generated", None),
+        )
+        self._request_template = SynthesisRequest(
+            spec=spec,
+            cost_fn=self.cost_fn,
+            max_cost=synth_kwargs.pop("max_cost", None),
+            allowed_error=synth_kwargs.pop("allowed_error", 0.0),
+            config=config,
+        )
+        if synth_kwargs:
+            raise TypeError(
+                "unknown synthesis options: %s" % sorted(synth_kwargs)
+            )
+        self.session = session if session is not None else Session(config)
         self.stats = IncrementalStats()
         self._spec = spec
         self._universe: Optional[Universe] = None
@@ -156,11 +185,8 @@ class IncrementalSynthesizer:
 
     def _search(self) -> None:
         self.stats.searches_run += 1
-        self._result = synthesize(
-            self._spec,
-            cost_fn=self.cost_fn,
-            backend=self.backend,
+        self._result = self.session.synthesize(
+            self._request_template.replace(spec=self._spec),
             universe=self._universe,
             guide=self._guide,
-            **self.synth_kwargs,
         )

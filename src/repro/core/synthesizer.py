@@ -1,37 +1,37 @@
-"""The public synthesis entry point: :func:`synthesize`.
+"""The classic one-shot entry points: :func:`synthesize` and
+:func:`make_engine`.
 
-This is the facade over the whole Paresy pipeline: build the universe
-``ic(P ∪ N)`` and its guide table, pick an engine, run the cost sweep of
-Algorithm 1, and reconstruct the winning regular expression.
+Both are thin backward-compatible facades over the session-oriented API
+in :mod:`repro.api`: a :func:`synthesize` call builds a throwaway
+:class:`~repro.api.session.Session` around a
+:class:`~repro.api.config.SynthesisRequest`, so one-shot callers keep
+the original keyword surface while long-lived callers migrate to
+sessions and get staging reuse and batched serving for free.
+
+``BACKENDS`` and ``BACKEND_ALIASES`` are import-time snapshots of the
+default backend registry, kept for backward compatibility; new code
+should consult :func:`repro.api.default_registry`.
 """
 
 from __future__ import annotations
 
-import time
-from typing import Iterable, Optional, Union as TypingUnion
+from typing import Optional, Union as TypingUnion
 
+from ..api.config import EngineConfig, SynthesisRequest
+from ..api.registry import default_registry
+from ..api.session import Session
 from ..language.guide_table import GuideTable
 from ..language.universe import Universe
 from ..regex.cost import CostFunction
 from ..spec import Spec
-from .engine import STATUS_SUCCESS, SearchEngine
-from .reconstruct import reconstruct
+from .engine import SearchEngine
 from .result import SynthesisResult
-from .scalar_engine import ScalarEngine
-from .vector_engine import VectorEngine
 
-#: Names accepted by the ``backend`` parameter, mapped to engine classes.
-BACKENDS = {
-    "scalar": ScalarEngine,  # the paper's CPU implementation
-    "vector": VectorEngine,  # the paper's GPU implementation (numpy-simulated)
-}
+#: Legacy view: canonical backend names mapped to engine classes.
+BACKENDS = default_registry().backends()
 
-# Friendlier aliases.
-BACKEND_ALIASES = {
-    "cpu": "scalar",
-    "gpu": "vector",
-    "gpu-sim": "vector",
-}
+#: Legacy view: friendly aliases mapped to canonical names.
+BACKEND_ALIASES = default_registry().aliases()
 
 
 def make_engine(
@@ -52,17 +52,12 @@ def make_engine(
     universe/guide-table across runs (the paper's staging: those depend
     only on ``(P, N)``, not on the cost function).
     """
-    name = BACKEND_ALIASES.get(backend, backend)
-    if name not in BACKENDS:
-        raise ValueError(
-            "unknown backend %r; expected one of %s"
-            % (backend, sorted(BACKENDS) + sorted(BACKEND_ALIASES))
-        )
+    info = default_registry().resolve(backend)
     if universe is None:
         universe = Universe(spec.all_words, alphabet=spec.alphabet)
     if guide is None:
         guide = GuideTable(universe)
-    return BACKENDS[name](
+    return info.factory(
         spec,
         cost_fn,
         universe,
@@ -102,6 +97,7 @@ def synthesize(
         maximally-overfitted union of the positive examples, which
         guarantees termination with a solution for precise synthesis.
     backend:
+        Any name or alias known to the backend registry —
         ``"scalar"``/``"cpu"`` for the sequential engine, or
         ``"vector"``/``"gpu"`` for the data-parallel engine (default).
     max_cache_size:
@@ -116,7 +112,9 @@ def synthesize(
         table with per-construction split computation, or disable the
         uniqueness check.  Defaults reproduce the paper's algorithm.
     universe / guide:
-        Pre-built staging structures to share across runs.
+        Pre-built staging structures to share across runs (long-lived
+        callers should prefer a :class:`~repro.api.session.Session`,
+        which caches them automatically).
 
     Returns
     -------
@@ -126,45 +124,19 @@ def synthesize(
     if not isinstance(spec, Spec):
         positives, negatives = spec
         spec = Spec(positives, negatives)
-    if cost_fn is None:
-        cost_fn = CostFunction.uniform()
-    if max_cost is None:
-        max_cost = max(cost_fn.overfit_cost(spec.positive), cost_fn.literal)
-
-    engine = make_engine(
-        spec,
-        cost_fn,
-        backend=backend,
-        universe=universe,
-        guide=guide,
-        max_cache_size=max_cache_size,
-        allowed_error=allowed_error,
-        use_guide_table=use_guide_table,
-        check_uniqueness=check_uniqueness,
-        max_generated=max_generated,
-    )
-    started = time.perf_counter()
-    status = engine.run(max_cost)
-    elapsed = time.perf_counter() - started
-
-    result = SynthesisResult(
-        status=status,
+    request = SynthesisRequest(
         spec=spec,
-        backend=BACKEND_ALIASES.get(backend, backend),
-        cost_function=cost_fn.as_tuple(),
-        allowed_error=allowed_error,
+        cost_fn=cost_fn,
         max_cost=max_cost,
-        generated=engine.generated,
-        unique_cs=len(engine.cache),
-        universe_size=engine.universe.n_words,
-        padded_bits=engine.universe.padded_bits,
-        levels_built=engine.levels_built,
-        elapsed_seconds=elapsed,
-        extra={"level_stats": engine.level_stats},
+        allowed_error=allowed_error,
+        max_generated=max_generated,
+        config=EngineConfig(
+            backend=backend,
+            max_cache_size=max_cache_size,
+            use_guide_table=use_guide_table,
+            check_uniqueness=check_uniqueness,
+        ),
     )
-    if status == STATUS_SUCCESS:
-        result.regex = reconstruct(
-            engine.solution, engine.cache.provenance, engine.universe.alphabet
-        )
-        result.cost = engine.solution_cost
-    return result
+    # A throwaway session: one-shot semantics (no cross-call caching),
+    # identical staging behaviour to the original facade.
+    return Session(request.config).synthesize(request, universe=universe, guide=guide)

@@ -210,6 +210,13 @@ class VectorEngine(SearchEngine):
     def cache(self) -> PackedCache:
         return self._cache
 
+    def disable_solution_checks(self) -> None:
+        """See :meth:`SearchEngine.disable_solution_checks`; also resets
+        the precomputed lane-array masks the batched check uses."""
+        super().disable_solution_checks()
+        self._pos_lanes = int_to_lanes(self.pos_mask, self.universe.lanes)
+        self._neg_lanes = int_to_lanes(self.neg_mask, self.universe.lanes)
+
     # ------------------------------------------------------------------
     def _solve_flags(self, rows: np.ndarray) -> np.ndarray:
         """Vectorised ``|= (P, N)`` (error-relaxed when configured)."""

@@ -12,8 +12,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from ..api import EngineConfig, Session, SynthesisRequest
 from ..baselines.alpharegex import alpharegex_synthesize
-from ..core.synthesizer import synthesize
 from ..language.guide_table import GuideTable
 from ..language.universe import Universe
 from ..regex.cost import ALPHAREGEX_COST, CostFunction
@@ -58,23 +58,32 @@ def time_paresy(
     max_cache_size: Optional[int] = None,
     allowed_error: float = 0.0,
     staging: Optional[Tuple[Universe, GuideTable]] = None,
+    session: Optional[Session] = None,
 ) -> RunRecord:
-    """Run Paresy ``repeats`` times; report the mean wall-clock."""
-    universe, guide = staging if staging is not None else staging_for(spec)
+    """Run Paresy ``repeats`` times; report the mean wall-clock.
+
+    Requests go through the session layer; pass a shared ``session`` so
+    a whole table's sweep reuses staged artifacts, or explicit
+    ``staging`` to control exactly what is shared (the per-call
+    ``backend``/budget arguments override the session's own config).
+    """
+    config = EngineConfig(
+        backend=backend,
+        max_cache_size=max_cache_size,
+        max_generated=max_generated,
+    )
+    owner = session if session is not None else Session(config)
+    universe, guide = (
+        staging if staging is not None else owner.staging_for(spec)
+    )
+    request = SynthesisRequest(
+        spec=spec, cost_fn=cost_fn, allowed_error=allowed_error, config=config
+    )
     elapsed: List[float] = []
     result = None
     for _ in range(max(1, repeats)):
         started = time.perf_counter()
-        result = synthesize(
-            spec,
-            cost_fn=cost_fn,
-            backend=backend,
-            max_generated=max_generated,
-            max_cache_size=max_cache_size,
-            allowed_error=allowed_error,
-            universe=universe,
-            guide=guide,
-        )
+        result = owner.synthesize(request, universe=universe, guide=guide)
         elapsed.append(time.perf_counter() - started)
     assert result is not None
     return RunRecord(

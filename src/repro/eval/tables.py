@@ -23,7 +23,8 @@ from ..suites.generator import (
     GeneratedBenchmark,
     generate_suite,
 )
-from .harness import staging_for, time_alpharegex, time_paresy
+from ..api import Session
+from .harness import time_alpharegex, time_paresy
 from .reporting import render_table
 
 #: The exact specification of the paper's §5.2 allowed-error table
@@ -55,6 +56,7 @@ def _hardest_benchmark(
     pool: Sequence[GeneratedBenchmark],
     cost_fn: CostFunction,
     max_generated: int,
+    session: Optional[Session] = None,
 ) -> Tuple[Optional[GeneratedBenchmark], int]:
     """The pool benchmark with the most generated candidates that still
     completes within the budget — the scaled analogue of the paper's
@@ -69,6 +71,7 @@ def _hardest_benchmark(
             cost_fn,
             backend="vector",
             max_generated=max_generated,
+            session=session,
         )
         if record.status == "success" and record.generated > best_generated:
             best = bench
@@ -96,17 +99,22 @@ def table1(
                  "GPU-sim s", "Speed-up", "# REs"],
     )
     speedups: List[float] = []
+    # One session for the whole table: every cost-function sweep over a
+    # pool benchmark reuses its staged universe/guide table (the paper's
+    # staging split, institutionalised by the serving layer).
+    session = Session()
     for benchmark_type, params in ((1, SCALED_TYPE1_PARAMS), (2, SCALED_TYPE2_PARAMS)):
         pool = generate_suite(benchmark_type, pool_size, params, base_seed)
         for cost_fn in cost_functions:
-            bench, _ = _hardest_benchmark(pool, cost_fn, max_generated)
+            bench, _ = _hardest_benchmark(pool, cost_fn, max_generated,
+                                          session=session)
             if bench is None:
                 table.rows.append(
                     [benchmark_type, "-", "-", "-", str(cost_fn.as_tuple()),
                      None, None, None, None]
                 )
                 continue
-            staging = staging_for(bench.spec)
+            staging = session.staging_for(bench.spec)
             cpu = time_paresy(bench.name, bench.spec, cost_fn, "scalar",
                               repeats=repeats, staging=staging)
             gpu = time_paresy(bench.name, bench.spec, cost_fn, "vector",
@@ -230,7 +238,8 @@ def error_table(
     """
     if cost_fn is None:
         cost_fn = CostFunction.uniform()
-    staging = staging_for(spec)
+    session = Session()
+    staging = session.staging_for(spec)
     table = TableData(
         title="Allowed-error vs synthesis cost (paper §5.2 specification)",
         headers=["Allowed Error", "# REs", "RE", "Cost(RE)"],
@@ -244,6 +253,7 @@ def error_table(
             max_generated=max_generated,
             allowed_error=error,
             staging=staging,
+            session=session,
         )
         ok = record.status == "success"
         table.rows.append(

@@ -43,6 +43,76 @@ class TestSynthCommand:
         assert "cost       : 5" in capsys.readouterr().out
 
 
+class TestCostParsing:
+    @pytest.mark.parametrize("bad", ["", "abc", "1,2", "1,2,3,4,5,6",
+                                     "1,,2,3,4", "(1,2,x,4,5)"])
+    def test_malformed_cost_is_a_clean_usage_error(self, bad, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["synth", "--pos", "0", "--neg", "1", "--cost", bad])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "--cost" in err
+        assert "Traceback" not in err
+
+    def test_non_positive_component_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["synth", "--pos", "0", "--neg", "1", "--cost", "1,0,1,1,1"])
+        assert excinfo.value.code == 2
+
+    def test_parenthesised_cost_still_accepted(self, capsys):
+        assert main(["synth", "--pos", "0", "--neg", "1",
+                     "--cost", "(5, 5, 5, 5, 5)"]) == 0
+
+
+class TestSpecFile:
+    def test_round_trips_spec_json(self, tmp_path, capsys):
+        from repro.spec import Spec
+
+        spec = Spec(["10", "100"], ["", "0", "1"])
+        path = tmp_path / "spec.json"
+        path.write_text(spec.to_json(), encoding="utf-8")
+        assert main(["synth", "--spec-file", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "status     : success" in out
+
+    def test_missing_file_is_a_usage_error(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["synth", "--spec-file", str(tmp_path / "nope.json")])
+        assert excinfo.value.code == 2
+        assert "cannot read spec file" in capsys.readouterr().err
+
+    def test_invalid_json_is_a_usage_error(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["synth", "--spec-file", str(path)])
+        assert excinfo.value.code == 2
+        assert "invalid spec JSON" in capsys.readouterr().err
+
+    def test_conflicts_with_pos_neg(self, tmp_path, capsys):
+        from repro.spec import Spec
+
+        path = tmp_path / "spec.json"
+        path.write_text(Spec(["0"], ["1"]).to_json(), encoding="utf-8")
+        code = main(["synth", "--spec-file", str(path), "--pos", "0"])
+        assert code == 2
+        assert "cannot be combined" in capsys.readouterr().err
+
+
+class TestProgressAndLimits:
+    def test_progress_streams_level_lines(self, capsys):
+        assert main(["synth", "--pos", "10", "100", "--neg", "", "0",
+                     "--progress"]) == 0
+        out = capsys.readouterr().out
+        assert "level" in out
+
+    def test_time_limit_zero_reports_cancelled(self, capsys):
+        code = main(["synth", "--pos", "0101", "--neg", "01",
+                     "--time-limit", "0"])
+        assert code == 1
+        assert "cancelled" in capsys.readouterr().out
+
+
 class TestSuiteCommand:
     def test_prints_benchmarks(self, capsys):
         code = main(["suite", "--type", "2", "--count", "3"])
