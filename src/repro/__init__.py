@@ -12,6 +12,11 @@ Quick start::
     result = synthesize(spec, cost_fn=CostFunction.uniform())
     print(result.regex_str)   # 10(0+1)*
 
+For many requests, use a :class:`Session` (staging reuse, batched
+serving); for multi-core, restart-durable serving, use
+:class:`repro.service.ServiceClient` or the ``repro serve`` /
+``repro submit`` CLI (see docs/README.md).
+
 See docs/ARCHITECTURE.md for the system design and EXPERIMENTS.md for the
 reproduction of every table and figure of the paper.
 """
@@ -34,15 +39,18 @@ from .api import (
     default_registry,
 )
 from .errors import CapacityError, InvalidSpecError, ReproError
+from .service import ServiceClient, WorkerPool
 from .regex.ast import Regex
 from .regex.cost import ALPHAREGEX_COST, EVALUATION_COST_FUNCTIONS, CostFunction
 from .regex.parser import parse
 from .regex.printer import to_string
 from .spec import Spec
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
+    "ServiceClient",
+    "WorkerPool",
     "BackendRegistry",
     "CancellationToken",
     "EngineConfig",

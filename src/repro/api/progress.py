@@ -19,8 +19,13 @@ class ProgressEvent:
 
     ``cost`` is the highest fully-built cost level, ``generated`` and
     ``stored`` the cumulative candidate and cache counters, and
-    ``elapsed_seconds`` the search wall-clock so far.  On the final
-    event ``done`` is True and ``incumbent`` carries the
+    ``elapsed_seconds`` the serving-side wall-clock since the request
+    started.  ``elapsed_s`` is the *engine's own* monotonic clock
+    (``time.monotonic()`` since the sweep began, populated by the
+    engine-level hooks): it travels with the event, so a progress stream
+    forwarded across a process boundary stays self-describing — the
+    receiver never has to reconstruct timing from its own clocks.  On
+    the final event ``done`` is True and ``incumbent`` carries the
     :class:`~repro.core.result.SynthesisResult` — the minimal solution
     when the status is ``"success"`` (the bottom-up sweep makes the
     first solution the best one, so there is never a weaker incumbent
@@ -33,6 +38,7 @@ class ProgressEvent:
     elapsed_seconds: float
     done: bool = False
     incumbent: Optional[object] = None
+    elapsed_s: float = 0.0
 
 
 class CancellationToken:

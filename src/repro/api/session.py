@@ -130,10 +130,18 @@ class Session:
         guide = GuideTable(universe)
         guide.flat  # materialise the FlatGuideTable as part of staging
         self.stats.staging_builds += 1
-        self._staged[key] = (universe, guide)
+        self._remember(key, (universe, guide))
+        return universe, guide
+
+    def _remember(self, key: StagingKey, staged) -> None:
+        """Insert into the staging cache, honouring the LRU bound.
+
+        The one place the cache-insert policy lives — store-backed
+        sessions reuse it when adopting artifacts loaded from disk.
+        """
+        self._staged[key] = staged
         if self.max_staged is not None and len(self._staged) > self.max_staged:
             self._staged.popitem(last=False)
-        return universe, guide
 
     def clear(self) -> None:
         """Drop every staged artifact (stats are kept)."""
@@ -209,6 +217,7 @@ class Session:
                         generated=engine.generated,
                         stored=len(engine.cache),
                         elapsed_seconds=time.perf_counter() - started,
+                        elapsed_s=engine.elapsed_s,
                     )
                 )
                 return False
@@ -252,6 +261,7 @@ class Session:
                     elapsed_seconds=elapsed,
                     done=True,
                     incumbent=result,
+                    elapsed_s=engine.elapsed_s,
                 )
             )
         return result

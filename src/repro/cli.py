@@ -3,6 +3,9 @@
 Commands
 --------
 synth        infer a regex from --pos/--neg examples
+serve        run the multi-core synthesis service over a store directory
+submit       submit a job (or a cancellation) to a running service
+backends     list the registered engines, aliases and capabilities
 table1       regenerate Table 1 (scalar vs vector engines)
 table2       regenerate Table 2 (AlphaRegex vs Paresy)
 figure1      regenerate Figure 1 (cost-function impact)
@@ -10,12 +13,21 @@ outliers     duration-distribution table over a Figure-1 sweep
 error-table  regenerate the §5.2 allowed-error table
 ablations    run the E6 design-choice ablations
 suite        print a generated Type 1/2 benchmark suite
+
+``serve``/``submit`` speak a file-based protocol over the service store
+directory: ``submit`` drops a content-addressed job file into
+``<store>/inbox/`` (and a ``<id>.cancel`` marker to cancel), ``serve``
+watches the inbox, runs jobs on its worker pool, and answers into
+``<store>/outbox/<id>.json``.  The same store holds the persistent
+staging/result caches, so a restarted server warm-starts.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import time
 from pathlib import Path
 from typing import List, Optional
 
@@ -39,6 +51,14 @@ from .eval.tables import (
     table2,
 )
 from .regex.cost import CostFunction
+from .service import (
+    PRIORITY_HIGH,
+    PRIORITY_LOW,
+    PRIORITY_NORMAL,
+    ServiceClient,
+    WireRequest,
+)
+from .service.store import atomic_write_bytes
 from .spec import Spec
 from .suites.generator import (
     SCALED_TYPE1_PARAMS,
@@ -134,6 +154,295 @@ def _cmd_synth(args: argparse.Namespace) -> int:
     return 0 if result.found else 1
 
 
+def _cmd_backends(args: argparse.Namespace) -> int:
+    registry = default_registry()
+    for name in registry.names():
+        info = registry.resolve(name)
+        aliases = ", ".join(info.aliases) if info.aliases else "-"
+        capabilities = ", ".join(sorted(info.capabilities)) or "-"
+        print("%-8s aliases: %-14s capabilities: %s" % (name, aliases,
+                                                        capabilities))
+        if info.description:
+            print("         %s" % info.description)
+    return 0
+
+
+_PRIORITIES = {"high": PRIORITY_HIGH, "normal": PRIORITY_NORMAL,
+               "low": PRIORITY_LOW}
+
+#: Service-store subdirectories of the file-based serve/submit protocol.
+INBOX_SUBDIR = "inbox"
+OUTBOX_SUBDIR = "outbox"
+
+#: How long (seconds) an unmatched ``.cancel`` marker is kept waiting
+#: for its job file.  Bounded so a stale marker cannot silently cancel
+#: a legitimate resubmission of the same content address days later.
+CANCEL_MARKER_TTL_S = 60.0
+
+
+def _store_dirs(store: str):
+    root = Path(store)
+    inbox = root / INBOX_SUBDIR
+    outbox = root / OUTBOX_SUBDIR
+    inbox.mkdir(parents=True, exist_ok=True)
+    outbox.mkdir(parents=True, exist_ok=True)
+    return root, inbox, outbox
+
+
+def _atomic_write_json(path: Path, payload: dict) -> None:
+    """Write atomically so the serve loop never reads a partial file."""
+    atomic_write_bytes(
+        path,
+        json.dumps(payload, indent=2, sort_keys=True).encode("utf-8"),
+    )
+
+
+def _result_payload(fingerprint: str, handle, result) -> dict:
+    payload = result.to_dict()
+    payload["fingerprint"] = fingerprint
+    payload["job_id"] = handle.job_id
+    payload["deduplicated"] = handle.deduplicated
+    payload["from_store"] = handle.from_store
+    return payload
+
+
+#: Everything a malformed job payload can raise while being decoded.
+_JOB_PAYLOAD_ERRORS = (ValueError, KeyError, TypeError, ReproError)
+
+
+def _parse_job_payload(text: str, default_priority: int):
+    """Decode one job payload (inbox file or JSONL line) into a
+    ``(WireRequest, priority)`` pair; raises `_JOB_PAYLOAD_ERRORS`."""
+    payload = json.loads(text)
+    priority = int(payload.pop("priority", default_priority))
+    return WireRequest.from_json_dict(payload), priority
+
+
+def _serve_one_inbox_file(client, path: Path, inflight: dict,
+                          default_priority: int) -> Optional[str]:
+    """Submit one inbox job file; returns its fingerprint (None on a
+    malformed file, which is renamed aside instead of crashing the
+    server).
+
+    ``inflight`` is keyed by the payload's *computed* fingerprint —
+    never by the file name, which is only the protocol convention —
+    and a content-duplicate under a second name simply joins the live
+    entry's path list (both files are consumed when the job answers).
+    """
+    try:
+        wire, priority = _parse_job_payload(
+            path.read_text(encoding="utf-8"), default_priority)
+    except _JOB_PAYLOAD_ERRORS as exc:
+        sys.stderr.write("repro serve: skipping %s: %s\n" % (path.name, exc))
+        path.rename(path.with_suffix(".rejected"))
+        return None
+    fingerprint = wire.fingerprint()
+    entry = inflight.get(fingerprint)
+    if entry is not None:
+        # Duplicate content: still submit, so the pool counts the
+        # dedupe and escalates the live job's priority if this
+        # submission is more urgent; keep the first handle (the joined
+        # one answers identically).
+        client.submit(wire, priority=priority)
+        if path not in entry[1]:
+            entry[1].append(path)
+        return fingerprint
+    handle = client.submit(wire, priority=priority)
+    inflight[fingerprint] = (handle, [path])
+    return fingerprint
+
+
+def _drain_finished(outbox: Path, inflight: dict,
+                    submitted_paths: Optional[dict] = None) -> int:
+    """Write outbox answers for finished jobs; returns how many."""
+    finished = [fp for fp, (handle, _) in inflight.items() if handle.done]
+    for fp in finished:
+        handle, job_paths = inflight.pop(fp)
+        try:
+            result = handle.result(timeout=0)
+        except Exception as exc:  # worker crash: answer with the error
+            _atomic_write_json(outbox / ("%s.json" % fp),
+                               {"fingerprint": fp, "status": "failed",
+                                "error": str(exc)})
+        else:
+            _atomic_write_json(outbox / ("%s.json" % fp),
+                               _result_payload(fp, handle, result))
+            print("served %s: %s%s" % (
+                fp[:12], result.status,
+                " %s" % result.regex_str if result.found else ""))
+        for job_path in job_paths:
+            if job_path.exists():
+                job_path.unlink()
+            if submitted_paths is not None:
+                submitted_paths.pop(job_path, None)
+    return len(finished)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.jobs is None and not args.watch:
+        sys.stderr.write(
+            "repro serve: error: need --jobs FILE, --watch, or both\n")
+        return 2
+    root, inbox, outbox = _store_dirs(args.store)
+    config = EngineConfig(backend=args.backend)
+    client = ServiceClient(
+        workers=args.workers,
+        config=config,
+        store_dir=str(root),
+        per_worker_depth=args.depth,
+        reuse_results=args.reuse_results,
+    )
+    inflight: dict = {}
+    served = 0
+    with client:
+        print("repro serve: %d workers (%s), store %s"
+              % (args.workers, args.backend, root))
+        if args.jobs is not None:
+            with open(args.jobs, "r", encoding="utf-8") as handle:
+                for number, line in enumerate(handle, start=1):
+                    line = line.strip()
+                    if not line or line.startswith("#"):
+                        continue
+                    try:
+                        wire, priority = _parse_job_payload(
+                            line, PRIORITY_NORMAL)
+                    except _JOB_PAYLOAD_ERRORS as exc:
+                        sys.stderr.write(
+                            "repro serve: skipping %s line %d: %s\n"
+                            % (args.jobs, number, exc))
+                        continue
+                    # A duplicate line joins the live job at the pool
+                    # level (counted in the dedupe stats); keep the
+                    # FIRST handle so its answer is never dropped even
+                    # if the job finishes mid-submission.
+                    fingerprint = wire.fingerprint()
+                    handle = client.submit(wire, priority=priority)
+                    if fingerprint not in inflight:
+                        inflight[fingerprint] = (handle, [])
+        if not args.watch:
+            while inflight:
+                served += _drain_finished(outbox, inflight)
+                time.sleep(0.01)
+        else:
+            last_activity = time.monotonic()
+            submitted_paths: dict = {}
+            try:
+                while True:
+                    activity = 0
+                    # Job files first, so a cancellation that lands in
+                    # the same poll tick as (or before) its job file
+                    # finds the job in flight instead of being lost.
+                    # Paths (not names) are the seen-guard: file names
+                    # are only the protocol convention, the job's
+                    # identity is its computed content fingerprint.  A
+                    # changed mtime re-processes the file, so a repeat
+                    # `repro submit --priority high` of an in-flight
+                    # spec (same content address, new payload) still
+                    # reaches the pool and escalates the live job.
+                    for path in sorted(inbox.glob("*.json")):
+                        try:
+                            mtime = path.stat().st_mtime
+                        except OSError:
+                            continue
+                        if submitted_paths.get(path) == mtime:
+                            continue
+                        if _serve_one_inbox_file(client, path, inflight,
+                                                 PRIORITY_NORMAL):
+                            activity += 1
+                            submitted_paths[path] = mtime
+                    for path in sorted(inbox.glob("*.cancel")):
+                        fingerprint = path.stem
+                        entry = inflight.get(fingerprint)
+                        if entry is not None:
+                            entry[0].cancel()
+                            activity += 1
+                            path.unlink()
+                        elif (outbox / ("%s.json" % fingerprint)).exists():
+                            path.unlink()  # already answered: moot
+                        else:
+                            # Keep the marker briefly — the job file may
+                            # still be on its way (cancel-before-submit)
+                            # — but expire it so it cannot ambush a
+                            # future resubmission of the same spec.
+                            try:
+                                age = time.time() - path.stat().st_mtime
+                            except OSError:
+                                continue
+                            if age > CANCEL_MARKER_TTL_S:
+                                path.unlink()
+                    drained = _drain_finished(outbox, inflight,
+                                              submitted_paths)
+                    served += drained
+                    activity += drained
+                    if activity:
+                        last_activity = time.monotonic()
+                    elif (args.idle_timeout is not None and not inflight
+                          and time.monotonic() - last_activity
+                          > args.idle_timeout):
+                        break
+                    time.sleep(args.poll_interval)
+            except KeyboardInterrupt:  # pragma: no cover - interactive
+                pass
+        stats = client.stats
+    print("repro serve: done (%d served, %d deduplicated, %d cancelled, "
+          "%d affinity hits, %d steals)"
+          % (served, stats["deduplicated"], stats["cancelled"],
+             stats["affinity_hits"], stats["steals"]))
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    root, inbox, outbox = _store_dirs(args.store)
+    if args.cancel is not None:
+        marker = inbox / ("%s.cancel" % args.cancel)
+        marker.write_text("", encoding="utf-8")
+        print("cancellation requested for %s" % args.cancel)
+        return 0
+    if args.spec_file is not None:
+        if args.pos or args.neg:
+            sys.stderr.write(
+                "repro submit: error: --spec-file cannot be combined with "
+                "--pos/--neg\n")
+            return 2
+        spec = args.spec_file
+    else:
+        spec = Spec(args.pos, args.neg)
+    wire = WireRequest(
+        spec=spec,
+        cost_fn=args.cost if isinstance(args.cost, CostFunction) else None,
+        max_cost=args.max_cost,
+        allowed_error=args.error,
+        max_generated=args.max_generated,
+        time_limit=args.time_limit,
+        config=EngineConfig(backend=default_registry().canonical(args.backend)),
+    )
+    fingerprint = wire.fingerprint()
+    payload = wire.to_json_dict()
+    payload["priority"] = _PRIORITIES[args.priority]
+    _atomic_write_json(inbox / ("%s.json" % fingerprint), payload)
+    print("job id     :", fingerprint)
+    if not args.wait:
+        print("submitted; result will appear at %s"
+              % (outbox / ("%s.json" % fingerprint)))
+        return 0
+    answer_path = outbox / ("%s.json" % fingerprint)
+    deadline = time.monotonic() + args.timeout
+    while not answer_path.exists():
+        if time.monotonic() > deadline:
+            sys.stderr.write(
+                "repro submit: timed out after %.0f s waiting for %s\n"
+                % (args.timeout, answer_path))
+            return 3
+        time.sleep(0.05)
+    answer = json.loads(answer_path.read_text(encoding="utf-8"))
+    print("status     :", answer.get("status"))
+    if answer.get("regex"):
+        print("regex      :", answer["regex"])
+        print("cost       :", answer.get("cost"))
+    print("elapsed    : %.4f s" % (answer.get("elapsed_seconds") or 0.0))
+    return 0 if answer.get("status") == "success" else 1
+
+
 def _cmd_table1(args: argparse.Namespace) -> int:
     print(table1(pool_size=args.pool, max_generated=args.max_generated,
                  repeats=args.repeats).render())
@@ -218,6 +527,66 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--progress", action="store_true",
                    help="stream per-cost-level progress lines")
     p.set_defaults(func=_cmd_synth)
+
+    p = sub.add_parser("backends",
+                       help="list registered engines and capabilities")
+    p.set_defaults(func=_cmd_backends)
+
+    p = sub.add_parser("serve", help="run the multi-core synthesis service")
+    p.add_argument("--store", required=True,
+                   help="service store directory (staging/result caches, "
+                        "inbox/outbox protocol)")
+    p.add_argument("--workers", type=int, default=4)
+    p.add_argument("--backend", default="vector",
+                   choices=sorted(registry.names())
+                   + sorted(registry.aliases()))
+    p.add_argument("--depth", type=int, default=2,
+                   help="max jobs in flight per worker")
+    p.add_argument("--jobs", default=None, metavar="FILE",
+                   help="JSONL job file to serve (batch mode)")
+    p.add_argument("--watch", action="store_true",
+                   help="watch <store>/inbox for submitted jobs")
+    p.add_argument("--idle-timeout", type=float, default=None,
+                   dest="idle_timeout", metavar="SECONDS",
+                   help="with --watch: exit after this long without "
+                        "activity (default: run until interrupted)")
+    p.add_argument("--poll-interval", type=float, default=0.1,
+                   dest="poll_interval", help=argparse.SUPPRESS)
+    p.add_argument("--reuse-results", action="store_true",
+                   dest="reuse_results",
+                   help="answer repeat submissions from the persistent "
+                        "result store without re-running")
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser("submit",
+                       help="submit a job to a running `repro serve`")
+    p.add_argument("--store", required=True,
+                   help="the service's store directory")
+    p.add_argument("--pos", nargs="*", default=[], help="positive examples")
+    p.add_argument("--neg", nargs="*", default=[], help="negative examples")
+    p.add_argument("--spec-file", type=_parse_spec_file, default=None,
+                   dest="spec_file", metavar="PATH")
+    p.add_argument("--cost", type=_parse_cost, default=None,
+                   help="cost homomorphism c1,c2,c3,c4,c5")
+    p.add_argument("--backend", default="vector",
+                   choices=sorted(registry.names())
+                   + sorted(registry.aliases()))
+    p.add_argument("--error", type=float, default=0.0, help="allowed error")
+    p.add_argument("--max-cost", type=int, default=None, dest="max_cost")
+    p.add_argument("--max-generated", type=int, default=None,
+                   dest="max_generated")
+    p.add_argument("--time-limit", type=float, default=None,
+                   dest="time_limit")
+    p.add_argument("--priority", choices=sorted(_PRIORITIES),
+                   default="normal")
+    p.add_argument("--wait", action="store_true",
+                   help="block until the result appears in the outbox")
+    p.add_argument("--timeout", type=float, default=300.0,
+                   help="--wait timeout in seconds")
+    p.add_argument("--cancel", default=None, metavar="JOB_ID",
+                   help="cancel a previously submitted job id instead of "
+                        "submitting")
+    p.set_defaults(func=_cmd_submit)
 
     p = sub.add_parser("table1", help="scalar vs vector engine comparison")
     p.add_argument("--pool", type=int, default=8)

@@ -133,11 +133,19 @@ class SearchEngine:
         #: layer's progress streaming and batched multi-spec serving plug
         #: into.
         self.on_level: Optional[Callable[[int, int, int], object]] = None
-        #: Optional cancellation probe, checked between cost levels.
+        #: Optional cancellation probe, checked at sweep start and
+        #: between cost levels.  Any zero-argument truth-valued callable
+        #: works; the service layer's worker watchdog points this at a
+        #: process-local flag it keeps in sync with the cross-process
+        #: cancellation event, so the poll itself never does IPC.
         self.cancel_check: Optional[Callable[[], object]] = None
         #: Optional ``time.perf_counter()`` deadline, checked between
         #: cost levels.
         self.deadline: Optional[float] = None
+        #: ``time.monotonic()`` timestamp of the current :meth:`run`
+        #: (None before the first run).  Progress events derive their
+        #: self-describing ``elapsed_s`` from this clock.
+        self.run_started_monotonic: Optional[float] = None
 
     # ------------------------------------------------------------------
     # Abstract surface (implemented by the scalar / vectorised engines)
@@ -201,6 +209,7 @@ class SearchEngine:
     # ------------------------------------------------------------------
     def run(self, max_cost: int) -> str:
         """Sweep costs up to ``max_cost``; returns the final status."""
+        self.run_started_monotonic = time.monotonic()
         try:
             return self._run(max_cost)
         except BudgetExhausted:
@@ -210,21 +219,39 @@ class SearchEngine:
             self.status = STATUS_CANCELLED
             return self.status
 
+    @property
+    def elapsed_s(self) -> float:
+        """Monotonic seconds since the current run started (0.0 before)."""
+        if self.run_started_monotonic is None:
+            return 0.0
+        return time.monotonic() - self.run_started_monotonic
+
     def _check_budget(self) -> None:
         """Abort the sweep once ``max_generated`` candidates were built."""
         if self.max_generated is not None and self.generated >= self.max_generated:
             raise BudgetExhausted()
 
+    def _cancel_requested(self) -> bool:
+        """Has the cancellation probe fired or the deadline passed?"""
+        if self.cancel_check is not None and self.cancel_check():
+            return True
+        if self.deadline is not None and time.perf_counter() > self.deadline:
+            return True
+        return False
+
     def _after_level(self, cost: int, start: int, end: int) -> None:
         """Run the between-level hooks (progress, batch scan, cancel)."""
         if self.on_level is not None and self.on_level(cost, start, end):
             raise SweepCancelled()
-        if self.cancel_check is not None and self.cancel_check():
-            raise SweepCancelled()
-        if self.deadline is not None and time.perf_counter() > self.deadline:
+        if self._cancel_requested():
             raise SweepCancelled()
 
     def _run(self, max_cost: int) -> str:
+        # An already-cancelled run (a job cancelled while queued, or a
+        # watchdog that fired before the sweep began) exits before doing
+        # any seeding work.
+        if self._cancel_requested():
+            raise SweepCancelled()
         c1 = self.cost_fn.literal
         self._current_cost = c1
         if self._check_trivials(c1):

@@ -14,6 +14,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..api import EngineConfig, Session, SynthesisRequest
 from ..baselines.alpharegex import alpharegex_synthesize
+from ..core.result import SynthesisResult
 from ..language.guide_table import GuideTable
 from ..language.universe import Universe
 from ..regex.cost import ALPHAREGEX_COST, CostFunction
@@ -99,6 +100,69 @@ def time_paresy(
         elapsed_seconds=sum(elapsed) / len(elapsed),
         repeats=len(elapsed),
     )
+
+
+def _suite_record(
+    name: str, system: str, cost_fn: CostFunction, result: SynthesisResult
+) -> RunRecord:
+    return RunRecord(
+        name=name,
+        system=system,
+        cost_function=cost_fn.as_tuple(),
+        status=result.status,
+        regex=result.regex_str,
+        cost=result.cost,
+        generated=result.generated,
+        unique_cs=result.unique_cs,
+        universe_size=result.universe_size,
+        elapsed_seconds=result.elapsed_seconds,
+    )
+
+
+def run_suite(
+    named_specs,
+    cost_fn: Optional[CostFunction] = None,
+    backend: str = "vector",
+    max_generated: Optional[int] = None,
+    allowed_error: float = 0.0,
+    session: Optional[Session] = None,
+    client=None,
+) -> List[RunRecord]:
+    """Run a whole suite of ``(name, spec)`` benchmarks; one record each.
+
+    Two execution modes share identical request construction, so their
+    answers are bit-identical:
+
+    * **solo** (default, or explicit ``session``): one warm
+      :class:`Session` serves the suite sequentially, reusing staged
+      artifacts across same-universe specs.
+    * **pooled** (``client`` — a
+      :class:`repro.service.client.ServiceClient`): every spec is
+      submitted up front and the pool runs them on all cores, routing
+      same-universe specs to warm workers; results are gathered in suite
+      order.
+    """
+    cost_fn = cost_fn if cost_fn is not None else CostFunction.uniform()
+    config = EngineConfig(backend=backend, max_generated=max_generated)
+    requests = [
+        SynthesisRequest(
+            spec=spec, cost_fn=cost_fn, allowed_error=allowed_error,
+            config=config,
+        )
+        for _, spec in named_specs
+    ]
+    if client is not None:
+        handles = [client.submit(request) for request in requests]
+        results = [handle.result() for handle in handles]
+        system = "paresy-%s-pool%d" % (backend, client.pool.n_workers)
+    else:
+        owner = session if session is not None else Session(config)
+        results = [owner.synthesize(request) for request in requests]
+        system = "paresy-%s" % backend
+    return [
+        _suite_record(name, system, cost_fn, result)
+        for (name, _), result in zip(named_specs, results)
+    ]
 
 
 def time_alpharegex(

@@ -48,6 +48,18 @@ class Regex:
         """Return the option ``r?`` (same language as ``ε + r``)."""
         return Question(self)
 
+    def __reduce__(self):
+        """Pickle via the constructor.
+
+        The nodes are frozen *slots* dataclasses, so the default
+        state-based pickling would ``setattr`` onto a frozen instance and
+        raise; rebuilding through ``__init__`` keeps results picklable —
+        a requirement of the multi-process service layer.
+        """
+        from dataclasses import fields
+
+        return (type(self), tuple(getattr(self, f.name) for f in fields(self)))
+
     def __str__(self) -> str:  # pragma: no cover - convenience only
         from .printer import to_string
 

@@ -1,0 +1,64 @@
+"""The concurrent synthesis service: queue, worker pool, stores, client.
+
+The execution subsystem that turns :class:`~repro.api.session.Session`
+into a long-running, multi-core, restart-durable service:
+
+* :mod:`repro.service.wire` — picklable job forms and content
+  addresses (request fingerprint, staging fingerprint).
+* :mod:`repro.service.queue` — :class:`JobQueue`: priorities, in-flight
+  deduplication of identical requests, job-level cancellation.
+* :mod:`repro.service.pool` — :class:`WorkerPool`: one warm session per
+  worker process, universe-affinity scheduling with work-stealing,
+  cross-process progress forwarding and a worker-side cancellation
+  watchdog.
+* :mod:`repro.service.store` — :class:`StagingStore` /
+  :class:`ResultStore`: content-addressed persistence so a restarted
+  service warm-starts instead of re-enumerating.
+* :mod:`repro.service.client` — :class:`ServiceClient`: the facade the
+  CLI (``repro serve`` / ``repro submit``), the evaluation harness and
+  the benchmarks all drive.
+"""
+
+from .client import ServiceClient
+from .pool import WorkerPool
+from .queue import (
+    JOB_CANCELLED,
+    JOB_DONE,
+    JOB_FAILED,
+    JOB_QUEUED,
+    JOB_RUNNING,
+    Job,
+    JobFailedError,
+    JobHandle,
+    JobQueue,
+)
+from .store import ResultStore, StagingStore, StoreBackedSession
+from .wire import (
+    PRIORITY_HIGH,
+    PRIORITY_LOW,
+    PRIORITY_NORMAL,
+    WireRequest,
+    staging_fingerprint,
+)
+
+__all__ = [
+    "ServiceClient",
+    "WorkerPool",
+    "Job",
+    "JobFailedError",
+    "JobHandle",
+    "JobQueue",
+    "JOB_QUEUED",
+    "JOB_RUNNING",
+    "JOB_DONE",
+    "JOB_CANCELLED",
+    "JOB_FAILED",
+    "ResultStore",
+    "StagingStore",
+    "StoreBackedSession",
+    "WireRequest",
+    "staging_fingerprint",
+    "PRIORITY_HIGH",
+    "PRIORITY_NORMAL",
+    "PRIORITY_LOW",
+]

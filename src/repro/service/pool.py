@@ -1,0 +1,717 @@
+"""The multi-core worker pool with universe-affinity scheduling.
+
+Each worker process owns a long-lived, *warm*
+:class:`~repro.api.session.Session` (a
+:class:`~repro.service.store.StoreBackedSession` when the pool has a
+persistent store), so the staging artifacts a worker has already built
+or loaded stay hot in its memory.  The scheduler exploits exactly that:
+jobs carry the :func:`~repro.service.wire.staging_fingerprint` of their
+example-string set, and the dispatcher routes a job to a worker that is
+already warm on that fingerprint — falling back to *work-stealing* (the
+least-loaded cold worker takes the job) when every warm worker is
+saturated.  Affinity is a performance routing decision only: any worker
+answers any job bit-identically, so stealing never changes results.
+
+Plumbing (all standard ``multiprocessing``):
+
+* one task queue per worker (so affinity routing is explicit),
+* one shared result queue drained by a collector thread in the parent
+  (job results, forwarded progress events, worker stats),
+* one ``Manager`` providing per-job cancellation events; inside the
+  worker a tiny watchdog thread mirrors the cross-process event into a
+  process-local flag that the engine's ``cancel_check`` polls for free.
+
+Progress events stream back with their engine-side monotonic
+``elapsed_s`` intact, so a cross-process progress stream reads exactly
+like an in-process one.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+import time
+import traceback
+from queue import Empty
+from collections import OrderedDict
+from dataclasses import replace as dataclasses_replace
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from ..api.config import EngineConfig, SynthesisRequest
+from ..api.registry import BackendRegistry, default_registry
+from ..api.session import Session
+from ..core.result import SynthesisResult
+from .queue import Job, JobHandle, JobQueue
+from .store import ResultStore, StagingStore, StoreBackedSession
+from .wire import PRIORITY_NORMAL, WireRequest
+
+#: Store layout under a service root directory.
+STAGING_SUBDIR = "staging"
+RESULTS_SUBDIR = "results"
+
+#: How often (seconds) a worker's watchdog mirrors the cross-process
+#: cancellation event into the engine-visible local flag.
+_WATCHDOG_POLL_S = 0.02
+
+
+def _worker_main(
+    worker_id: int,
+    config: EngineConfig,
+    store_dir: Optional[str],
+    max_staged: Optional[int],
+    task_queue,
+    result_queue,
+) -> None:
+    """Worker process body: one warm session, jobs until shutdown."""
+    staging_store = (
+        StagingStore(os.path.join(store_dir, STAGING_SUBDIR))
+        if store_dir is not None
+        else None
+    )
+    session = StoreBackedSession(
+        config, max_staged=max_staged, staging_store=staging_store
+    )
+    while True:
+        message = task_queue.get()
+        if message[0] == "shutdown":
+            break
+        _, job_id, wire, cancel_event = message
+        local_cancel = threading.Event()
+        stop_watchdog = threading.Event()
+
+        def watch() -> None:
+            while not stop_watchdog.is_set():
+                try:
+                    if cancel_event.is_set():
+                        local_cancel.set()
+                        return
+                except (BrokenPipeError, EOFError, ConnectionError):
+                    return
+                stop_watchdog.wait(_WATCHDOG_POLL_S)
+
+        watchdog = threading.Thread(target=watch, daemon=True)
+        watchdog.start()
+
+        def forward_progress(event) -> None:
+            # The final event's incumbent is the full result, which the
+            # ``done`` message already carries; strip it here and let
+            # the parent re-attach it, so the result crosses the pipe
+            # once.
+            if event.incumbent is not None:
+                event = dataclasses_replace(event, incumbent=None)
+            result_queue.put(("progress", worker_id, job_id, event))
+
+        request = wire.to_request().replace(
+            cancel=local_cancel.is_set, on_progress=forward_progress
+        )
+        try:
+            result = session.synthesize(request)
+            result_queue.put(
+                ("done", worker_id, job_id, result, _session_stats(session))
+            )
+        except BaseException:
+            result_queue.put(
+                ("error", worker_id, job_id, traceback.format_exc())
+            )
+        finally:
+            stop_watchdog.set()
+            watchdog.join()
+    result_queue.put(("stats", worker_id, _session_stats(session)))
+
+
+def _session_stats(session: Session) -> Dict[str, int]:
+    """A picklable snapshot of a worker session's amortisation stats."""
+    snapshot = {
+        "requests_served": session.stats.requests_served,
+        "staging_builds": session.stats.staging_builds,
+        "staging_hits": session.stats.staging_hits,
+    }
+    if isinstance(session, StoreBackedSession):
+        snapshot["store_loads"] = session.store_loads
+        snapshot["store_saves"] = session.store_saves
+    return snapshot
+
+
+class _WorkerState:
+    """Parent-side bookkeeping for one worker process."""
+
+    __slots__ = ("worker_id", "process", "task_queue", "inflight", "warm",
+                 "served", "stats", "dead", "_warm_capacity")
+
+    def __init__(self, worker_id: int, process, task_queue, warm_capacity):
+        self.worker_id = worker_id
+        self.process = process
+        self.task_queue = task_queue
+        self.inflight: set = set()
+        #: Staging fingerprints this worker's session is warm on
+        #: (insertion-ordered, bounded like the session's LRU).
+        self.warm: "OrderedDict[str, bool]" = OrderedDict()
+        self.served = 0
+        self.stats: Dict[str, int] = {}
+        #: Set when the process died without a farewell (crash/kill);
+        #: dead workers are excluded from dispatch.
+        self.dead = False
+        self._warm_capacity = warm_capacity
+
+    # OrderedDict-LRU update mirroring Session's staging cache bound.
+    def mark_warm(self, staging_fp: str) -> None:
+        self.warm[staging_fp] = True
+        self.warm.move_to_end(staging_fp)
+        capacity = self._warm_capacity
+        if capacity is not None:
+            while len(self.warm) > capacity:
+                self.warm.popitem(last=False)
+
+
+class WorkerPool:
+    """A process pool of warm sessions behind an affinity scheduler.
+
+    ::
+
+        with WorkerPool(workers=4, store_dir="service-state") as pool:
+            handles = [pool.submit(spec) for spec in specs]
+            results = [h.result() for h in handles]
+
+    ``per_worker_depth`` bounds how many jobs may be in flight on one
+    worker at a time (depth > 1 lets the affinity scheduler pipeline
+    same-universe jobs onto the warm worker); ``reuse_results`` answers
+    repeat submissions from the persistent result store without running
+    anything.
+    """
+
+    def __init__(
+        self,
+        workers: int = 4,
+        config: Optional[EngineConfig] = None,
+        registry: Optional[BackendRegistry] = None,
+        store_dir: Optional[str] = None,
+        per_worker_depth: int = 2,
+        max_staged_per_worker: Optional[int] = 64,
+        reuse_results: bool = False,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if per_worker_depth < 1:
+            raise ValueError("per_worker_depth must be >= 1")
+        self.config = config if config is not None else EngineConfig()
+        self.registry = registry if registry is not None else default_registry()
+        self.registry.resolve(self.config.backend)  # fail fast
+        self.n_workers = workers
+        self.store_dir = str(store_dir) if store_dir is not None else None
+        self.per_worker_depth = per_worker_depth
+        self.max_staged_per_worker = max_staged_per_worker
+        self.reuse_results = reuse_results
+        # The parent only touches results (dedup fast path + persisting
+        # answers); staging stores live worker-side, in each worker's
+        # StoreBackedSession.
+        self.result_store: Optional[ResultStore] = (
+            ResultStore(os.path.join(self.store_dir, RESULTS_SUBDIR))
+            if self.store_dir is not None
+            else None
+        )
+        self.queue = JobQueue()
+        self.queue._running_cancel_hook = self._cancel_running
+        self.stats: Dict[str, int] = {
+            "affinity_hits": 0,
+            "steals": 0,
+            "cold_assignments": 0,
+            "result_hits": 0,
+            "completed": 0,
+            "failed": 0,
+        }
+        self._lock = threading.RLock()
+        self._workers: List[_WorkerState] = []
+        self._jobs_by_id: Dict[str, Job] = {}
+        self._cancel_events: Dict[str, object] = {}
+        self._pending_final_events: Dict[str, object] = {}
+        self._mp = multiprocessing.get_context()
+        self._manager = None
+        self._result_queue = None
+        self._collector: Optional[threading.Thread] = None
+        self._collector_stop = threading.Event()
+        self._started = False
+        self._closing = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "WorkerPool":
+        """Spawn the workers and the collector thread (idempotent)."""
+        with self._lock:
+            if self._started:
+                return self
+            self._manager = self._mp.Manager()
+            self._result_queue = self._mp.Queue()
+            for worker_id in range(self.n_workers):
+                task_queue = self._mp.Queue()
+                process = self._mp.Process(
+                    target=_worker_main,
+                    args=(
+                        worker_id,
+                        self.config,
+                        self.store_dir,
+                        self.max_staged_per_worker,
+                        task_queue,
+                        self._result_queue,
+                    ),
+                    daemon=True,
+                    name="repro-worker-%d" % worker_id,
+                )
+                process.start()
+                self._workers.append(
+                    _WorkerState(
+                        worker_id, process, task_queue,
+                        self.max_staged_per_worker,
+                    )
+                )
+            self._collector_stop = threading.Event()
+            self._collector = threading.Thread(
+                target=self._collect, daemon=True, name="repro-collector"
+            )
+            self._collector.start()
+            self._started = True
+        return self
+
+    def __enter__(self) -> "WorkerPool":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown(wait=exc_type is None)
+
+    def shutdown(
+        self, wait: bool = True, cancel_pending: bool = False
+    ) -> None:
+        """Stop the pool.
+
+        ``wait`` drains every live job first; ``cancel_pending`` cancels
+        the still-queued ones instead of running them.
+        """
+        with self._lock:
+            if not self._started or self._closing:
+                return
+            self._closing = True
+        if cancel_pending:
+            for job in self.queue.pending_in_order():
+                JobHandle(job, self.queue).cancel()
+        if wait:
+            self.join()
+        for worker in self._workers:
+            worker.task_queue.put(("shutdown",))
+        for worker in self._workers:
+            worker.process.join(timeout=10)
+            if worker.process.is_alive():  # pragma: no cover - safety net
+                worker.process.terminate()
+                worker.process.join(timeout=5)
+        # Let the collector drain the final per-worker stats messages,
+        # then stop it.
+        # Stop the collector via sentinel AND flag: the sentinel stops
+        # it after everything already queued (workers' farewell stats)
+        # is drained; the flag guarantees exit within one poll tick
+        # even if the sentinel is lost to a stream a killed worker
+        # corrupted mid-write.
+        self._collector_stop.set()
+        self._result_queue.put(("__exit__",))
+        if self._collector is not None:
+            self._collector.join(timeout=10)
+        self._manager.shutdown()
+        # Release the queues without the interpreter-exit join: a
+        # killed worker can leave a feeder thread wedged, and the
+        # default atexit handler would join it forever.  Nothing useful
+        # remains in these buffers — every outcome was settled above or
+        # is failed below.
+        for worker in self._workers:
+            worker.task_queue.close()
+            worker.task_queue.cancel_join_thread()
+        self._result_queue.close()
+        self._result_queue.cancel_join_thread()
+        # Whatever is still unanswered now (``wait=False`` with jobs in
+        # flight, or a worker terminated past the join timeout) will
+        # never get a worker reply — fail it so blocked
+        # ``JobHandle.result()`` callers raise instead of hanging.
+        with self._lock:
+            orphaned = list(self._jobs_by_id.values())
+        for job in orphaned:
+            self.queue.fail(job, "pool shut down before the job completed")
+        for job in self.queue.pending_in_order():
+            if self.queue.mark_running(job, -1):
+                self.queue.fail(
+                    job, "pool shut down before the job completed")
+        # Reset to a restartable state: a later start() spawns a fresh
+        # pool instead of stacking onto stale workers, and submit()'s
+        # "not running" error stays accurate.
+        with self._lock:
+            self._workers = []
+            self._jobs_by_id.clear()
+            self._cancel_events.clear()
+            self._pending_final_events.clear()
+            self._manager = None
+            self._result_queue = None
+            self._collector = None
+            self._started = False
+            self._closing = False
+
+    def join(self, timeout: Optional[float] = None) -> bool:
+        """Block until no job is queued or running; False on timeout."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while self.queue.live_jobs:
+            if deadline is not None and time.monotonic() > deadline:
+                return False
+            time.sleep(0.005)
+        return True
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        request,
+        priority: int = PRIORITY_NORMAL,
+        on_progress: Optional[Callable[[object], None]] = None,
+    ) -> JobHandle:
+        """Submit a request/spec/pair; returns a :class:`JobHandle`.
+
+        Identical in-flight submissions are deduplicated onto one job;
+        with ``reuse_results`` and a persistent store, previously
+        answered fingerprints return a completed handle immediately.
+
+        A :class:`SynthesisRequest`'s own hooks keep working through
+        the pool: its ``on_progress`` receives the forwarded events
+        (alongside any ``on_progress`` passed here), and its ``cancel``
+        probe is polled parent-side — between forwarded progress
+        messages and on the collector's idle tick — cancelling the job
+        exactly like :meth:`JobHandle.cancel` would.
+        """
+        if not self._started or self._closing:
+            raise RuntimeError("pool is not running (call start())")
+        cancel_probe = None
+        if isinstance(request, SynthesisRequest):
+            if request.on_progress is not None and on_progress is None:
+                on_progress = request.on_progress
+            elif request.on_progress is not None:
+                callbacks = (request.on_progress, on_progress)
+
+                def on_progress(event, _callbacks=callbacks):  # noqa: F811
+                    for callback in _callbacks:
+                        callback(event)
+
+            cancel_probe = request.cancel
+        wire = WireRequest.of(
+            request, default_config=self.config, registry=self.registry
+        )
+        stored_lookup = None
+        if self.reuse_results and self.result_store is not None:
+            stored_lookup = self.result_store.load_result
+        handle = self.queue.submit(
+            wire, priority=priority, on_progress=on_progress,
+            stored_lookup=stored_lookup,
+        )
+        if handle.from_store:
+            with self._lock:
+                self.stats["result_hits"] += 1
+            return handle
+        if cancel_probe is not None:
+            handle._job.cancel_probes.append(cancel_probe)
+            self._poll_cancel_probes(handle._job)
+        if not handle.deduplicated:
+            self._dispatch()
+        return handle
+
+    def map(
+        self,
+        requests: Iterable[object],
+        priority: int = PRIORITY_NORMAL,
+        timeout: Optional[float] = None,
+    ) -> List[SynthesisResult]:
+        """Submit many requests and gather results in request order."""
+        handles = [self.submit(r, priority=priority) for r in requests]
+        return [handle.result(timeout=timeout) for handle in handles]
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a job by id; True if it was still live."""
+        with self._lock:
+            job = self._jobs_by_id.get(job_id)
+        if job is None:
+            job = next(
+                (j for j in self.queue.pending_in_order()
+                 if j.job_id == job_id),
+                None,
+            )
+        if job is None:
+            return False
+        return JobHandle(job, self.queue).cancel()
+
+    # ------------------------------------------------------------------
+    # Scheduling: universe affinity with work-stealing
+    # ------------------------------------------------------------------
+    @staticmethod
+    def plan_assignments(
+        pending: Sequence,
+        worker_loads: Sequence[int],
+        worker_warm: Sequence[Iterable[str]],
+        depth: int,
+    ) -> List[tuple]:
+        """Pure scheduling decision, exposed for deterministic tests.
+
+        ``pending`` is an ordered sequence of objects with a
+        ``staging_fp`` attribute; returns ``(index_in_pending,
+        worker_id, kind)`` triples with ``kind`` one of ``"affinity"``
+        (routed to a warm worker), ``"steal"`` (a warm worker exists but
+        is saturated — a cold worker takes the job) or ``"cold"``
+        (nobody is warm).  Jobs are considered in queue order; each
+        assignment consumes one slot of the chosen worker's ``depth``.
+        """
+        loads = list(worker_loads)
+        warm_sets = [set(w) for w in worker_warm]
+        plan: List[tuple] = []
+        for index, job in enumerate(pending):
+            free = [w for w in range(len(loads)) if loads[w] < depth]
+            if not free:
+                break
+            warm_free = [w for w in free if job.staging_fp in warm_sets[w]]
+            if warm_free:
+                target = min(warm_free, key=lambda w: (loads[w], w))
+                kind = "affinity"
+            else:
+                target = min(free, key=lambda w: (loads[w], w))
+                kind = (
+                    "steal"
+                    if any(job.staging_fp in s for s in warm_sets)
+                    else "cold"
+                )
+            loads[target] += 1
+            warm_sets[target].add(job.staging_fp)
+            plan.append((index, target, kind))
+        return plan
+
+    def _dispatch(self) -> None:
+        """Assign as many pending jobs as free capacity allows."""
+        with self._lock:
+            pending = self.queue.pending_in_order()
+            if not pending:
+                return
+            alive = [w for w in self._workers if not w.dead]
+            if not alive:
+                return
+            plan = self.plan_assignments(
+                pending,
+                [len(w.inflight) for w in alive],
+                [w.warm.keys() for w in alive],
+                self.per_worker_depth,
+            )
+            for index, alive_index, kind in plan:
+                job = pending[index]
+                worker = alive[alive_index]
+                if not self.queue.mark_running(job, worker.worker_id):
+                    continue  # cancelled since the snapshot
+                key = (
+                    "affinity_hits" if kind == "affinity"
+                    else "steals" if kind == "steal"
+                    else "cold_assignments"
+                )
+                self.stats[key] += 1
+                cancel_event = self._manager.Event()
+                self._cancel_events[job.job_id] = cancel_event
+                self._jobs_by_id[job.job_id] = job
+                worker.inflight.add(job.job_id)
+                worker.mark_warm(job.staging_fp)
+                worker.task_queue.put(
+                    ("job", job.job_id, job.wire, cancel_event)
+                )
+
+    def _cancel_running(self, job: Job) -> None:
+        """JobQueue hook: deliver cancellation to a running job."""
+        with self._lock:
+            event = self._cancel_events.get(job.job_id)
+        if event is not None:
+            try:
+                event.set()
+            except (BrokenPipeError, EOFError, ConnectionError):
+                pass  # pool already tearing down
+
+    # ------------------------------------------------------------------
+    # Collector: results, progress, stats
+    # ------------------------------------------------------------------
+    def _collect(self) -> None:
+        while True:
+            try:
+                message = self._result_queue.get(timeout=0.5)
+            except Empty:  # idle tick
+                # The stop flag is honoured only once the queue is
+                # drained, so the workers' farewell "stats" messages
+                # (queued before the sentinel) are always processed;
+                # it is the fallback exit for a lost sentinel.
+                if self._collector_stop.is_set():
+                    return
+                self._reap_dead_workers()
+                self._poll_cancel_probes()
+                continue
+            except Exception:
+                # The queue itself failed (torn down, or a worker was
+                # killed mid-write and corrupted the stream): no more
+                # messages can arrive, so stop — shutdown's orphan pass
+                # and the reaper answer anything still open.
+                traceback.print_exc()
+                return
+            kind = message[0]
+            if kind == "__exit__":
+                return
+            # A handler bug (or a failing store write) must never kill
+            # the collector — a dead collector hangs every handle and
+            # shutdown(wait=True) forever.
+            try:
+                if kind == "progress":
+                    _, worker_id, job_id, event = message
+                    self._on_progress(job_id, event)
+                elif kind == "done":
+                    _, worker_id, job_id, result, stats = message
+                    self._on_done(worker_id, job_id, result, stats)
+                elif kind == "error":
+                    _, worker_id, job_id, text = message
+                    self._on_error(worker_id, job_id, text)
+                elif kind == "stats":
+                    _, worker_id, stats = message
+                    with self._lock:
+                        self._workers[worker_id].stats = stats
+            except Exception:  # pragma: no cover - defensive
+                traceback.print_exc()
+
+    def _reap_dead_workers(self) -> None:
+        """Fail the in-flight jobs of workers that died without replying.
+
+        Only in-worker Python exceptions come back as ``error``
+        messages; an OOM kill or segfault leaves the job unanswered, so
+        the collector's idle tick checks process liveness and fails the
+        orphaned jobs rather than letting their handles block forever.
+        Dead workers are excluded from future dispatch; if none remain,
+        still-queued jobs are failed too.
+        """
+        orphaned: List[Job] = []
+        with self._lock:
+            # Reaping must keep working while the pool is closing:
+            # ``shutdown(wait=True)`` blocks on the live-job count, and
+            # a worker that died mid-job can only be drained here.
+            for worker in self._workers:
+                if worker.dead or worker.process.is_alive():
+                    continue
+                worker.dead = True
+                for job_id in sorted(worker.inflight):
+                    job = self._jobs_by_id.pop(job_id, None)
+                    self._cancel_events.pop(job_id, None)
+                    self._pending_final_events.pop(job_id, None)
+                    if job is not None:
+                        orphaned.append(job)
+                        self.stats["failed"] += 1
+                worker.inflight.clear()
+            if all(w.dead for w in self._workers):
+                for job in self.queue.pending_in_order():
+                    if self.queue.mark_running(job, -1):
+                        orphaned.append(job)
+                        self.stats["failed"] += 1
+        for job in orphaned:
+            self.queue.fail(
+                job,
+                "worker process died without reporting a result",
+            )
+        if orphaned:
+            self._dispatch()
+
+    def _poll_cancel_probes(self, job: Optional[Job] = None) -> None:
+        """Deliver cancellations requested through request-level
+        ``cancel`` probes (polled parent-side; see :meth:`submit`)."""
+        if job is not None:
+            jobs = [job]
+        else:
+            with self._lock:
+                jobs = [j for j in self._jobs_by_id.values()
+                        if j.cancel_probes]
+            jobs.extend(j for j in self.queue.pending_in_order()
+                        if j.cancel_probes and j not in jobs)
+        for candidate in jobs:
+            if candidate.finished:
+                continue
+            try:
+                fired = any(probe() for probe in candidate.cancel_probes)
+            except Exception:  # pragma: no cover - user probe bug
+                traceback.print_exc()
+                continue
+            if fired:
+                JobHandle(candidate, self.queue).cancel()
+
+    def _emit_progress(self, job: Job, event) -> None:
+        for callback in list(job.progress_callbacks):
+            try:
+                callback(event)
+            except Exception:  # pragma: no cover - user callback bug
+                traceback.print_exc()
+
+    def _on_progress(self, job_id: str, event) -> None:
+        with self._lock:
+            job = self._jobs_by_id.get(job_id)
+        if job is None:
+            return
+        if getattr(event, "done", False):
+            # Hold the final event until the result arrives, then emit
+            # it with the incumbent re-attached (see _worker_main).
+            with self._lock:
+                self._pending_final_events[job_id] = event
+            return
+        self._emit_progress(job, event)
+        if job.cancel_probes:
+            self._poll_cancel_probes(job)
+
+    def _release_worker(self, worker_id: int, job_id: str, stats) -> None:
+        worker = self._workers[worker_id]
+        worker.inflight.discard(job_id)
+        worker.served += 1
+        if stats:
+            worker.stats = stats
+        self._cancel_events.pop(job_id, None)
+
+    def _on_done(self, worker_id, job_id, result, stats) -> None:
+        with self._lock:
+            job = self._jobs_by_id.pop(job_id, None)
+            self._release_worker(worker_id, job_id, stats)
+            final_event = self._pending_final_events.pop(job_id, None)
+            self.stats["completed"] += 1
+        if job is None:  # pragma: no cover - defensive
+            return
+        # Persist deterministic outcomes only: a cancelled verdict is an
+        # operational accident, not the content-addressed answer.  A
+        # failing store write (full disk) must not block the answer.
+        if self.result_store is not None and result.status != "cancelled":
+            try:
+                self.result_store.save_result(job.fingerprint, result)
+            except OSError:
+                traceback.print_exc()
+        self.queue.finish(job, result)
+        if final_event is not None:
+            self._emit_progress(
+                job, dataclasses_replace(final_event, incumbent=result)
+            )
+        self._dispatch()
+
+    def _on_error(self, worker_id, job_id, text) -> None:
+        with self._lock:
+            job = self._jobs_by_id.pop(job_id, None)
+            self._release_worker(worker_id, job_id, None)
+            self._pending_final_events.pop(job_id, None)
+            self.stats["failed"] += 1
+        if job is not None:
+            self.queue.fail(job, text)
+        self._dispatch()
+
+    # ------------------------------------------------------------------
+    def worker_stats(self) -> List[Dict[str, object]]:
+        """Per-worker bookkeeping (served counts, warm sets, session
+        stats as of the last completed job or shutdown)."""
+        with self._lock:
+            return [
+                {
+                    "worker_id": w.worker_id,
+                    "served": w.served,
+                    "warm": list(w.warm.keys()),
+                    "session": dict(w.stats),
+                }
+                for w in self._workers
+            ]

@@ -1,0 +1,191 @@
+"""Content-addressed persistence: staging artifacts and finished results.
+
+The service's durability layer, after the multicore-recovery insight
+(Wu et al.): the expensive state to recover after a restart is not the
+queue — it is the *warm* state, the staged ``(Universe, GuideTable,
+FlatGuideTable)`` triples and the completed answers.  Both stores are
+plain content-addressed pickle directories with atomic writes (tmp +
+``os.replace``), so a restarted service warm-starts by loading instead
+of re-enumerating, and concurrent writers of the same key are harmless
+(they write identical bytes to the same address).
+
+:class:`StoreBackedSession` splices a :class:`StagingStore` under a
+:class:`~repro.api.session.Session`: staging cache misses fall through
+to the store before building, and fresh builds are persisted — the
+worker-side half of the service's warm-start story.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Iterator, Optional, Tuple
+
+from ..api.config import EngineConfig
+from ..api.registry import BackendRegistry
+from ..api.session import Session, staging_key_of
+from ..core.result import SynthesisResult
+from ..language.guide_table import GuideTable
+from ..language.universe import Universe
+from ..spec import Spec
+from .wire import staging_fingerprint
+
+
+def atomic_write_bytes(path: Path, payload: bytes) -> None:
+    """Write ``payload`` to ``path`` atomically (tmp + ``os.replace``).
+
+    The single implementation of the store-and-protocol write idiom:
+    readers (a pool sibling, the serve loop, ``repro submit --wait``)
+    never observe a partial file, and the temp file is cleaned up when
+    the write fails.
+    """
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=".%s." % path.name[:16], suffix=".tmp", dir=str(path.parent)
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(payload)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+class _PickleStore:
+    """A directory of ``<key>.pkl`` blobs with atomic writes."""
+
+    def __init__(self, root: Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: str) -> Path:
+        return self.root / ("%s.pkl" % key)
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    def keys(self) -> Iterator[str]:
+        """All stored content addresses."""
+        for path in sorted(self.root.glob("*.pkl")):
+            yield path.stem
+
+    def save(self, key: str, value: object) -> Path:
+        """Persist ``value`` under ``key`` atomically; returns the path."""
+        path = self._path(key)
+        atomic_write_bytes(
+            path, pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        )
+        return path
+
+    def load(self, key: str) -> Optional[object]:
+        """The stored value, or None when the key is absent *or
+        unreadable*.
+
+        A corrupt or version-skewed blob (bit rot, a code upgrade that
+        changed the pickled classes) is treated as a miss rather than
+        an error, so callers rebuild and overwrite — the store
+        self-heals instead of permanently failing one content address.
+        """
+        path = self._path(key)
+        try:
+            with open(path, "rb") as handle:
+                return pickle.load(handle)
+        except FileNotFoundError:
+            return None
+        except Exception:
+            return None
+
+
+class StagingStore(_PickleStore):
+    """Persisted staging artifacts, keyed by :func:`staging_fingerprint`.
+
+    Each entry is a ``(Universe, GuideTable)`` pair with the flat numpy
+    view already materialised, so a load is immediately hot for the
+    vectorised kernels.
+    """
+
+    def __init__(self, root) -> None:
+        super().__init__(Path(root))
+
+    def save_staging(
+        self, key: str, universe: Universe, guide: GuideTable
+    ) -> str:
+        """Persist a staged pair under its content address.
+
+        ``key`` must be the :func:`staging_fingerprint` of the *original
+        example strings* — it cannot be recovered from the universe,
+        whose word set is already the infix closure.
+        """
+        guide.flat  # materialise before pickling: loads must be hot
+        self.save(key, (universe, guide))
+        return key
+
+    def load_staging(self, key: str) -> Optional[Tuple[Universe, GuideTable]]:
+        """The staged ``(universe, guide)`` pair, or None."""
+        value = self.load(key)
+        if value is None:
+            return None
+        universe, guide = value
+        return universe, guide
+
+
+class ResultStore(_PickleStore):
+    """Completed :class:`SynthesisResult`\\ s, keyed by request fingerprint."""
+
+    def __init__(self, root) -> None:
+        super().__init__(Path(root))
+
+    def save_result(self, fingerprint: str, result: SynthesisResult) -> Path:
+        """Persist a finished result under its request fingerprint."""
+        return self.save(fingerprint, result)
+
+    def load_result(self, fingerprint: str) -> Optional[SynthesisResult]:
+        """The stored result, or None."""
+        value = self.load(fingerprint)
+        return value if isinstance(value, SynthesisResult) else None
+
+
+class StoreBackedSession(Session):
+    """A :class:`Session` whose staging cache falls through to disk.
+
+    On a staging miss the session first consults the
+    :class:`StagingStore`; only when the store also misses does it build
+    — and then persists the fresh artifact, so the *next* process (a
+    pool sibling, or the service after a restart) loads instead of
+    re-enumerating.  ``store_loads``/``store_saves`` count the traffic.
+    """
+
+    def __init__(
+        self,
+        config: Optional[EngineConfig] = None,
+        registry: Optional[BackendRegistry] = None,
+        max_staged: Optional[int] = None,
+        staging_store: Optional[StagingStore] = None,
+    ) -> None:
+        super().__init__(config, registry=registry, max_staged=max_staged)
+        self.staging_store = staging_store
+        self.store_loads = 0
+        self.store_saves = 0
+
+    def staging_for(self, spec: Spec) -> Tuple[Universe, GuideTable]:
+        key = staging_key_of(spec)
+        if self.staging_store is None or key in self._staged:
+            return super().staging_for(spec)
+        fingerprint = staging_fingerprint(spec)
+        loaded = self.staging_store.load_staging(fingerprint)
+        if loaded is not None:
+            self.store_loads += 1
+            self._remember(key, loaded)
+            return loaded
+        universe, guide = super().staging_for(spec)
+        self.staging_store.save_staging(fingerprint, universe, guide)
+        self.store_saves += 1
+        return universe, guide

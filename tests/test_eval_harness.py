@@ -1,7 +1,13 @@
 """Evaluation-harness tests (small, fast configurations)."""
 
-from repro.eval.harness import staging_for, time_alpharegex, time_paresy
+from repro.eval.harness import (
+    run_suite,
+    staging_for,
+    time_alpharegex,
+    time_paresy,
+)
 from repro.regex.cost import ALPHAREGEX_COST, CostFunction
+from repro.service import ServiceClient
 from repro.spec import Spec
 
 
@@ -32,6 +38,25 @@ class TestTimeParesy:
         record = time_paresy("t", intro_spec, CostFunction.uniform(),
                              "vector", max_generated=5)
         assert record.status == "budget"
+
+
+class TestRunSuite:
+    def test_solo_suite_records(self, tiny_spec, intro_spec):
+        records = run_suite([("tiny", tiny_spec), ("intro", intro_spec)])
+        assert [r.name for r in records] == ["tiny", "intro"]
+        assert all(r.system == "paresy-vector" for r in records)
+        assert all(r.status == "success" for r in records)
+
+    def test_pooled_suite_is_bit_identical_to_solo(self, tiny_spec,
+                                                   intro_spec):
+        named = [("tiny", tiny_spec), ("intro", intro_spec)]
+        solo = run_suite(named)
+        with ServiceClient(workers=2) as client:
+            pooled = run_suite(named, client=client)
+        assert [(r.name, r.status, r.regex, r.cost) for r in solo] == [
+            (r.name, r.status, r.regex, r.cost) for r in pooled
+        ]
+        assert all(r.system == "paresy-vector-pool2" for r in pooled)
 
 
 class TestTimeAlphaRegex:

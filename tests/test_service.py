@@ -1,0 +1,576 @@
+"""Concurrent synthesis service tests: wire forms, stores, queue,
+affinity scheduling, the worker pool, and the CI smoke scenario.
+
+The headline acceptance criterion lives in
+:class:`TestPoolBitIdentity`: pool answers (regex, cost, status) are
+bit-identical to solo ``Session.synthesize`` on both backends.
+"""
+
+import pickle
+import time
+
+import pytest
+
+from repro import (
+    CancellationToken,
+    EngineConfig,
+    Session,
+    SynthesisRequest,
+    Spec,
+    synthesize,
+)
+from repro.api.registry import default_registry
+from repro.regex.cost import CostFunction
+from repro.service import (
+    JOB_CANCELLED,
+    JobFailedError,
+    PRIORITY_HIGH,
+    PRIORITY_LOW,
+    ResultStore,
+    ServiceClient,
+    StagingStore,
+    StoreBackedSession,
+    WireRequest,
+    WorkerPool,
+    staging_fingerprint,
+)
+from repro.service.queue import JobQueue
+from repro.language.guide_table import GuideTable
+from repro.language.universe import Universe
+
+WORDS = ("", "0", "1", "00", "10", "100", "1000", "1001", "101",
+         "1010", "11", "010")
+
+INTRO_SPEC = Spec(
+    positive=["10", "101", "100", "1010", "1011", "1000", "1001"],
+    negative=["", "0", "1", "00", "11", "010"],
+)
+
+
+def partitions(count, words=WORDS):
+    """``count`` *distinct* partitions of one shared word set."""
+    assert count <= len(words)
+    specs = []
+    for k in range(count):
+        positives = [w for i, w in enumerate(words) if (i + k) % count == 0]
+        if not positives or len(positives) == len(words):
+            positives = [words[k]]
+        negatives = [w for w in words if w not in positives]
+        specs.append(Spec(positives, negatives))
+    assert len(set(specs)) == count
+    return specs
+
+
+def _key(result):
+    return (result.status, result.regex_str, result.cost)
+
+
+# ----------------------------------------------------------------------
+# Wire forms and content addresses
+# ----------------------------------------------------------------------
+class TestWire:
+    def test_fingerprint_is_deterministic(self):
+        a = WireRequest(spec=INTRO_SPEC)
+        b = WireRequest(spec=Spec(INTRO_SPEC.positive, INTRO_SPEC.negative))
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_fingerprint_covers_the_question(self):
+        base = WireRequest(spec=INTRO_SPEC)
+        assert base.fingerprint() != WireRequest(
+            spec=INTRO_SPEC, cost_fn=CostFunction.from_tuple((1, 1, 10, 1, 1))
+        ).fingerprint()
+        assert base.fingerprint() != WireRequest(
+            spec=INTRO_SPEC, allowed_error=0.25).fingerprint()
+        assert base.fingerprint() != WireRequest(
+            spec=INTRO_SPEC, config=EngineConfig(backend="scalar")
+        ).fingerprint()
+
+    def test_alias_spellings_share_a_fingerprint(self):
+        registry = default_registry()
+        gpu = WireRequest.of(
+            SynthesisRequest(spec=INTRO_SPEC,
+                             config=EngineConfig(backend="gpu")),
+            registry=registry)
+        vector = WireRequest.of(
+            SynthesisRequest(spec=INTRO_SPEC,
+                             config=EngineConfig(backend="vector")),
+            registry=registry)
+        assert gpu.fingerprint() == vector.fingerprint()
+
+    def test_staging_fingerprint_shared_by_partitions(self):
+        fps = {staging_fingerprint(s) for s in partitions(4)}
+        assert len(fps) == 1
+        assert staging_fingerprint(Spec(["a"], ["b"])) not in fps
+
+    def test_json_round_trip_preserves_fingerprint(self):
+        wire = WireRequest(
+            spec=INTRO_SPEC,
+            cost_fn=CostFunction.from_tuple((2, 1, 1, 3, 1)),
+            max_cost=20,
+            allowed_error=0.2,
+            max_generated=1000,
+            config=EngineConfig(backend="scalar", max_cache_size=500),
+        )
+        again = WireRequest.from_json_dict(wire.to_json_dict())
+        assert again == wire
+        assert again.fingerprint() == wire.fingerprint()
+
+    def test_hooks_are_dropped_on_the_wire(self):
+        request = SynthesisRequest(
+            spec=INTRO_SPEC, on_progress=lambda e: None,
+            cancel=lambda: False)
+        wire = WireRequest.of(request)
+        pickle.loads(pickle.dumps(wire))  # picklable without the hooks
+        assert wire.to_request().on_progress is None
+
+    def test_results_pickle(self):
+        result = synthesize(INTRO_SPEC)
+        again = pickle.loads(pickle.dumps(result))
+        assert _key(again) == _key(result)
+        assert again.spec == result.spec
+
+
+# ----------------------------------------------------------------------
+# Stores
+# ----------------------------------------------------------------------
+class TestStores:
+    def test_staging_store_round_trip(self, tmp_path):
+        store = StagingStore(tmp_path / "staging")
+        universe = Universe(INTRO_SPEC.all_words,
+                            alphabet=INTRO_SPEC.alphabet)
+        guide = GuideTable(universe)
+        key = staging_fingerprint(INTRO_SPEC)
+        store.save_staging(key, universe, guide)
+        assert key in store
+        loaded_universe, loaded_guide = store.load_staging(key)
+        assert loaded_universe.words == universe.words
+        assert loaded_guide.flat.n_splits == guide.flat.n_splits
+        assert store.load_staging("0" * 64) is None
+
+    def test_result_store_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path / "results")
+        wire = WireRequest(spec=INTRO_SPEC)
+        result = synthesize(INTRO_SPEC)
+        store.save_result(wire.fingerprint(), result)
+        again = store.load_result(wire.fingerprint())
+        assert _key(again) == _key(result)
+        assert store.load_result("absent") is None
+
+    def test_store_backed_session_loads_instead_of_building(self, tmp_path):
+        store = StagingStore(tmp_path / "staging")
+        first = StoreBackedSession(staging_store=store)
+        assert first.synthesize(INTRO_SPEC).found
+        assert first.store_saves == 1
+        assert first.store_loads == 0
+
+        second = StoreBackedSession(staging_store=store)
+        result = second.synthesize(INTRO_SPEC)
+        assert _key(result) == _key(synthesize(INTRO_SPEC))
+        assert second.store_loads == 1
+        assert second.stats.staging_builds == 0
+
+
+# ----------------------------------------------------------------------
+# Queue: priorities, dedup, cancellation (no processes involved)
+# ----------------------------------------------------------------------
+class TestJobQueue:
+    def test_priority_order_with_fifo_ties(self):
+        queue = JobQueue()
+        low = queue.submit(WireRequest(spec=partitions(4)[0]),
+                           priority=PRIORITY_LOW)
+        first = queue.submit(WireRequest(spec=partitions(4)[1]))
+        second = queue.submit(WireRequest(spec=partitions(4)[2]))
+        high = queue.submit(WireRequest(spec=partitions(4)[3]),
+                            priority=PRIORITY_HIGH)
+        order = [job.job_id for job in queue.pending_in_order()]
+        assert order == [high.job_id, first.job_id, second.job_id,
+                         low.job_id]
+
+    def test_duplicate_submissions_join_one_job(self):
+        queue = JobQueue()
+        a = queue.submit(WireRequest(spec=INTRO_SPEC))
+        b = queue.submit(WireRequest(spec=INTRO_SPEC))
+        assert not a.deduplicated and b.deduplicated
+        assert a.job_id == b.job_id
+        assert len(queue) == 1
+        assert queue.deduplicated == 1
+
+    def test_high_priority_duplicate_escalates_the_queued_job(self):
+        queue = JobQueue()
+        specs = partitions(2)
+        low = queue.submit(WireRequest(spec=specs[0]),
+                           priority=PRIORITY_LOW)
+        normal = queue.submit(WireRequest(spec=specs[1]))
+        joined = queue.submit(WireRequest(spec=specs[0]),
+                              priority=PRIORITY_HIGH)
+        assert joined.deduplicated and joined.job_id == low.job_id
+        order = [job.job_id for job in queue.pending_in_order()]
+        # The join raised the shared job to the front of the queue.
+        assert order == [low.job_id, normal.job_id]
+
+    def test_low_priority_duplicate_does_not_demote(self):
+        queue = JobQueue()
+        specs = partitions(2)
+        high = queue.submit(WireRequest(spec=specs[0]),
+                            priority=PRIORITY_HIGH)
+        normal = queue.submit(WireRequest(spec=specs[1]))
+        queue.submit(WireRequest(spec=specs[0]), priority=PRIORITY_LOW)
+        order = [job.job_id for job in queue.pending_in_order()]
+        assert order == [high.job_id, normal.job_id]
+
+    def test_stored_lookup_still_emits_the_final_progress_event(self):
+        stored = synthesize(INTRO_SPEC)
+        events = []
+        queue = JobQueue()
+        handle = queue.submit(WireRequest(spec=INTRO_SPEC),
+                              on_progress=events.append,
+                              stored_lookup=lambda fp: stored)
+        assert handle.from_store
+        assert len(events) == 1 and events[0].done
+        assert events[0].incumbent is stored
+
+    def test_cancel_queued_job_never_runs(self):
+        queue = JobQueue()
+        handle = queue.submit(WireRequest(spec=INTRO_SPEC))
+        assert handle.cancel()
+        assert handle.state == JOB_CANCELLED
+        result = handle.result(timeout=0)
+        assert result.status == "cancelled"
+        assert len(queue) == 0
+        assert not handle.cancel()  # already finished
+
+    def test_stored_lookup_fast_path(self, tmp_path):
+        stored = synthesize(INTRO_SPEC)
+        queue = JobQueue()
+        handle = queue.submit(WireRequest(spec=INTRO_SPEC),
+                              stored_lookup=lambda fp: stored)
+        assert handle.from_store and handle.done
+        assert _key(handle.result(timeout=0)) == _key(stored)
+        assert len(queue) == 0
+
+
+# ----------------------------------------------------------------------
+# The affinity scheduler (pure planning, deterministic)
+# ----------------------------------------------------------------------
+class _FakeJob:
+    def __init__(self, staging_fp):
+        self.staging_fp = staging_fp
+
+
+class TestAffinityScheduling:
+    def test_prefers_the_warm_worker(self):
+        plan = WorkerPool.plan_assignments(
+            [_FakeJob("u1")], worker_loads=[1, 0],
+            worker_warm=[["u1"], []], depth=2)
+        assert plan == [(0, 0, "affinity")]
+
+    def test_steals_when_every_warm_worker_is_saturated(self):
+        plan = WorkerPool.plan_assignments(
+            [_FakeJob("u1")], worker_loads=[2, 0],
+            worker_warm=[["u1"], []], depth=2)
+        assert plan == [(0, 1, "steal")]
+
+    def test_cold_jobs_go_to_the_least_loaded_worker(self):
+        plan = WorkerPool.plan_assignments(
+            [_FakeJob("u9")], worker_loads=[1, 0],
+            worker_warm=[["u1"], ["u2"]], depth=2)
+        assert plan == [(0, 1, "cold")]
+
+    def test_assignments_consume_capacity_in_queue_order(self):
+        jobs = [_FakeJob("u1"), _FakeJob("u1"), _FakeJob("u1"),
+                _FakeJob("u2")]
+        plan = WorkerPool.plan_assignments(
+            jobs, worker_loads=[0, 0], worker_warm=[["u1"], []], depth=2)
+        # Two u1 jobs fill the warm worker, the third spills (steal),
+        # and the u2 job lands cold on the remaining capacity.
+        assert plan == [(0, 0, "affinity"), (1, 0, "affinity"),
+                        (2, 1, "steal"), (3, 1, "cold")]
+
+    def test_planning_stops_when_all_workers_are_full(self):
+        jobs = [_FakeJob("u1"), _FakeJob("u2"), _FakeJob("u3")]
+        plan = WorkerPool.plan_assignments(
+            jobs, worker_loads=[1, 1], worker_warm=[[], []], depth=1)
+        assert plan == []
+
+    def test_first_assignment_warms_the_worker_for_the_second(self):
+        jobs = [_FakeJob("u1"), _FakeJob("u1")]
+        plan = WorkerPool.plan_assignments(
+            jobs, worker_loads=[0, 0], worker_warm=[[], []], depth=2)
+        assert plan == [(0, 0, "cold"), (1, 0, "affinity")]
+
+
+# ----------------------------------------------------------------------
+# Pool integration: the acceptance criterion
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("backend", ["scalar", "vector"])
+class TestPoolBitIdentity:
+    def test_pool_matches_solo_session(self, backend):
+        specs = partitions(5)
+        requests = [SynthesisRequest(spec=s) for s in specs]
+        requests.append(SynthesisRequest(spec=specs[0], allowed_error=0.25))
+        requests.append(SynthesisRequest(
+            spec=specs[1], cost_fn=CostFunction.from_tuple((1, 1, 10, 1, 1)),
+            max_generated=200_000))
+
+        solo = Session(EngineConfig(backend=backend))
+        expected = [solo.synthesize(r) for r in requests]
+
+        with ServiceClient(workers=2,
+                           config=EngineConfig(backend=backend)) as client:
+            results = client.synthesize_many(requests)
+        assert [_key(r) for r in results] == [_key(r) for r in expected]
+        assert all(r.backend == backend for r in results)
+
+
+class TestPoolBehaviour:
+    def test_progress_events_cross_the_process_boundary(self):
+        events = []
+        with ServiceClient(workers=1) as client:
+            handle = client.submit(INTRO_SPEC, on_progress=events.append)
+            result = handle.result(timeout=120)
+        assert result.found
+        assert events, "expected forwarded progress events"
+        streamed = [e for e in events if not e.done]
+        assert streamed, "expected at least one per-level event"
+        assert [e.cost for e in streamed] == sorted(e.cost for e in streamed)
+        # The engine-side monotonic clock travelled with the events.
+        elapsed = [e.elapsed_s for e in streamed]
+        assert all(v >= 0.0 for v in elapsed)
+        assert elapsed == sorted(elapsed)
+        final = events[-1]
+        assert final.done
+        assert final.incumbent is result
+
+    def test_in_flight_dedup_and_priorities(self):
+        specs = partitions(4)
+        done_order = []
+
+        def tracker(tag):
+            def on_event(event):
+                if event.done:
+                    done_order.append(tag)
+            return on_event
+
+        with ServiceClient(workers=1, per_worker_depth=1) as client:
+            blocker = client.submit(specs[0], on_progress=tracker("blocker"))
+            low = client.submit(specs[1], priority=PRIORITY_LOW,
+                                on_progress=tracker("low"))
+            high = client.submit(specs[2], priority=PRIORITY_HIGH,
+                                 on_progress=tracker("high"))
+            dup_a = client.submit(specs[3])
+            dup_b = client.submit(specs[3])
+            results = [h.result(timeout=120)
+                       for h in (blocker, low, high, dup_a, dup_b)]
+            stats = client.stats
+        assert all(r.found for r in results)
+        assert dup_b.deduplicated
+        assert dup_a.job_id == dup_b.job_id
+        assert _key(results[3]) == _key(results[4])
+        assert stats["deduplicated"] == 1
+        # With one worker at depth 1, the high-priority job must finish
+        # before the low-priority one submitted earlier.
+        assert done_order.index("high") < done_order.index("low")
+
+    def test_cancel_queued_job(self):
+        specs = partitions(3)
+        with ServiceClient(workers=1, per_worker_depth=1) as client:
+            blocker = client.submit(specs[0])
+            victim = client.submit(specs[1])
+            assert victim.cancel()
+            cancelled = victim.result(timeout=120)
+            assert blocker.result(timeout=120).found
+            stats = client.stats
+        assert cancelled.status == "cancelled"
+        assert stats["cancelled"] == 1
+
+    def test_cancel_running_job_via_watchdog(self):
+        # A deliberately long search (expensive-star cost function and a
+        # large candidate budget); the budget bounds the damage if
+        # cancellation were broken, so the test fails instead of hanging.
+        slow = SynthesisRequest(
+            spec=INTRO_SPEC,
+            cost_fn=CostFunction.from_tuple((1, 1, 10, 1, 1)),
+            max_generated=20_000_000,
+        )
+        events = []
+        with ServiceClient(workers=1) as client:
+            handle = client.submit(slow, on_progress=events.append)
+            deadline = time.monotonic() + 60
+            while not events and time.monotonic() < deadline:
+                time.sleep(0.005)
+            assert events, "job never reported progress"
+            assert handle.cancel()
+            result = handle.result(timeout=120)
+        assert result.status == "cancelled"
+
+    def test_worker_crash_fails_only_that_job(self):
+        # allowed_error=1.5 passes the wire layer (it is just JSON) but
+        # makes the worker's engine constructor raise — a stand-in for
+        # any worker-side failure.
+        bad = WireRequest(spec=INTRO_SPEC, allowed_error=1.5)
+        with ServiceClient(workers=1) as client:
+            broken = client.submit(bad)
+            ok = client.submit(partitions(2)[0])
+            assert ok.result(timeout=120).found
+            with pytest.raises(JobFailedError):
+                broken.result(timeout=120)
+            assert client.stats["failed"] == 1
+
+
+    def test_killed_worker_fails_its_job_instead_of_hanging(self):
+        slow = SynthesisRequest(
+            spec=INTRO_SPEC,
+            cost_fn=CostFunction.from_tuple((1, 1, 10, 1, 1)),
+            max_generated=20_000_000,
+        )
+        events = []
+        with ServiceClient(workers=1) as client:
+            handle = client.submit(slow, on_progress=events.append)
+            deadline = time.monotonic() + 60
+            while not events and time.monotonic() < deadline:
+                time.sleep(0.005)
+            assert events, "job never reported progress"
+            client.pool._workers[0].process.kill()
+            with pytest.raises(JobFailedError, match="died"):
+                handle.result(timeout=60)
+            assert client.stats["failed"] == 1
+
+
+    def test_request_level_hooks_work_through_the_pool(self):
+        # The drop-in promise: a SynthesisRequest's own cancel token
+        # and on_progress keep working when served by the pool.
+        token = CancellationToken()
+        events = []
+        slow = SynthesisRequest(
+            spec=INTRO_SPEC,
+            cost_fn=CostFunction.from_tuple((1, 1, 10, 1, 1)),
+            max_generated=20_000_000,
+            cancel=token,
+            on_progress=events.append,
+        )
+        with ServiceClient(workers=1) as client:
+            handle = client.submit(slow)
+            deadline = time.monotonic() + 60
+            while not events and time.monotonic() < deadline:
+                time.sleep(0.005)
+            assert events, "request's own on_progress never fired"
+            token.cancel()
+            result = handle.result(timeout=120)
+        assert result.status == "cancelled"
+
+    def test_shutdown_without_wait_never_leaves_handles_hanging(self):
+        specs = partitions(2)
+        pool = WorkerPool(workers=1, per_worker_depth=1)
+        pool.start()
+        handles = [pool.submit(spec) for spec in specs]
+        pool.shutdown(wait=False)
+        # Every handle must resolve (answered or failed) — never hang.
+        for handle in handles:
+            try:
+                handle.result(timeout=30)
+            except JobFailedError:
+                pass
+            assert handle.done
+
+    def test_shutdown_returns_even_with_a_dead_worker_mid_job(self):
+        import threading
+
+        slow = SynthesisRequest(
+            spec=INTRO_SPEC,
+            cost_fn=CostFunction.from_tuple((1, 1, 10, 1, 1)),
+            max_generated=20_000_000,
+        )
+        events = []
+        client = ServiceClient(workers=1).start()
+        client.submit(slow, on_progress=events.append)
+        deadline = time.monotonic() + 60
+        while not events and time.monotonic() < deadline:
+            time.sleep(0.005)
+        assert events, "job never reported progress"
+        client.pool._workers[0].process.kill()
+        # shutdown(wait=True) must drain the orphaned job via the
+        # reaper instead of spinning on it forever.
+        closer = threading.Thread(target=client.close)
+        closer.start()
+        closer.join(timeout=60)
+        assert not closer.is_alive(), "shutdown hung on a dead worker"
+
+    def test_pool_restarts_after_shutdown(self):
+        spec = partitions(2)[0]
+        pool = WorkerPool(workers=1)
+        with pool:
+            first = pool.submit(spec).result(timeout=120)
+        with pytest.raises(RuntimeError, match="not running"):
+            pool.submit(spec)
+        # A stopped pool restarts cleanly with fresh workers.
+        with pool:
+            second = pool.submit(spec).result(timeout=120)
+        assert _key(first) == _key(second)
+
+
+class TestWarmStartAcrossRestarts:
+    def test_second_pool_loads_persisted_staging(self, tmp_path):
+        specs = partitions(3)
+        expected = [synthesize(s) for s in specs]
+        store = tmp_path / "service-state"
+
+        with ServiceClient(workers=2, store_dir=store) as client:
+            cold = client.synthesize_many(specs)
+            cold_stats = client.worker_stats()
+        assert [_key(r) for r in cold] == [_key(r) for r in expected]
+        assert sum(w["session"].get("staging_builds", 0)
+                   for w in cold_stats) >= 1
+
+        with ServiceClient(workers=2, store_dir=store) as client:
+            warm = client.synthesize_many(specs)
+            warm_stats = client.worker_stats()
+        assert [_key(r) for r in warm] == [_key(r) for r in expected]
+        assert sum(w["session"].get("staging_builds", 0)
+                   for w in warm_stats) == 0
+        assert sum(w["session"].get("store_loads", 0)
+                   for w in warm_stats) >= 1
+
+    def test_reuse_results_answers_from_the_store(self, tmp_path):
+        spec = partitions(2)[0]
+        store = tmp_path / "service-state"
+        with ServiceClient(workers=1, store_dir=store) as client:
+            first = client.synthesize(spec)
+        with ServiceClient(workers=1, store_dir=store,
+                           reuse_results=True) as client:
+            handle = client.submit(spec)
+            assert handle.from_store and handle.done
+            assert _key(handle.result(timeout=0)) == _key(first)
+            assert client.stats["result_hits"] == 1
+
+
+# ----------------------------------------------------------------------
+# The CI smoke scenario (mirrors the workflow's service job)
+# ----------------------------------------------------------------------
+class TestServiceSmoke:
+    def test_five_specs_with_duplicate_and_cancellation(self):
+        """Start a pool, submit 5 specs — one a duplicate, one cancelled
+        — and assert dedupe + cancellation + correct answers."""
+        specs = partitions(4)
+        with ServiceClient(workers=2, per_worker_depth=1) as client:
+            a = client.submit(specs[0])
+            b = client.submit(specs[1])
+            duplicate = client.submit(specs[0])
+            doomed = client.submit(specs[2])
+            doomed.cancel()
+            c = client.submit(specs[3])
+            results = {
+                "a": a.result(timeout=120),
+                "b": b.result(timeout=120),
+                "dup": duplicate.result(timeout=120),
+                "doomed": doomed.result(timeout=120),
+                "c": c.result(timeout=120),
+            }
+            stats = client.stats
+        assert duplicate.deduplicated
+        assert stats["deduplicated"] == 1
+        assert stats["cancelled"] == 1
+        assert results["doomed"].status == "cancelled"
+        assert _key(results["a"]) == _key(results["dup"])
+        for tag in ("a", "b", "c"):
+            assert _key(results[tag]) == _key(
+                synthesize(results[tag].spec))

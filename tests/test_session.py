@@ -254,6 +254,39 @@ class TestProgressAndCancellation:
         assert final.done
         assert final.incumbent is result
 
+    def test_progress_events_carry_monotonic_elapsed_s(self):
+        """``elapsed_s`` is the engine's own monotonic clock: present on
+        every event, non-negative, non-decreasing, and still meaningful
+        after a pickle round-trip (the cross-process forwarding case)."""
+        import pickle
+
+        events = []
+        result = Session().synthesize(
+            SynthesisRequest(spec=INTRO_SPEC, on_progress=events.append)
+        )
+        assert result.found
+        elapsed = [e.elapsed_s for e in events]
+        assert all(v >= 0.0 for v in elapsed)
+        assert elapsed == sorted(elapsed)
+        # The final event reflects the whole sweep: no earlier event
+        # can claim more engine time.
+        assert events[-1].done
+        assert events[-1].elapsed_s == max(elapsed)
+        # Self-describing across process boundaries: the timing
+        # survives serialisation instead of needing the receiver's
+        # clocks.
+        revived = pickle.loads(pickle.dumps(events[-1]))
+        assert revived.elapsed_s == events[-1].elapsed_s
+        assert revived.elapsed_seconds == events[-1].elapsed_seconds
+
+    def test_engine_elapsed_clock_starts_at_run(self):
+        session = Session()
+        engine = session.make_engine(SynthesisRequest(spec=INTRO_SPEC))
+        assert engine.elapsed_s == 0.0  # before run(): no clock yet
+        engine.run(3)
+        assert engine.run_started_monotonic is not None
+        assert engine.elapsed_s > 0.0
+
     def test_cancellation_token_stops_the_search(self):
         token = CancellationToken()
         token.cancel()
