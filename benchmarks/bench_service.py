@@ -30,7 +30,7 @@ import time
 
 from _bench_utils import REPO_ROOT, is_full
 from repro import CostFunction, Session, SynthesisRequest, Spec
-from repro.eval.harness import run_suite
+from repro.eval.harness import records_to_json, run_suite
 from repro.service import ServiceClient
 from repro.suites.alpharegex_suite import easy_tasks
 
@@ -193,6 +193,10 @@ def test_emit_service_bench_artifact():
         "warm_start_speedup": warm_speedup,
         "warm_staging_builds": warm_builds,
         "warm_staging_loads": warm_loads,
+        # Per-record detail of the solo baseline, including each run's
+        # per-phase timing (staging / enumerate / dedupe / solve /
+        # store) from the engine's own timers.
+        "solo_run_records": records_to_json(solo_records),
     }
     (REPO_ROOT / "BENCH_service.json").write_text(
         json.dumps(artifact, indent=2, sort_keys=True) + "\n",

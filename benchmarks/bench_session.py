@@ -126,6 +126,14 @@ def test_emit_session_bench_artifact():
         "benchmark": "session serving layer",
         "batch_size": BATCH_SIZE,
         "universe_words": warm_results[0].universe_size,
+        # Per-phase attribution (staging / enumerate / dedupe / solve /
+        # store) so future perf PRs can see *where* serving time goes
+        # without re-instrumenting: one solo run and the shared batched
+        # sweep, straight from the engines' own phase timers.
+        "phase_seconds_solo": cold_results[0].extra.get("phase_seconds"),
+        "phase_seconds_batch_sweep": warm_results[0].extra.get(
+            "phase_seconds"
+        ),
         "staging_cold_seconds": staging_cold_s,
         "staging_warm_seconds": staging_warm_s,
         "staging_speedup": (

@@ -1,0 +1,57 @@
+"""CI perf smoke: assert kernel throughput stays under checked-in ceilings.
+
+Reads the freshly generated ``BENCH_kernels.json`` (repo root) and the
+generous per-op ceilings in ``benchmarks/perf_ceilings.json``; exits
+non-zero listing every op whose ns/candidate exceeds its ceiling.  The
+ceilings are deliberately loose (see the JSON) — this gate catches
+order-of-magnitude kernel regressions, not timer noise.
+
+Usage: ``python benchmarks/check_perf_ceilings.py``
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def main() -> int:
+    artifact_path = REPO_ROOT / "BENCH_kernels.json"
+    ceilings_path = REPO_ROOT / "benchmarks" / "perf_ceilings.json"
+    artifact = json.loads(artifact_path.read_text(encoding="utf-8"))
+    ceilings = json.loads(ceilings_path.read_text(encoding="utf-8"))[
+        "ceilings_ns_per_candidate"
+    ]
+
+    measured = {
+        record["op"]: record["ns_per_candidate"]
+        for record in artifact["results"]
+    }
+    failures = []
+    for op, ceiling in ceilings.items():
+        if op not in measured:
+            failures.append("op %r missing from BENCH_kernels.json" % op)
+            continue
+        if measured[op] > ceiling:
+            failures.append(
+                "%s: %.1f ns/candidate exceeds the %.0f ns ceiling"
+                % (op, measured[op], ceiling)
+            )
+
+    for op in sorted(measured):
+        note = "" if op in ceilings else "  (no ceiling)"
+        print("%-16s %10.1f ns/candidate%s" % (op, measured[op], note))
+    if failures:
+        print("\nPERF CEILING FAILURES:")
+        for failure in failures:
+            print("  - " + failure)
+        return 1
+    print("\nall ops under their ceilings")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -78,6 +78,28 @@ def staging_key_of(spec: Spec) -> StagingKey:
     return (frozenset(spec.all_words), spec.alphabet)
 
 
+def _phase_breakdown(
+    engine: SearchEngine, staging_seconds: float, elapsed: float
+) -> Dict[str, float]:
+    """Per-phase wall-clock of one run, for perf-attribution artifacts.
+
+    ``dedupe``/``solve``/``store`` come from the engine's own batch
+    timers (zero for engines that do not time themselves, e.g. the
+    scalar engine); ``staging`` is the session-side staging resolution
+    (near zero on a warm hit); ``enumerate`` is the run's residual —
+    kernel and emit time for the vectorised engine, everything for the
+    scalar one.
+    """
+    phases = dict(engine.phase_seconds)
+    phases["staging"] = staging_seconds
+    phases["enumerate"] = max(
+        0.0, elapsed - sum(engine.phase_seconds.values())
+    )
+    # ``total`` covers everything listed, so phase shares sum to ~1.
+    phases["total"] = staging_seconds + elapsed
+    return phases
+
+
 class Session:
     """A reusable synthesis context with cached staging.
 
@@ -204,6 +226,10 @@ class Session:
         info = self.registry.resolve(config.backend)
         cost_fn = request.effective_cost_fn()
         max_cost = request.effective_max_cost(cost_fn)
+        staging_started = time.perf_counter()
+        if universe is None and guide is None:
+            universe, guide = self.staging_for(request.spec)
+        staging_seconds = time.perf_counter() - staging_started
         engine = self.make_engine(request, universe=universe, guide=guide)
 
         started = time.perf_counter()
@@ -244,7 +270,12 @@ class Session:
             padded_bits=engine.universe.padded_bits,
             levels_built=engine.levels_built,
             elapsed_seconds=elapsed,
-            extra={"level_stats": engine.level_stats},
+            extra={
+                "level_stats": engine.level_stats,
+                "phase_seconds": _phase_breakdown(
+                    engine, staging_seconds, elapsed
+                ),
+            },
         )
         if status == STATUS_SUCCESS:
             result.regex = reconstruct(
@@ -336,7 +367,9 @@ class Session:
         config = requests[0].config if requests[0].config is not None else self.config
         info = self.registry.resolve(config.backend)
         cost_fn = requests[0].effective_cost_fn()
+        staging_started = time.perf_counter()
         universe, guide = self.staging_for(requests[0].spec)
+        staging_seconds = time.perf_counter() - staging_started
         probe = requests[0].replace(
             allowed_error=0.0, on_progress=None, cancel=None, time_limit=None
         )
@@ -385,6 +418,9 @@ class Session:
             "batch_size": len(requests),
             "sweep_seconds": sweep_seconds,
             "sweep_generated": engine.generated,
+            "phase_seconds": _phase_breakdown(
+                engine, staging_seconds, sweep_seconds
+            ),
         }
         for query, index in zip(queries, indices):
             results[index] = query.to_result(

@@ -214,6 +214,24 @@ def bitslice_rows(rows: np.ndarray, n_bits: int) -> np.ndarray:
     ).reshape(nb8 * 8, m8)
 
 
+def plane_segment(planes: np.ndarray, lo: int, hi: int) -> np.ndarray:
+    """Byte-aligned column view of bit planes: candidates ``[lo, hi)``.
+
+    ``planes`` is a bit-sliced matrix over ``n`` candidates (one bit per
+    column position); the segment of candidates ``[lo, hi)`` is a plain
+    column slice when ``lo`` is a multiple of 8 — no bit shifting.  The
+    returned view packs candidate ``k`` (``lo <= k < hi``) at bit
+    ``(k - lo) & 7`` of byte ``(k - lo) >> 3``; trailing bits of the
+    last byte belong to candidates ``>= hi`` (or are the zero padding of
+    the original slice) — callers that expose per-candidate results must
+    truncate to ``hi - lo`` rows after un-bit-slicing, exactly as
+    :func:`unbitslice_rows` does.
+    """
+    if lo & 7:
+        raise ValueError("plane segments must start at a multiple of 8")
+    return planes[:, lo >> 3 : (hi + 7) >> 3]
+
+
 def unbitslice_rows(planes: np.ndarray, m: int, lanes: int) -> np.ndarray:
     """Inverse of :func:`bitslice_rows`: planes back to packed rows.
 

@@ -21,9 +21,18 @@ corresponding regular expression".
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
+
+from .bitops import bitslice_rows
+
+#: Default byte budget of a :class:`PackedCache`'s plane cache (the
+#: bit-sliced copies of completed cost levels).  A level's planes cost
+#: roughly as much as its packed rows, so this bounds the overhead of
+#: plane residency to a constant factor of the hot working set.
+DEFAULT_PLANE_CACHE_BYTES = 1 << 27
 
 
 class LevelIndex:
@@ -117,13 +126,22 @@ class PackedCache:
         "n_rows",
         "levels",
         "max_size",
+        "plane_cache_bytes",
+        "plane_stats",
         "_ops",
         "_lefts",
         "_rights",
         "_provenance_view",
+        "_planes",
+        "_plane_bytes",
     )
 
-    def __init__(self, lanes: int, max_size: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        lanes: int,
+        max_size: Optional[int] = None,
+        plane_cache_bytes: int = DEFAULT_PLANE_CACHE_BYTES,
+    ) -> None:
         self.lanes = lanes
         self.matrix = np.zeros((64, lanes), dtype=np.uint64)
         self.n_rows = 0
@@ -133,6 +151,14 @@ class PackedCache:
         self._provenance_view: Optional[List[Tuple[int, int, int]]] = None
         self.levels = LevelIndex()
         self.max_size = max_size
+        self.plane_cache_bytes = plane_cache_bytes
+        #: ``{"builds": …, "hits": …, "evictions": …}`` — exposed for
+        #: tests and the benchmark harness.
+        self.plane_stats = {"builds": 0, "hits": 0, "evictions": 0}
+        self._planes: "OrderedDict[Tuple[int, int, int], np.ndarray]" = (
+            OrderedDict()
+        )
+        self._plane_bytes = 0
 
     def __len__(self) -> int:
         return self.n_rows
@@ -209,6 +235,44 @@ class PackedCache:
         self._lefts[lo:hi] = lefts
         self._rights[lo:hi] = rights
         self.n_rows += count
+
+    def planes(self, start: int, end: int, n_bits: int) -> np.ndarray:
+        """Bit-sliced planes of rows ``[start, end)`` — sliced once,
+        served from the plane cache afterwards.
+
+        The returned ``(8 * ceil(n_bits / 8), ceil((end - start) / 8))``
+        uint8 matrix holds bit ``w`` of every row in the range, packed 8
+        rows per byte (see :func:`repro.core.bitops.bitslice_rows`).
+        Rows are write-once, so a cached entry for a fully-stored range
+        can never go stale; ranges that reach past ``n_rows`` are
+        rejected outright, which is what makes "append to a level →
+        stale planes served" impossible: a grown range is a *different*
+        cache key, and it can only be built once its rows exist.
+
+        Entries are evicted least-recently-used once the cache exceeds
+        ``plane_cache_bytes``.  Treat the result as read-only — it is
+        shared across calls.
+        """
+        if not 0 <= start <= end <= self.n_rows:
+            raise ValueError(
+                "plane range [%d, %d) not fully stored (n_rows=%d)"
+                % (start, end, self.n_rows)
+            )
+        key = (start, end, n_bits)
+        cached = self._planes.get(key)
+        if cached is not None:
+            self._planes.move_to_end(key)
+            self.plane_stats["hits"] += 1
+            return cached
+        planes = bitslice_rows(self.matrix[start:end], n_bits)
+        self.plane_stats["builds"] += 1
+        self._planes[key] = planes
+        self._plane_bytes += planes.nbytes
+        while self._plane_bytes > self.plane_cache_bytes and len(self._planes) > 1:
+            _, evicted = self._planes.popitem(last=False)
+            self._plane_bytes -= evicted.nbytes
+            self.plane_stats["evictions"] += 1
+        return planes
 
     def rows(self, start: int, end: int) -> np.ndarray:
         """A read-only view of rows ``[start, end)``."""

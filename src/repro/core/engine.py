@@ -110,6 +110,13 @@ class SearchEngine:
 
         # Statistics and outcome.
         self.generated = 0  # number of candidate CSs constructed ("# REs")
+        #: Wall-clock seconds attributed to pipeline phases.  Engines
+        #: that time their batched stages fill ``dedupe``/``solve``/
+        #: ``store``; the serving layer adds ``staging`` and derives
+        #: ``enumerate`` as the run's residual.  The scalar engine
+        #: leaves these at zero (per-candidate timers would dominate its
+        #: runtime), so its whole run reads as ``enumerate``.
+        self.phase_seconds = {"dedupe": 0.0, "solve": 0.0, "store": 0.0}
         #: Per-level statistics: one dict per built cost level with keys
         #: ``cost``, ``generated``, ``stored`` and ``otf`` — the growth
         #: data behind the paper's exponential-blowup discussion.
@@ -171,6 +178,24 @@ class SearchEngine:
         cached index ranges (upper-triangular, diagonal excluded, when
         ``triangular``); return True iff a solution was found."""
         raise NotImplementedError
+
+    def _emit_pair_group(
+        self,
+        op: int,
+        pairings: List[Tuple[Tuple[int, int], Tuple[int, int], bool]],
+    ) -> bool:
+        """Build all ``op`` candidates of one cost level — every
+        ``(left, right, triangular)`` operand pairing, in order.
+
+        The default runs the pairings one at a time; the vectorised
+        engine overrides this to *fuse* the small pairings of a level
+        into shared solution-check/dedupe/store batches (candidate order
+        is unchanged, so results stay bit-identical).
+        """
+        for left, right, triangular in pairings:
+            if self._emit_pairs(op, left, right, triangular):
+                return True
+        return False
 
     @property
     def cache(self):
@@ -339,6 +364,7 @@ class SearchEngine:
 
         # Concatenation: all ordered pairs (L, R) with L + R = budget.
         budget = cost - cf.concat
+        pairings: List[Tuple[Tuple[int, int], Tuple[int, int], bool]] = []
         for left_cost in levels.costs():
             right_cost = budget - left_cost
             if right_cost < c1:
@@ -349,13 +375,15 @@ class SearchEngine:
                 continue
             if left[0] == left[1] or right[0] == right[1]:
                 continue
-            if self._emit_pairs(OP_CONCAT, left, right, triangular=False):
-                return True
+            pairings.append((left, right, False))
+        if pairings and self._emit_pair_group(OP_CONCAT, pairings):
+            return True
 
         # Union: commutative, so only pairs with L ≤ R (and i < j on the
         # diagonal — ``r + r`` never yields a new CS nor a new solution,
         # since ``r`` itself was checked when first constructed).
         budget = cost - cf.union
+        pairings = []
         for left_cost in levels.costs():
             right_cost = budget - left_cost
             if right_cost < left_cost:
@@ -366,7 +394,7 @@ class SearchEngine:
                 continue
             if left[0] == left[1] or right[0] == right[1]:
                 continue
-            triangular = left_cost == right_cost
-            if self._emit_pairs(OP_UNION, left, right, triangular=triangular):
-                return True
+            pairings.append((left, right, left_cost == right_cost))
+        if pairings and self._emit_pair_group(OP_UNION, pairings):
+            return True
         return False

@@ -9,7 +9,7 @@ rather than a wall-clock timeout so measurements stay deterministic.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..api import EngineConfig, Session, SynthesisRequest
@@ -37,6 +37,18 @@ class RunRecord:
     elapsed_seconds: float
     repeats: int = 1
     extra: Dict[str, object] = field(default_factory=dict)
+
+
+def records_to_json(records: List[RunRecord]) -> List[Dict[str, object]]:
+    """Plain-JSON form of a record list, for benchmark artifacts.
+
+    Includes ``extra`` — in particular the per-phase timing breakdown
+    (``staging`` / ``enumerate`` / ``dedupe`` / ``solve`` / ``store``)
+    the session layer attaches to every engine-served run — so perf
+    artifacts built on the harness attribute wall-clock to pipeline
+    stages without re-instrumenting.
+    """
+    return [asdict(record) for record in records]
 
 
 def staging_for(spec: Spec) -> Tuple[Universe, GuideTable]:
@@ -99,7 +111,17 @@ def time_paresy(
         universe_size=result.universe_size,
         elapsed_seconds=sum(elapsed) / len(elapsed),
         repeats=len(elapsed),
+        extra=_phase_extra(result),
     )
+
+
+def _phase_extra(result: SynthesisResult) -> Dict[str, object]:
+    """Per-phase timing of the run (staging, enumerate, dedupe, solve,
+    store), carried into the record's ``extra`` so JSON artifacts can
+    attribute wall-clock wins to pipeline stages without
+    re-instrumenting."""
+    phases = result.extra.get("phase_seconds")
+    return {"phase_seconds": phases} if phases else {}
 
 
 def _suite_record(
@@ -116,6 +138,7 @@ def _suite_record(
         unique_cs=result.unique_cs,
         universe_size=result.universe_size,
         elapsed_seconds=result.elapsed_seconds,
+        extra=_phase_extra(result),
     )
 
 

@@ -91,3 +91,75 @@ class TestPackedCache:
         cache = PackedCache(lanes=1, max_size=1)
         cache.append_row(np.zeros(1, dtype=np.uint64), 0, 0, -1)
         assert cache.is_full
+
+
+def _fill(cache, values):
+    for value in values:
+        cache.append_row(np.array([value], dtype=np.uint64), 0, 0, -1)
+
+
+class TestPlaneCache:
+    """The lazily bit-sliced per-level plane cache of `PackedCache`."""
+
+    def test_planes_match_bitslice_of_rows(self):
+        from repro.core.bitops import bitslice_rows
+
+        cache = PackedCache(lanes=1)
+        _fill(cache, range(40))
+        planes = cache.planes(8, 24, n_bits=10)
+        expected = bitslice_rows(cache.rows(8, 24), 10)
+        assert np.array_equal(planes, expected)
+
+    def test_second_request_is_served_from_the_cache(self):
+        cache = PackedCache(lanes=1)
+        _fill(cache, range(16))
+        first = cache.planes(0, 16, n_bits=8)
+        second = cache.planes(0, 16, n_bits=8)
+        assert first is second
+        assert cache.plane_stats["builds"] == 1
+        assert cache.plane_stats["hits"] == 1
+
+    def test_append_to_a_level_never_serves_stale_planes(self):
+        """Slice a growing level, append, slice again: the grown range
+        is a fresh (correct) build, never the stale cached entry."""
+        from repro.core.bitops import bitslice_rows, lanes_to_int, unbitslice_rows
+
+        cache = PackedCache(lanes=1)
+        _fill(cache, [1, 2, 3, 4])
+        small = cache.planes(0, 4, n_bits=8)
+        _fill(cache, [5, 6, 7, 8])
+        grown = cache.planes(0, 8, n_bits=8)
+        assert grown is not small
+        assert np.array_equal(grown, bitslice_rows(cache.rows(0, 8), 8))
+        # The grown planes really contain the appended rows.
+        back = unbitslice_rows(grown, 8, 1)
+        assert [lanes_to_int(r) for r in back] == [1, 2, 3, 4, 5, 6, 7, 8]
+        # The old (prefix) entry stays correct for its own range.
+        assert np.array_equal(small, bitslice_rows(cache.rows(0, 4), 8))
+
+    def test_unstored_range_rejected(self):
+        cache = PackedCache(lanes=1)
+        _fill(cache, range(4))
+        with pytest.raises(ValueError):
+            cache.planes(0, 5, n_bits=8)
+        with pytest.raises(ValueError):
+            cache.planes(-1, 2, n_bits=8)
+
+    def test_lru_eviction_respects_the_byte_budget(self):
+        cache = PackedCache(lanes=1, plane_cache_bytes=40)
+        _fill(cache, range(64))
+        a = cache.planes(0, 16, n_bits=8)   # 8 x 2 = 16 bytes
+        cache.planes(16, 32, n_bits=8)
+        cache.planes(32, 48, n_bits=8)
+        cache.planes(48, 64, n_bits=8)
+        cache.planes(0, 16, n_bits=8)  # the LRU entry (a) was evicted
+        assert cache.plane_stats["evictions"] >= 1
+        assert cache.plane_stats["builds"] >= 5
+        # Rebuilt entry is still correct.
+        assert np.array_equal(a, cache.planes(0, 16, n_bits=8))
+
+    def test_oversized_single_entry_is_still_served(self):
+        cache = PackedCache(lanes=1, plane_cache_bytes=1)
+        _fill(cache, range(32))
+        planes = cache.planes(0, 32, n_bits=8)
+        assert planes.shape == (8, 4)

@@ -15,7 +15,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.hashset import FingerprintHashSet, PackedKeySet
+from repro.core.hashset import _LANE_MIX, FingerprintHashSet, PackedKeySet
 
 
 def reference_mask(rows):
@@ -88,6 +88,67 @@ class TestHighLoadFactor:
         assert not mask[:100].any()
         assert mask[100:].all()
         assert len(key_set) == 5000
+
+
+def colliding_rows(count, constant=0xDEADBEEF):
+    """``count`` *distinct* 2-lane keys engineered to share one
+    fingerprint (and hence one home slot and probe step).
+
+    The two-tier set folds lanes as ``acc = l0 ^ l1 * M1`` before the
+    splitmix64 finaliser, so every row ``(C ^ y * M1, y)`` hashes to the
+    fingerprint of ``C`` — the worst case for fingerprint-first probing:
+    tier 1 reports a hit for every pair, and only the full-key fallback
+    can tell the keys apart.
+    """
+    y = np.arange(1, count + 1, dtype=np.uint64)
+    l0 = np.uint64(constant) ^ (y * _LANE_MIX[0])
+    return np.stack([l0, y], axis=1)
+
+
+class TestEngineeredFingerprintCollisions:
+    def test_all_rows_share_a_fingerprint(self):
+        key_set = PackedKeySet(lanes=2)
+        rows = colliding_rows(50)
+        fps = key_set._fingerprints(rows)
+        assert len(set(fps.tolist())) == 1
+        assert len(set(map(tuple, rows.tolist()))) == 50
+
+    def test_full_key_fallback_keeps_the_novelty_mask_exact(self):
+        key_set = PackedKeySet(lanes=2, initial_capacity=4)
+        distinct = colliding_rows(120)
+        # Interleave duplicates between fresh colliding keys, in one
+        # batch and across batches.
+        rows = np.concatenate([
+            distinct[:40],
+            distinct[10:50],   # 30 duplicates + 10 fresh
+            distinct[:120],    # 50 duplicates + 70 fresh
+        ])
+        mask = insert_all(key_set, rows, batch_size=64)
+        assert (mask == reference_mask(rows)).all()
+        assert len(key_set) == 120
+
+    def test_collisions_survive_rehash(self):
+        """Growing the table re-homes every colliding key through the
+        no-novelty rehash; membership answers must be unchanged."""
+        key_set = PackedKeySet(lanes=2, initial_capacity=2, max_load=0.5)
+        distinct = colliding_rows(300)
+        assert key_set.insert_batch(distinct[:20]).all()
+        capacity_before = key_set.capacity
+        assert key_set.insert_batch(distinct).sum() == 280
+        assert key_set.capacity > capacity_before
+        assert not key_set.insert_batch(distinct).any()
+        assert len(key_set) == 300
+
+    def test_collisions_mixed_with_random_keys(self):
+        rng = np.random.default_rng(7)
+        key_set = PackedKeySet(lanes=2, initial_capacity=4)
+        rows = np.concatenate([
+            colliding_rows(100),
+            rng.integers(0, 1 << 60, size=(400, 2), dtype=np.uint64),
+            colliding_rows(100),  # all duplicates
+        ])
+        mask = insert_all(key_set, rows, batch_size=128)
+        assert (mask == reference_mask(rows)).all()
 
 
 class TestAdversarialBatches:

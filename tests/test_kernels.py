@@ -91,6 +91,54 @@ class TestFlatConcat:
         assert kernels.concat(empty, empty).shape == (0, universe.lanes)
 
 
+class TestPlanePairConcat:
+    """The plane-resident pair kernel: level planes in, pair planes out."""
+
+    @given(data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_matches_scalar_oracle_over_all_pairs(self, setting, data):
+        universe, guide, kernels = setting
+        lefts = data.draw(cs_batches(universe, max_rows=10))
+        rights = data.draw(cs_batches(universe, max_rows=13))
+        left_planes = bitslice_rows(
+            ints_to_matrix(lefts, universe.lanes), universe.n_words
+        )
+        right_planes = bitslice_rows(
+            ints_to_matrix(rights, universe.lanes), universe.n_words
+        )
+        n_a, n_b = len(lefts), len(rights)
+        b8 = right_planes.shape[1]
+        planes = kernels.concat_pair_planes(left_planes, right_planes, 0, n_a)
+        padded = unbitslice_rows(planes, n_a * b8 * 8, universe.lanes)
+        rows = padded.reshape(n_a, b8 * 8, universe.lanes)[:, :n_b]
+        for i in range(n_a):
+            for j in range(n_b):
+                assert lanes_to_int(rows[i, j]) == concat_cs(
+                    lefts[i], rights[j], guide
+                ), (i, j)
+
+    @given(data=st.data())
+    @settings(max_examples=15, deadline=None)
+    def test_left_blocks_agree_with_the_full_pairing(self, setting, data):
+        universe, _, kernels = setting
+        lefts = data.draw(cs_batches(universe, max_rows=9))
+        rights = data.draw(cs_batches(universe, max_rows=6))
+        left_planes = bitslice_rows(
+            ints_to_matrix(lefts, universe.lanes), universe.n_words
+        )
+        right_planes = bitslice_rows(
+            ints_to_matrix(rights, universe.lanes), universe.n_words
+        )
+        n_a = len(lefts)
+        full = kernels.concat_pair_planes(left_planes, right_planes, 0, n_a)
+        split = data.draw(st.integers(min_value=0, max_value=n_a))
+        parts = [
+            kernels.concat_pair_planes(left_planes, right_planes, 0, split),
+            kernels.concat_pair_planes(left_planes, right_planes, split, n_a),
+        ]
+        assert np.array_equal(full, np.concatenate(parts, axis=1))
+
+
 class TestMaskedStar:
     @given(data=st.data())
     @settings(max_examples=40, deadline=None)

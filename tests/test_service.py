@@ -46,6 +46,25 @@ INTRO_SPEC = Spec(
     negative=["", "0", "1", "00", "11", "010"],
 )
 
+#: A deliberately long-running workload for the cancellation/robustness
+#: tests: a >64-word universe with an expensive star keeps the sweep
+#: busy for seconds even on the plane-resident pipeline, so there is a
+#: comfortable window between the first progress event and the test's
+#: intervention (cancel / kill / shutdown).
+SLOW_SPEC = Spec(
+    positive=["0110100101", "1010010110"],
+    negative=["", "0", "1", "0011001100"],
+)
+
+
+def slow_request(**kwargs):
+    return SynthesisRequest(
+        spec=SLOW_SPEC,
+        cost_fn=CostFunction.from_tuple((1, 1, 10, 1, 1)),
+        max_generated=20_000_000,
+        **kwargs,
+    )
+
 
 def partitions(count, words=WORDS):
     """``count`` *distinct* partitions of one shared word set."""
@@ -387,11 +406,7 @@ class TestPoolBehaviour:
         # A deliberately long search (expensive-star cost function and a
         # large candidate budget); the budget bounds the damage if
         # cancellation were broken, so the test fails instead of hanging.
-        slow = SynthesisRequest(
-            spec=INTRO_SPEC,
-            cost_fn=CostFunction.from_tuple((1, 1, 10, 1, 1)),
-            max_generated=20_000_000,
-        )
+        slow = slow_request()
         events = []
         with ServiceClient(workers=1) as client:
             handle = client.submit(slow, on_progress=events.append)
@@ -418,11 +433,7 @@ class TestPoolBehaviour:
 
 
     def test_killed_worker_fails_its_job_instead_of_hanging(self):
-        slow = SynthesisRequest(
-            spec=INTRO_SPEC,
-            cost_fn=CostFunction.from_tuple((1, 1, 10, 1, 1)),
-            max_generated=20_000_000,
-        )
+        slow = slow_request()
         events = []
         with ServiceClient(workers=1) as client:
             handle = client.submit(slow, on_progress=events.append)
@@ -441,13 +452,7 @@ class TestPoolBehaviour:
         # and on_progress keep working when served by the pool.
         token = CancellationToken()
         events = []
-        slow = SynthesisRequest(
-            spec=INTRO_SPEC,
-            cost_fn=CostFunction.from_tuple((1, 1, 10, 1, 1)),
-            max_generated=20_000_000,
-            cancel=token,
-            on_progress=events.append,
-        )
+        slow = slow_request(cancel=token, on_progress=events.append)
         with ServiceClient(workers=1) as client:
             handle = client.submit(slow)
             deadline = time.monotonic() + 60
@@ -475,11 +480,7 @@ class TestPoolBehaviour:
     def test_shutdown_returns_even_with_a_dead_worker_mid_job(self):
         import threading
 
-        slow = SynthesisRequest(
-            spec=INTRO_SPEC,
-            cost_fn=CostFunction.from_tuple((1, 1, 10, 1, 1)),
-            max_generated=20_000_000,
-        )
+        slow = slow_request()
         events = []
         client = ServiceClient(workers=1).start()
         client.submit(slow, on_progress=events.append)
