@@ -16,7 +16,6 @@ from __future__ import annotations
 import json
 import time
 
-import pytest
 
 from _bench_utils import REPO_ROOT
 from repro import Session, Spec, synthesize

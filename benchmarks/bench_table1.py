@@ -16,7 +16,7 @@ from __future__ import annotations
 import pytest
 
 from _bench_utils import is_full, save_artifact
-from repro import CostFunction, Spec, synthesize
+from repro import Spec, synthesize
 from repro.eval.harness import staging_for
 from repro.eval.tables import table1
 from repro.regex.cost import EVALUATION_COST_FUNCTIONS

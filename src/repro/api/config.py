@@ -36,6 +36,14 @@ class EngineConfig:
     ``max_cache_size`` bounds the language cache (OnTheFly mode past
     it); ``max_generated`` is the default candidate budget, overridable
     per request.
+
+    ``shard_workers`` turns on intra-query parallelism: with a value
+    ``>= 2`` the engine partitions each cost level's pair work across
+    that many shard worker processes (:mod:`repro.core.shard`),
+    bit-identically to the serial sweep; ``1`` (the default) is exactly
+    the serial code path.  In the service pool, a job whose config
+    shards claims that many scheduler slots (see
+    :meth:`repro.service.pool.WorkerPool.plan_assignments`).
     """
 
     backend: str = "vector"
@@ -43,6 +51,7 @@ class EngineConfig:
     use_guide_table: bool = True
     check_uniqueness: bool = True
     max_generated: Optional[int] = None
+    shard_workers: int = 1
 
     def replace(self, **changes: object) -> "EngineConfig":
         """A copy with the given fields changed."""

@@ -30,13 +30,13 @@ from __future__ import annotations
 
 import time
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..core.bitops import int_to_lanes, popcount_rows
-from ..core.cache import IntCache, PackedCache
+from ..core.cache import PackedCache
 from ..core.engine import (
     OP_EMPTY,
     OP_EPSILON,
@@ -55,7 +55,7 @@ from ..regex.cost import CostFunction
 from ..spec import Spec
 from .config import EngineConfig, SynthesisRequest
 from .progress import ProgressEvent
-from .registry import BackendInfo, BackendRegistry, default_registry
+from .registry import BackendRegistry, default_registry
 
 #: Staging cache key: the deduplicated example-string set and the
 #: alphabet (both determine ``ic(P ∪ N)`` and hence the guide table).
@@ -206,6 +206,7 @@ class Session:
             use_guide_table=config.use_guide_table,
             check_uniqueness=config.check_uniqueness,
             max_generated=max_generated,
+            shard_workers=config.shard_workers,
         )
 
     def synthesize(
@@ -272,6 +273,7 @@ class Session:
             elapsed_seconds=elapsed,
             extra={
                 "level_stats": engine.level_stats,
+                "sharded_emits": engine.sharded_emits,
                 "phase_seconds": _phase_breakdown(
                     engine, staging_seconds, elapsed
                 ),
@@ -418,6 +420,7 @@ class Session:
             "batch_size": len(requests),
             "sweep_seconds": sweep_seconds,
             "sweep_generated": engine.generated,
+            "sharded_emits": engine.sharded_emits,
             "phase_seconds": _phase_breakdown(
                 engine, staging_seconds, sweep_seconds
             ),

@@ -10,7 +10,7 @@ the vectorised engine.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import Sequence
 
 import numpy as np
 

@@ -15,14 +15,15 @@ property the test-suite asserts.
 
 from __future__ import annotations
 
+import multiprocessing
 import time
-from typing import Callable, Iterable, List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 from ..language.guide_table import GuideTable
 from ..language.universe import Universe
 from ..regex.cost import CostFunction
 from ..spec import Spec
-from .bitops import popcount
+from .bitops import int_to_lanes, popcount
 
 # Provenance opcodes.  EMPTY/EPSILON occur only as solutions of trivial
 # specifications; CHAR's ``left`` field is an index into the alphabet.
@@ -33,6 +34,11 @@ OP_QUESTION = 3
 OP_STAR = 4
 OP_CONCAT = 5
 OP_UNION = 6
+
+#: Below this many candidates in a pair group, a sharded emit's fixed
+#: coordinator round-trip costs more than it saves; smaller groups take
+#: the serial path (bit-identical either way).
+DEFAULT_SHARD_MIN_CANDIDATES = 1 << 15
 
 #: Status verdicts of a search run.
 STATUS_SUCCESS = "success"
@@ -93,7 +99,10 @@ class SearchEngine:
         use_guide_table: bool = True,
         check_uniqueness: bool = True,
         max_generated: Optional[int] = None,
+        shard_workers: int = 1,
     ) -> None:
+        if shard_workers < 1:
+            raise ValueError("shard_workers must be >= 1")
         self.spec = spec
         self.cost_fn = cost_fn
         self.universe = universe
@@ -104,6 +113,22 @@ class SearchEngine:
         self.use_guide_table = use_guide_table
         self.check_uniqueness = check_uniqueness
         self.max_generated = max_generated
+        #: Intra-query parallelism: with ``shard_workers >= 2`` the pair
+        #: emits of each cost level are partitioned across that many
+        #: worker processes (see :mod:`repro.core.shard`); ``1`` is the
+        #: serial code path, with no coordinator ever constructed.
+        self.shard_workers = shard_workers
+        #: Pair groups below this candidate count take the serial path
+        #: even when sharding is on (round-trip cost dominates).
+        self.shard_min_candidates = DEFAULT_SHARD_MIN_CANDIDATES
+        self._shard_coordinator = None
+        #: Batching parameters the shard workers mirror.  The base
+        #: defaults match the vectorised engine's; engines with tuned
+        #: kernels (VectorEngine) overwrite them from their own
+        #: constructor arguments so worker-side batching always agrees
+        #: with the engine's configuration.
+        self._shard_max_batch = 1 << 17
+        self._shard_split_block_bytes: Optional[int] = None
 
         self.pos_mask = universe.cs_of(spec.positive)
         self.neg_mask = universe.cs_of(spec.negative)
@@ -121,6 +146,10 @@ class SearchEngine:
         #: ``cost``, ``generated``, ``stored`` and ``otf`` — the growth
         #: data behind the paper's exponential-blowup discussion.
         self.level_stats: List[dict] = []
+        #: Pair groups that actually fanned out to the shard pool (0 on
+        #: a serial run — the observable the tests and the serving
+        #: layer's result extras use to tell the paths apart).
+        self.sharded_emits = 0
         self.status: Optional[str] = None
         self.solution: Optional[Tuple[int, int, int]] = None  # provenance triple
         self.solution_cost: Optional[int] = None
@@ -187,6 +216,23 @@ class SearchEngine:
         """Build all ``op`` candidates of one cost level — every
         ``(left, right, triangular)`` operand pairing, in order.
 
+        Large groups of a sharded engine (``shard_workers >= 2``) are
+        partitioned across the shard worker pool; everything else takes
+        :meth:`_emit_pair_group_serial`.  Both paths produce the same
+        enumeration-visible state, so the dispatch is invisible in the
+        results.
+        """
+        if self._sharding_applies(pairings):
+            return self._emit_pair_group_sharded(op, pairings)
+        return self._emit_pair_group_serial(op, pairings)
+
+    def _emit_pair_group_serial(
+        self,
+        op: int,
+        pairings: List[Tuple[Tuple[int, int], Tuple[int, int], bool]],
+    ) -> bool:
+        """The in-process emit of a pair group.
+
         The default runs the pairings one at a time; the vectorised
         engine overrides this to *fuse* the small pairings of a level
         into shared solution-check/dedupe/store batches (candidate order
@@ -196,6 +242,88 @@ class SearchEngine:
             if self._emit_pairs(op, left, right, triangular):
                 return True
         return False
+
+    # ------------------------------------------------------------------
+    # Intra-query sharding (see repro.core.shard)
+    # ------------------------------------------------------------------
+    def _sharding_applies(
+        self,
+        pairings: List[Tuple[Tuple[int, int], Tuple[int, int], bool]],
+    ) -> bool:
+        """Should this pair group fan out to the shard pool?
+
+        Sharding requires an unbounded cache with uniqueness checking on
+        (the OnTheFly transition and the no-dedupe ablation keep their
+        serial semantics), a non-daemonic host process (daemons may not
+        spawn children; the service pool's workers are non-daemonic
+        precisely so pooled jobs can shard — this guard covers other
+        daemonic embeddings), and enough candidates to amortise one
+        coordinator round trip.
+        """
+        if (
+            self.shard_workers < 2
+            or self.otf
+            or self.max_cache_size is not None
+            or not self.check_uniqueness
+        ):
+            return False
+        from .shard import total_pair_candidates
+
+        if total_pair_candidates(pairings) < self.shard_min_candidates:
+            return False
+        if multiprocessing.current_process().daemon:
+            return False
+        return True
+
+    def _emit_pair_group_sharded(
+        self,
+        op: int,
+        pairings: List[Tuple[Tuple[int, int], Tuple[int, int], bool]],
+    ) -> bool:
+        """Fan one pair group out to the shard pool and reconcile."""
+        if self._shard_coordinator is None:
+            self._shard_coordinator = self._make_shard_coordinator()
+        self.sharded_emits += 1
+        self._shard_coordinator.sync_rows(self._shard_rows, len(self.cache))
+        remaining = (
+            None
+            if self.max_generated is None
+            else self.max_generated - self.generated
+        )
+        outcome = self._shard_coordinator.emit_pair_group(op, pairings, remaining)
+        return self._apply_shard_outcome(op, outcome)
+
+    def _make_shard_coordinator(self):
+        """Spawn the worker pool for this run (lazily, on first use)."""
+        from .shard import ShardCoordinator
+
+        return ShardCoordinator(
+            self.universe,
+            self.guide,
+            int_to_lanes(self.pos_mask, self.universe.lanes),
+            int_to_lanes(self.neg_mask, self.universe.lanes),
+            self.max_errors,
+            self.shard_workers,
+            max_batch=self._shard_max_batch,
+            split_block_bytes=self._shard_split_block_bytes,
+        )
+
+    def _shard_rows(self, start: int, end: int):
+        """Cache rows ``[start, end)`` as a packed uint64 matrix (the
+        shard workers' mirror feed)."""
+        raise NotImplementedError
+
+    def _apply_shard_outcome(self, op: int, outcome) -> bool:
+        """Reconcile a :class:`~repro.core.shard.ShardOutcome` into the
+        engine state (authoritative dedupe + store + counters); return
+        True iff the group produced the run's solution."""
+        raise NotImplementedError
+
+    def _close_shards(self) -> None:
+        """Tear down the shard pool (no-op when none was spawned)."""
+        if self._shard_coordinator is not None:
+            self._shard_coordinator.close()
+            self._shard_coordinator = None
 
     @property
     def cache(self):
@@ -243,6 +371,10 @@ class SearchEngine:
         except SweepCancelled:
             self.status = STATUS_CANCELLED
             return self.status
+        finally:
+            # Shard workers live for one run; engines are per-request
+            # objects, so the pool must not outlive the sweep.
+            self._close_shards()
 
     @property
     def elapsed_s(self) -> float:

@@ -21,11 +21,10 @@ collisions for the two-tier fallback path.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Tuple
+from typing import Iterator, List, Optional
 
 import numpy as np
 
-from .bitops import popcount
 
 _MASK64 = (1 << 64) - 1
 
@@ -481,6 +480,130 @@ class PackedKeySet:
                 ):
                     break
                 slot = (slot + step) & mask
+
+    def contains_batch(self, rows: np.ndarray) -> np.ndarray:
+        """Batched membership probe: ``mask[i]`` iff row ``i`` is stored.
+
+        Pure lookup — the set is never mutated, so rows equal to each
+        other but absent from the set all report False.  The shard
+        workers use this as the phase-one filter against their mirror of
+        the confirmed key set; probing follows the exact same
+        fingerprint-first two-tier walk as :meth:`insert_batch`.
+        """
+        if rows.ndim != 2 or rows.shape[1] != self._lanes:
+            raise ValueError("rows must have shape (n, %d)" % self._lanes)
+        n = rows.shape[0]
+        present = np.zeros(n, dtype=bool)
+        if n == 0 or self._size == 0:
+            return present
+        rows = np.ascontiguousarray(rows, dtype=np.uint64)
+        fps = self._fingerprints(rows)
+        wide_fps = fps.astype(np.uint64)
+        idx, steps = self._probe_start(fps)
+        pending = np.arange(n, dtype=self._claim.dtype)
+        table = self._table
+        while pending.size > _SCALAR_TAIL:
+            slots = idx.take(pending)
+            words = table.take(slots)
+            empty_mask = words == 0  # absent: resolves as False
+            fp_hit = (words >> _FP_SHIFT) == wide_fps.take(pending)
+            advance = ~(empty_mask | fp_hit)
+            hit_pos = np.flatnonzero(fp_hit)
+            if hit_pos.size:
+                colliding = pending.take(hit_pos)
+                hit_refs = (
+                    words.take(hit_pos).astype(np.int64) & _REF_MASK
+                ) - 1
+                equal = (
+                    self._dense_keys.take(hit_refs, axis=0)
+                    == rows.take(colliding, axis=0)
+                ).all(axis=1)
+                present[colliding.compress(equal)] = True
+                advance[hit_pos.compress(~equal)] = True
+            advancing = pending.compress(advance)
+            idx[advancing] = (
+                idx.take(advancing) + steps.take(advancing)
+            ) & self._mask
+            pending = pending.compress(advance)
+        mask = self._mask
+        for p in pending:
+            p = int(p)
+            fp = int(fps[p])
+            row_bytes = rows[p].tobytes()
+            slot = int(idx[p])
+            step = int(steps[p])
+            while True:
+                word = int(table[slot])
+                if word == 0:
+                    break
+                if (
+                    (word >> 32) == fp
+                    and self._dense_keys[(word & 0xFFFFFFFF) - 1].tobytes()
+                    == row_bytes
+                ):
+                    present[p] = True
+                    break
+                slot = (slot + step) & mask
+        return present
+
+    def insert_novel_batch(self, rows: np.ndarray) -> None:
+        """Bulk-insert rows known to be pairwise distinct and absent.
+
+        The fast path for adopting *pre-filtered* novel keys (the shard
+        workers' confirmed-set sync: every broadcast row already
+        survived the coordinator's authoritative dedupe).  Like
+        :meth:`_rehash`, placement never compares keys or fingerprints —
+        every pending ref either claims an empty slot or advances past
+        an occupied one — and the rows append contiguously to the dense
+        log, so the set ends in the same state ``insert_batch`` would
+        produce, at a fraction of the cost.  The caller's guarantee is
+        *required*: inserting a duplicate corrupts the set.
+        """
+        if rows.ndim != 2 or rows.shape[1] != self._lanes:
+            raise ValueError("rows must have shape (n, %d)" % self._lanes)
+        n = rows.shape[0]
+        if n == 0:
+            return
+        self._reserve(n)
+        self._ensure_dense(n)
+        rows = np.ascontiguousarray(rows, dtype=np.uint64)
+        fps = self._fingerprints(rows)
+        lo = self._size
+        self._dense_keys[lo : lo + n] = rows
+        self._dense_fps[lo : lo + n] = fps
+        self._size = lo + n
+        table = self._table
+        ref_base = np.uint64(lo + 1)
+        idx, steps = self._probe_start(fps)
+        pending = np.arange(n, dtype=self._claim.dtype)
+        while pending.size > _SCALAR_TAIL:
+            slots = idx.take(pending)
+            used = table.take(slots) != 0
+            keep = used.copy()  # blocked refs advance and stay pending
+            empty_pos = np.flatnonzero(~used)
+            if empty_pos.size:
+                empty = pending.take(empty_pos)
+                empty_slots = slots.take(empty_pos)
+                won = self._claim_won(empty, empty_slots)
+                winners = empty.compress(won)
+                words = fps.take(winners).astype(np.uint64)
+                words <<= _FP_SHIFT
+                words |= winners.astype(np.uint64) + ref_base
+                table[empty_slots.compress(won)] = words
+                keep[empty_pos.compress(~won)] = True  # losers re-probe
+            blocked = pending.compress(used)
+            idx[blocked] = (
+                idx.take(blocked) + steps.take(blocked)
+            ) & self._mask
+            pending = pending.compress(keep)
+        mask = self._mask
+        for p in pending:
+            p = int(p)
+            slot = int(idx[p])
+            step = int(steps[p])
+            while table[slot]:
+                slot = (slot + step) & mask
+            table[slot] = (int(fps[p]) << 32) | (lo + p + 1)
 
 
 class FingerprintHashSet:

@@ -45,6 +45,7 @@ def make_engine(
     use_guide_table: bool = True,
     check_uniqueness: bool = True,
     max_generated: Optional[int] = None,
+    shard_workers: int = 1,
 ) -> SearchEngine:
     """Construct (but do not run) a search engine.
 
@@ -67,6 +68,7 @@ def make_engine(
         use_guide_table=use_guide_table,
         check_uniqueness=check_uniqueness,
         max_generated=max_generated,
+        shard_workers=shard_workers,
     )
 
 

@@ -48,7 +48,6 @@ from .bitops import (
     int_to_lanes,
     ints_to_matrix,
     plane_segment,
-    popcount_rows,
     unbitslice_rows,
 )
 from .cache import PackedCache
@@ -62,6 +61,7 @@ from .engine import (
     SearchEngine,
 )
 from .hashset import PackedKeySet
+from .shard import LaneMatcher
 
 #: Byte budget for the concat kernel's bit-sliced gather intermediates
 #: (the batch × padded-splits planes).  Word-aligned blocks of the split
@@ -263,6 +263,7 @@ class VectorEngine(SearchEngine):
         use_guide_table: bool = True,
         check_uniqueness: bool = True,
         max_generated: Optional[int] = None,
+        shard_workers: int = 1,
         max_batch: int = 1 << 17,
         split_block_bytes: int = DEFAULT_SPLIT_BLOCK_BYTES,
     ) -> None:
@@ -276,15 +277,18 @@ class VectorEngine(SearchEngine):
             use_guide_table=use_guide_table,
             check_uniqueness=check_uniqueness,
             max_generated=max_generated,
+            shard_workers=shard_workers,
         )
         self._cache = PackedCache(universe.lanes, max_size=max_cache_size)
         self._seen = PackedKeySet(universe.lanes, initial_capacity=1 << 12)
         self._kernels = _Kernels(
             universe, guide, split_block_bytes=split_block_bytes
         )
+        self._shard_split_block_bytes = split_block_bytes
         # Star segments slice cached level planes byte-aligned, so the
         # chunk size must be a multiple of 8.
         self._max_batch = max(8, max_batch & ~7)
+        self._shard_max_batch = self._max_batch
         self._pos_lanes = int_to_lanes(self.pos_mask, universe.lanes)
         self._neg_lanes = int_to_lanes(self.neg_mask, universe.lanes)
         self._refresh_active_lanes()
@@ -298,21 +302,11 @@ class VectorEngine(SearchEngine):
         return self._cache
 
     def _refresh_active_lanes(self) -> None:
-        """Lanes the spec masks actually touch (solution checks skip the
-        rest — most lanes of a wide spec are all-zero in both masks)."""
-        active = np.flatnonzero(self._pos_lanes | self._neg_lanes)
-        self._active_lanes = (
-            None if active.size == self.universe.lanes else active
-        )
-        self._pos_active = (
-            self._pos_lanes
-            if self._active_lanes is None
-            else self._pos_lanes[self._active_lanes]
-        )
-        self._neg_active = (
-            self._neg_lanes
-            if self._active_lanes is None
-            else self._neg_lanes[self._active_lanes]
+        """Rebuild the lane-restricted batch matcher (it skips the
+        lanes where both spec masks are all-zero — most lanes of a wide
+        spec; shard workers run the identical matcher)."""
+        self._matcher = LaneMatcher(
+            self._pos_lanes, self._neg_lanes, self.max_errors
         )
 
     def disable_solution_checks(self) -> None:
@@ -327,15 +321,7 @@ class VectorEngine(SearchEngine):
     def _solve_flags(self, rows: np.ndarray) -> np.ndarray:
         """Vectorised ``|= (P, N)`` (error-relaxed when configured),
         restricted to the lanes where the spec masks are nonzero."""
-        if self._active_lanes is not None:
-            rows = rows.take(self._active_lanes, axis=1)
-        if self.max_errors == 0:
-            pos_ok = ((rows & self._pos_active) == self._pos_active).all(axis=1)
-            neg_ok = ((rows & self._neg_active) == 0).all(axis=1)
-            return pos_ok & neg_ok
-        mistakes = popcount_rows((rows & self._pos_active) ^ self._pos_active)
-        mistakes += popcount_rows(rows & self._neg_active)
-        return mistakes <= self.max_errors
+        return self._matcher.flags(rows)
 
     def _handle_batch(
         self,
@@ -466,7 +452,7 @@ class VectorEngine(SearchEngine):
             return self._flush(op)
         return False
 
-    def _emit_pair_group(
+    def _emit_pair_group_serial(
         self,
         op: int,
         pairings: List[Tuple[Tuple[int, int], Tuple[int, int], bool]],
@@ -505,6 +491,29 @@ class VectorEngine(SearchEngine):
         """One pairing on its own (kept for the `SearchEngine` surface);
         the level loop goes through :meth:`_emit_pair_group`."""
         return self._emit_pair_group(op, [(left, right, triangular)])
+
+    # ------------------------------------------------------------------
+    # Intra-query sharding hooks (see repro.core.shard)
+    # ------------------------------------------------------------------
+    def _shard_rows(self, start: int, end: int) -> np.ndarray:
+        return self._cache.matrix[start:end]
+
+    def _apply_shard_outcome(self, op: int, outcome) -> bool:
+        """Phase two of the sharded dedupe: the locally-novel survivors
+        pass through the engine's normal store path (authoritative
+        seen-set insert, order-preserving), and the counters advance by
+        the ordinals the partition plan fixed up front — exactly the
+        serial batch semantics."""
+        if outcome.hit is not None:
+            ordinal, left, right = outcome.hit
+            self.generated += ordinal + 1
+            self._store_rows(op, outcome.rows, outcome.a_idx, outcome.b_idx)
+            self._record_solution(op, left, right, self._current_cost)
+            return True
+        self.generated += outcome.total
+        self._store_rows(op, outcome.rows, outcome.a_idx, outcome.b_idx)
+        self._check_budget()
+        return False
 
     # ------------------------------------------------------------------
     # Concatenation: plane-resident pair blocks

@@ -11,7 +11,7 @@ exactly as the paper omits its 3.62% of slow runs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..regex.cost import EVALUATION_COST_FUNCTIONS, CostFunction

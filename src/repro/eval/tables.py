@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from ..core.synthesizer import synthesize
 from ..regex.cost import ALPHAREGEX_COST, EVALUATION_COST_FUNCTIONS, CostFunction

@@ -22,7 +22,7 @@ independent contains-check implementations.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Set, Tuple
+from typing import Dict, List, Tuple
 
 from .ast import (
     Char,

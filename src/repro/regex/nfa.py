@@ -9,7 +9,7 @@ enumerate example strings.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Set, Tuple
+from typing import Dict, FrozenSet, Set, Tuple
 
 from .ast import Char, Concat, Empty, Epsilon, Question, Regex, Star, Union
 

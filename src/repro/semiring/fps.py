@@ -18,7 +18,7 @@ the infix power series of :mod:`repro.semiring.ips` instead.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Mapping, Tuple
+from typing import Dict, Iterable, Mapping
 
 from .semiring import BOOLEAN, Semiring
 

@@ -28,6 +28,7 @@ like an in-process one.
 
 from __future__ import annotations
 
+import atexit
 import multiprocessing
 import os
 import threading
@@ -136,14 +137,17 @@ def _session_stats(session: Session) -> Dict[str, int]:
 class _WorkerState:
     """Parent-side bookkeeping for one worker process."""
 
-    __slots__ = ("worker_id", "process", "task_queue", "inflight", "warm",
-                 "served", "stats", "dead", "_warm_capacity")
+    __slots__ = ("worker_id", "process", "task_queue", "inflight", "load",
+                 "warm", "served", "stats", "dead", "_warm_capacity")
 
     def __init__(self, worker_id: int, process, task_queue, warm_capacity):
         self.worker_id = worker_id
         self.process = process
         self.task_queue = task_queue
         self.inflight: set = set()
+        #: Slot-weighted in-flight load (a sharded job claims
+        #: ``job.slots`` slots of this worker's depth, not one).
+        self.load = 0
         #: Staging fingerprints this worker's session is warm on
         #: (insertion-ordered, bounded like the session's LRU).
         self.warm: "OrderedDict[str, bool]" = OrderedDict()
@@ -230,6 +234,7 @@ class WorkerPool:
         self._result_queue = None
         self._collector: Optional[threading.Thread] = None
         self._collector_stop = threading.Event()
+        self._atexit_hook = None
         self._started = False
         self._closing = False
 
@@ -245,6 +250,14 @@ class WorkerPool:
             self._result_queue = self._mp.Queue()
             for worker_id in range(self.n_workers):
                 task_queue = self._mp.Queue()
+                # Workers are NOT daemonic: a daemonic process may not
+                # spawn children, and a job configured with
+                # ``shard_workers >= 2`` fans out inside its worker (see
+                # repro.core.shard) — which is also why such a job
+                # claims that many scheduler slots.  The atexit hook
+                # below replaces the daemon flag's normal-exit cleanup;
+                # a hard-killed parent orphans children under either
+                # flag, so no safety is lost.
                 process = self._mp.Process(
                     target=_worker_main,
                     args=(
@@ -255,7 +268,7 @@ class WorkerPool:
                         task_queue,
                         self._result_queue,
                     ),
-                    daemon=True,
+                    daemon=False,
                     name="repro-worker-%d" % worker_id,
                 )
                 process.start()
@@ -270,8 +283,19 @@ class WorkerPool:
                 target=self._collect, daemon=True, name="repro-collector"
             )
             self._collector.start()
+            # Non-daemonic workers would block a normal interpreter
+            # exit (multiprocessing joins them) if the caller never
+            # called shutdown(); this safety net stops them first.
+            self._atexit_hook = self._exit_cleanup
+            atexit.register(self._atexit_hook)
             self._started = True
         return self
+
+    def _exit_cleanup(self) -> None:  # pragma: no cover - exit path
+        try:
+            self.shutdown(wait=False, cancel_pending=True)
+        except Exception:
+            traceback.print_exc()
 
     def __enter__(self) -> "WorkerPool":
         return self.start()
@@ -341,6 +365,12 @@ class WorkerPool:
         # pool instead of stacking onto stale workers, and submit()'s
         # "not running" error stays accurate.
         with self._lock:
+            if self._atexit_hook is not None:
+                try:
+                    atexit.unregister(self._atexit_hook)
+                except Exception:  # pragma: no cover - defensive
+                    pass
+                self._atexit_hook = None
             self._workers = []
             self._jobs_by_id.clear()
             self._cancel_events.clear()
@@ -454,20 +484,46 @@ class WorkerPool:
         """Pure scheduling decision, exposed for deterministic tests.
 
         ``pending`` is an ordered sequence of objects with a
-        ``staging_fp`` attribute; returns ``(index_in_pending,
-        worker_id, kind)`` triples with ``kind`` one of ``"affinity"``
-        (routed to a warm worker), ``"steal"`` (a warm worker exists but
-        is saturated — a cold worker takes the job) or ``"cold"``
-        (nobody is warm).  Jobs are considered in queue order; each
-        assignment consumes one slot of the chosen worker's ``depth``.
+        ``staging_fp`` attribute (and optionally ``slots``); returns
+        ``(index_in_pending, worker_id, kind)`` triples with ``kind``
+        one of ``"affinity"`` (routed to a warm worker), ``"steal"`` (a
+        warm worker exists but is saturated — a cold worker takes the
+        job) or ``"cold"`` (nobody is warm).  Jobs are considered in
+        queue order; an assignment consumes ``job.slots`` slots of the
+        chosen worker's ``depth`` (default 1) — a sharded job reserves
+        the capacity its intra-query fan-out will use.  A job wider
+        than ``depth`` is still admitted, but only onto an *idle*
+        worker.
+
+        An unplaceable job *parks* on the least-loaded unreserved
+        worker: that worker receives no later assignments this round,
+        and because every round re-parks the head job the same way, the
+        parked worker's load can only drain — so a wide job always
+        reaches an idle worker and sustained narrow traffic can never
+        starve it (later jobs may still backfill the *other* workers).
         """
         loads = list(worker_loads)
         warm_sets = [set(w) for w in worker_warm]
         plan: List[tuple] = []
+        reserved: set = set()
         for index, job in enumerate(pending):
-            free = [w for w in range(len(loads)) if loads[w] < depth]
+            slots = max(1, getattr(job, "slots", 1))
+            free = [
+                w
+                for w in range(len(loads))
+                if w not in reserved
+                and (loads[w] == 0 or loads[w] + slots <= depth)
+            ]
             if not free:
-                break
+                drainable = [
+                    w
+                    for w in range(len(loads))
+                    if w not in reserved and loads[w] < depth
+                ]
+                if not drainable:
+                    break  # every worker saturated or already parked
+                reserved.add(min(drainable, key=lambda w: (loads[w], w)))
+                continue
             warm_free = [w for w in free if job.staging_fp in warm_sets[w]]
             if warm_free:
                 target = min(warm_free, key=lambda w: (loads[w], w))
@@ -479,7 +535,7 @@ class WorkerPool:
                     if any(job.staging_fp in s for s in warm_sets)
                     else "cold"
                 )
-            loads[target] += 1
+            loads[target] += slots
             warm_sets[target].add(job.staging_fp)
             plan.append((index, target, kind))
         return plan
@@ -495,7 +551,7 @@ class WorkerPool:
                 return
             plan = self.plan_assignments(
                 pending,
-                [len(w.inflight) for w in alive],
+                [w.load for w in alive],
                 [w.warm.keys() for w in alive],
                 self.per_worker_depth,
             )
@@ -514,6 +570,7 @@ class WorkerPool:
                 self._cancel_events[job.job_id] = cancel_event
                 self._jobs_by_id[job.job_id] = job
                 worker.inflight.add(job.job_id)
+                worker.load += job.slots
                 worker.mark_warm(job.staging_fp)
                 worker.task_queue.put(
                     ("job", job.job_id, job.wire, cancel_event)
@@ -603,6 +660,7 @@ class WorkerPool:
                         orphaned.append(job)
                         self.stats["failed"] += 1
                 worker.inflight.clear()
+                worker.load = 0
             if all(w.dead for w in self._workers):
                 for job in self.queue.pending_in_order():
                     if self.queue.mark_running(job, -1):
@@ -660,9 +718,13 @@ class WorkerPool:
         if job.cancel_probes:
             self._poll_cancel_probes(job)
 
-    def _release_worker(self, worker_id: int, job_id: str, stats) -> None:
+    def _release_worker(
+        self, worker_id: int, job_id: str, stats, slots: int = 1
+    ) -> None:
         worker = self._workers[worker_id]
-        worker.inflight.discard(job_id)
+        if job_id in worker.inflight:
+            worker.inflight.discard(job_id)
+            worker.load = max(0, worker.load - slots)
         worker.served += 1
         if stats:
             worker.stats = stats
@@ -671,7 +733,12 @@ class WorkerPool:
     def _on_done(self, worker_id, job_id, result, stats) -> None:
         with self._lock:
             job = self._jobs_by_id.pop(job_id, None)
-            self._release_worker(worker_id, job_id, stats)
+            self._release_worker(
+                worker_id,
+                job_id,
+                stats,
+                slots=job.slots if job is not None else 1,
+            )
             final_event = self._pending_final_events.pop(job_id, None)
             self.stats["completed"] += 1
         if job is None:  # pragma: no cover - defensive
@@ -694,7 +761,12 @@ class WorkerPool:
     def _on_error(self, worker_id, job_id, text) -> None:
         with self._lock:
             job = self._jobs_by_id.pop(job_id, None)
-            self._release_worker(worker_id, job_id, None)
+            self._release_worker(
+                worker_id,
+                job_id,
+                None,
+                slots=job.slots if job is not None else 1,
+            )
             self._pending_final_events.pop(job_id, None)
             self.stats["failed"] += 1
         if job is not None:
@@ -710,6 +782,7 @@ class WorkerPool:
                 {
                     "worker_id": w.worker_id,
                     "served": w.served,
+                    "load": w.load,
                     "warm": list(w.warm.keys()),
                     "session": dict(w.stats),
                 }

@@ -21,7 +21,7 @@ import dataclasses
 import hashlib
 import json
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional
 
 from ..api.config import EngineConfig, SynthesisRequest
 from ..regex.cost import CostFunction
@@ -133,6 +133,7 @@ class WireRequest:
                 "use_guide_table": self.config.use_guide_table,
                 "check_uniqueness": self.config.check_uniqueness,
                 "max_generated": self.config.max_generated,
+                "shard_workers": self.config.shard_workers,
             },
         }
 
@@ -159,6 +160,7 @@ class WireRequest:
                 use_guide_table=config_data.get("use_guide_table", True),
                 check_uniqueness=config_data.get("check_uniqueness", True),
                 max_generated=config_data.get("max_generated"),
+                shard_workers=int(config_data.get("shard_workers") or 1),
             ),
         )
 
@@ -168,9 +170,20 @@ class WireRequest:
 
         Two submissions with equal fingerprints would provably receive
         bit-identical answers, so the queue collapses them in flight and
-        the result store answers repeats across restarts.
+        the result store answers repeats across restarts.  Pure
+        *execution* knobs are excluded for exactly that reason:
+        ``shard_workers`` changes how fast the answer arrives, never the
+        answer (the sharded engine is bit-identical by construction), so
+        submissions differing only in fan-out share one fingerprint —
+        and pre-sharding stores keep answering their old requests.
         """
-        return _sha256_of(self.to_json_dict())
+        payload = self.to_json_dict()
+        payload["config"] = {
+            key: value
+            for key, value in payload["config"].items()
+            if key != "shard_workers"
+        }
+        return _sha256_of(payload)
 
     def staging_fingerprint(self) -> str:
         """Content address of the staging this request needs."""

@@ -8,7 +8,7 @@ spec when ``P ⊆ L`` and ``N ∩ L = ∅``.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, Optional, Sequence, Tuple
 
 from .errors import InvalidSpecError

@@ -5,7 +5,6 @@ import pytest
 
 from repro import ALPHAREGEX_COST, CostFunction, Spec, synthesize
 from repro.baselines.alpharegex import (
-    AlphaRegexSynthesizer,
     _replace_leftmost,
     _substitute_holes,
     alpharegex_synthesize,
@@ -16,11 +15,9 @@ from repro.regex.ast import (
     EMPTY,
     EPSILON,
     HOLE,
-    Question,
     Star,
     Union,
 )
-from repro.regex.parser import parse
 
 
 class TestHoleMechanics:

@@ -5,7 +5,6 @@ import importlib
 import inspect
 import pkgutil
 
-import pytest
 
 import repro
 

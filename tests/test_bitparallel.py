@@ -5,7 +5,6 @@ from hypothesis import given, settings
 
 from _fixtures import regexes, words
 from repro.regex.bitparallel import (
-    GlushkovAutomaton,
     bitparallel_matches,
     compile_pattern,
     find_all,

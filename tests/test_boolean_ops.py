@@ -7,7 +7,6 @@ from hypothesis import given, settings
 from _fixtures import regexes
 from repro.core.bitops import intersect_cs, negate_cs
 from repro.language.universe import Universe
-from repro.regex import dfa
 from repro.regex.derivatives import matches
 from repro.semiring.ips import IPSSpace
 from repro.semiring.semiring import BOOLEAN, NATURAL

@@ -8,7 +8,6 @@ from repro.eval.harness import (
 )
 from repro.regex.cost import ALPHAREGEX_COST, CostFunction
 from repro.service import ServiceClient
-from repro.spec import Spec
 
 
 class TestTimeParesy:

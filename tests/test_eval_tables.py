@@ -4,11 +4,9 @@ These exercise every experiment path end-to-end; the real-scale runs
 live in benchmarks/ and are recorded in EXPERIMENTS.md.
 """
 
-import pytest
 
 from repro.eval.figures import figure1
 from repro.eval.tables import (
-    ERROR_TABLE_SPEC,
     ablation_cache_capacity,
     ablation_guide_table,
     ablation_uniqueness,

@@ -7,7 +7,6 @@ task list instead of end-to-end.
 """
 
 import runpy
-import sys
 from pathlib import Path
 
 import pytest

@@ -8,7 +8,6 @@ test_bitops.py), closing the verification chain.
 
 import pytest
 from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from _fixtures import regexes
 from repro.language.universe import Universe

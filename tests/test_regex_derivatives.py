@@ -1,11 +1,10 @@
 """Derivative-matcher tests, cross-checked against the NFA simulator."""
 
 from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from _fixtures import regexes, words
 from repro.regex import nfa
-from repro.regex.ast import Char, Concat, EMPTY, EPSILON, Question, Star, Union
+from repro.regex.ast import Char, EMPTY, EPSILON
 from repro.regex.derivatives import (
     derivative,
     matches,

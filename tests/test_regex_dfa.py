@@ -6,7 +6,7 @@ from hypothesis import given, settings
 
 from _fixtures import regexes, words
 from repro.regex import dfa
-from repro.regex.ast import Char, Star, Union
+from repro.regex.ast import Char
 from repro.regex.derivatives import matches
 from repro.regex.parser import parse
 

@@ -8,9 +8,6 @@ from repro.semiring.semiring import (
     BOOLEAN,
     NATURAL,
     TROPICAL,
-    BooleanSemiring,
-    NaturalSemiring,
-    TropicalSemiring,
 )
 
 _ELEMENTS = {

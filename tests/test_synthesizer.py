@@ -5,8 +5,6 @@ import pytest
 
 from repro import CostFunction, Spec, synthesize
 from repro.regex.ast import EMPTY, EPSILON
-from repro.regex.derivatives import matches
-from repro.regex.parser import parse
 
 
 BACKENDS = ("scalar", "vector")

@@ -1,0 +1,170 @@
+"""Workflow lint: every GitHub Actions file must dry-parse and keep the
+jobs the repo's CI contract promises.
+
+This is the in-repo half of the CI-of-the-CI: the YAML is parsed with a
+plain ``yaml.safe_load`` (an ``act``-style dry parse — a syntax error
+or a mis-indented key fails here, before a push ever reaches GitHub),
+and the structural assertions pin the contract the docs describe: a
+Python-version matrix for the tests, a lint job, a coverage job with a
+checked-in floor, benchmark artifact uploads, and a scheduled nightly
+full-scale run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+yaml = pytest.importorskip("yaml")
+
+WORKFLOWS_DIR = Path(__file__).parent.parent / ".github" / "workflows"
+
+
+def load(name: str) -> dict:
+    data = yaml.safe_load((WORKFLOWS_DIR / name).read_text(encoding="utf-8"))
+    assert isinstance(data, dict), "%s did not parse to a mapping" % name
+    return data
+
+
+def triggers(data: dict):
+    # YAML 1.1 parses the bare key ``on`` as boolean True.
+    return data.get("on", data.get(True))
+
+
+def all_steps(job: dict):
+    steps = job.get("steps")
+    assert isinstance(steps, list) and steps, "job has no steps"
+    for step in steps:
+        assert isinstance(step, dict)
+        assert "run" in step or "uses" in step, "step is neither run nor uses"
+    return steps
+
+
+class TestEveryWorkflowParses:
+    def test_directory_is_not_empty(self):
+        assert sorted(p.name for p in WORKFLOWS_DIR.glob("*.yml")) == [
+            "ci.yml",
+            "nightly.yml",
+        ]
+
+    @pytest.mark.parametrize(
+        "name", [p.name for p in sorted(WORKFLOWS_DIR.glob("*.yml"))]
+    )
+    def test_dry_parse(self, name):
+        data = load(name)
+        assert triggers(data), "%s has no trigger" % name
+        jobs = data.get("jobs")
+        assert isinstance(jobs, dict) and jobs
+        for job_name, job in jobs.items():
+            assert "runs-on" in job, "%s.%s has no runs-on" % (name, job_name)
+            all_steps(job)
+
+
+class TestCiContract:
+    def test_expected_jobs(self):
+        jobs = load("ci.yml")["jobs"]
+        assert set(jobs) == {
+            "lint",
+            "tests",
+            "coverage",
+            "bench-smoke",
+            "service-smoke",
+            "examples-smoke",
+        }
+
+    def test_tests_job_is_a_python_matrix(self):
+        tests = load("ci.yml")["jobs"]["tests"]
+        versions = tests["strategy"]["matrix"]["python-version"]
+        assert versions == ["3.10", "3.11", "3.12"]
+        assert tests["strategy"]["fail-fast"] is False
+
+    def test_setup_python_uses_pip_caching(self):
+        jobs = load("ci.yml")["jobs"]
+        for job_name, job in jobs.items():
+            setup = [
+                s
+                for s in job["steps"]
+                if str(s.get("uses", "")).startswith("actions/setup-python")
+            ]
+            assert setup, "%s does not set up python" % job_name
+            for step in setup:
+                assert step["with"].get("cache") == "pip", (
+                    "%s: setup-python without pip caching" % job_name
+                )
+
+    def test_bench_jobs_stay_on_the_pinned_interpreter(self):
+        jobs = load("ci.yml")["jobs"]
+        for job_name in ("bench-smoke", "service-smoke"):
+            setup = next(
+                s
+                for s in jobs[job_name]["steps"]
+                if str(s.get("uses", "")).startswith("actions/setup-python")
+            )
+            assert setup["with"]["python-version"] == "3.11", (
+                "%s must pin one interpreter so timings stay comparable"
+                % job_name
+            )
+
+    def test_lint_job_runs_ruff_and_workflow_lint(self):
+        runs = " && ".join(
+            str(s.get("run", "")) for s in load("ci.yml")["jobs"]["lint"]["steps"]
+        )
+        assert "ruff check" in runs
+        assert "ruff format --check" in runs
+        assert "test_workflows" in runs
+
+    def test_coverage_job_runs_pytest_cov(self):
+        runs = " && ".join(
+            str(s.get("run", ""))
+            for s in load("ci.yml")["jobs"]["coverage"]["steps"]
+        )
+        assert "--cov=repro" in runs
+
+    def test_bench_smoke_uploads_all_artifacts(self):
+        steps = load("ci.yml")["jobs"]["bench-smoke"]["steps"]
+        uploaded = {
+            s["with"]["path"]
+            for s in steps
+            if str(s.get("uses", "")).startswith("actions/upload-artifact")
+        }
+        assert uploaded == {
+            "BENCH_kernels.json",
+            "BENCH_session.json",
+            "BENCH_shard.json",
+        }
+
+
+class TestNightlyContract:
+    def test_scheduled_and_dispatchable(self):
+        trigger = triggers(load("nightly.yml"))
+        assert "workflow_dispatch" in trigger
+        crons = [entry["cron"] for entry in trigger["schedule"]]
+        assert crons, "nightly workflow has no cron schedule"
+        for cron in crons:
+            assert len(cron.split()) == 5, "malformed cron %r" % cron
+
+    def test_runs_every_bench_suite_at_full_scale(self):
+        steps = load("nightly.yml")["jobs"]["full-bench"]["steps"]
+        full_scale_targets = set()
+        for step in steps:
+            env = step.get("env") or {}
+            if env.get("REPRO_BENCH_SCALE") == "full":
+                full_scale_targets.add(str(step["run"]))
+        joined = " && ".join(full_scale_targets)
+        for suite in ("bench_kernels", "bench_session", "bench_shard",
+                      "bench_service"):
+            assert suite in joined, "nightly misses %s" % suite
+        runs = " && ".join(str(s.get("run", "")) for s in steps)
+        assert "check_perf_ceilings" in runs
+
+    def test_uploads_every_bench_artifact(self):
+        steps = load("nightly.yml")["jobs"]["full-bench"]["steps"]
+        upload = next(
+            s
+            for s in steps
+            if str(s.get("uses", "")).startswith("actions/upload-artifact")
+        )
+        assert upload["with"]["path"] == "BENCH_*.json"
+        assert upload["with"]["if-no-files-found"] == "error"
+        assert upload.get("if") == "always()"
