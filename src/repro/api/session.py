@@ -209,6 +209,16 @@ class Session:
             shard_workers=config.shard_workers,
         )
 
+    def _attach_durability(self, engine: SearchEngine) -> None:
+        """Hook point for durable level checkpoints (no-op here).
+
+        Called once per engine, after the request's own hooks are
+        installed and before ``run``.  :class:`~repro.service.store.
+        StoreBackedSession` overrides it to restore completed cost
+        levels from its checkpoint store and to chain a checkpoint
+        writer in front of the engine's ``on_level`` callback.
+        """
+
     def synthesize(
         self,
         request,
@@ -254,6 +264,7 @@ class Session:
             engine.cancel_check = request.cancel
         if request.time_limit is not None:
             engine.deadline = started + request.time_limit
+        self._attach_durability(engine)
 
         status = engine.run(max_cost)
         elapsed = time.perf_counter() - started
@@ -274,6 +285,8 @@ class Session:
             extra={
                 "level_stats": engine.level_stats,
                 "sharded_emits": engine.sharded_emits,
+                "resumed_levels": engine.resumed_levels,
+                "shard_failovers": engine.shard_failovers,
                 "phase_seconds": _phase_breakdown(
                     engine, staging_seconds, elapsed
                 ),
@@ -406,6 +419,7 @@ class Session:
                 return not pending
 
             engine.on_level = scan_level
+            self._attach_durability(engine)
             engine.run(max(query.max_cost for query in pending))
             leftover_status = (
                 STATUS_BUDGET if engine.status == STATUS_BUDGET else STATUS_NOT_FOUND
@@ -421,6 +435,8 @@ class Session:
             "sweep_seconds": sweep_seconds,
             "sweep_generated": engine.generated,
             "sharded_emits": engine.sharded_emits,
+            "resumed_levels": engine.resumed_levels,
+            "shard_failovers": engine.shard_failovers,
             "phase_seconds": _phase_breakdown(
                 engine, staging_seconds, sweep_seconds
             ),

@@ -291,6 +291,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         store_dir=str(root),
         per_worker_depth=args.depth,
         reuse_results=args.reuse_results,
+        retry_max_attempts=args.max_attempts,
+        checkpoints=args.checkpoints,
     )
     inflight: dict = {}
     served = 0
@@ -556,6 +558,14 @@ def build_parser() -> argparse.ArgumentParser:
                    dest="reuse_results",
                    help="answer repeat submissions from the persistent "
                         "result store without re-running")
+    p.add_argument("--max-attempts", type=int, default=3,
+                   dest="max_attempts", metavar="N",
+                   help="total dispatch attempts per job before a "
+                        "worker-killing job is quarantined (default: 3)")
+    p.add_argument("--no-checkpoints", action="store_false",
+                   dest="checkpoints",
+                   help="disable durable level checkpoints (crashed or "
+                        "repeated queries re-enumerate from scratch)")
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("submit",

@@ -21,6 +21,8 @@ corresponding regular expression".
 
 from __future__ import annotations
 
+import hashlib
+import json
 from collections import OrderedDict
 from typing import Dict, List, Optional, Tuple
 
@@ -33,6 +35,30 @@ from .bitops import bitslice_rows
 #: roughly as much as its packed rows, so this bounds the overhead of
 #: plane residency to a constant factor of the hot working set.
 DEFAULT_PLANE_CACHE_BYTES = 1 << 27
+
+#: The on-disk-relevant layout contract of the caches.  Any change that
+#: alters what a stored level *means* — row packing, dedupe discipline
+#: (which decides what gets stored at all), provenance or ordinal
+#: encoding — must be reflected here so persisted level checkpoints
+#: keyed by :func:`cache_version_fingerprint` invalidate instead of
+#: replaying rows under the wrong interpretation.
+CACHE_SCHEMA = {
+    "rows": "uint64-le-lanes/pow2-padded/v1",
+    "dedupe": "two-tier-fingerprint-exact/v1",
+    "provenance": "op-left-right-int64-columns/v1",
+    "ordinals": "absolute-1based-generation-int64/v1",
+}
+
+
+def cache_version_fingerprint() -> str:
+    """SHA-256 of :data:`CACHE_SCHEMA` (canonical JSON).
+
+    Part of the checkpoint key: two builds agree on this fingerprint
+    exactly when a completed level journalled by one is bit-for-bit
+    meaningful to the other.
+    """
+    text = json.dumps(CACHE_SCHEMA, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
 
 class LevelIndex:
@@ -80,11 +106,12 @@ class LevelIndex:
 class IntCache:
     """Scalar language cache: CSs as Python ints, plus provenance."""
 
-    __slots__ = ("cs_list", "provenance", "levels", "max_size")
+    __slots__ = ("cs_list", "provenance", "ordinals", "levels", "max_size")
 
     def __init__(self, max_size: Optional[int] = None) -> None:
         self.cs_list: List[int] = []
         self.provenance: List[Tuple[int, int, int]] = []
+        self.ordinals: List[int] = []
         self.levels = LevelIndex()
         self.max_size = max_size
 
@@ -96,10 +123,18 @@ class IntCache:
         """True once the configured capacity has been reached."""
         return self.max_size is not None and len(self.cs_list) >= self.max_size
 
-    def append(self, cs: int, op: int, left: int, right: int) -> int:
-        """Store a CS with its provenance; returns its global index."""
+    def append(
+        self, cs: int, op: int, left: int, right: int, ordinal: int = 0
+    ) -> int:
+        """Store a CS with its provenance; returns its global index.
+
+        ``ordinal`` is the 1-based absolute generation ordinal of the
+        candidate (the engine's ``generated`` counter after counting
+        it) — what level checkpoints use to replay budget semantics.
+        """
         self.cs_list.append(cs)
         self.provenance.append((op, left, right))
+        self.ordinals.append(ordinal)
         return len(self.cs_list) - 1
 
     def cs_at(self, index: int) -> int:
@@ -131,6 +166,7 @@ class PackedCache:
         "_ops",
         "_lefts",
         "_rights",
+        "_gen",
         "_provenance_view",
         "_planes",
         "_plane_bytes",
@@ -148,6 +184,7 @@ class PackedCache:
         self._ops = np.zeros(64, dtype=np.int64)
         self._lefts = np.zeros(64, dtype=np.int64)
         self._rights = np.zeros(64, dtype=np.int64)
+        self._gen = np.zeros(64, dtype=np.int64)
         self._provenance_view: Optional[List[Tuple[int, int, int]]] = None
         self.levels = LevelIndex()
         self.max_size = max_size
@@ -195,46 +232,76 @@ class PackedCache:
         grown = np.zeros((capacity, self.lanes), dtype=np.uint64)
         grown[: self.n_rows] = self.matrix[: self.n_rows]
         self.matrix = grown
-        for name in ("_ops", "_lefts", "_rights"):
+        for name in ("_ops", "_lefts", "_rights", "_gen"):
             column = getattr(self, name)
             grown_col = np.zeros(capacity, dtype=np.int64)
             grown_col[: self.n_rows] = column[: self.n_rows]
             setattr(self, name, grown_col)
 
-    def append_row(self, row: np.ndarray, op: int, left: int, right: int) -> int:
+    def append_row(
+        self,
+        row: np.ndarray,
+        op: int,
+        left: int,
+        right: int,
+        ordinal: int = 0,
+    ) -> int:
         """Store one CS row with provenance; returns its global index."""
         self._ensure(1)
         self.matrix[self.n_rows] = row
         self._ops[self.n_rows] = op
         self._lefts[self.n_rows] = left
         self._rights[self.n_rows] = right
+        self._gen[self.n_rows] = ordinal
         self.n_rows += 1
         return self.n_rows - 1
 
     def append_rows(
         self,
         rows: np.ndarray,
-        op: int,
+        op,
         lefts: np.ndarray,
         rights: np.ndarray,
+        ordinals: Optional[np.ndarray] = None,
     ) -> None:
         """Bulk-store CS rows built by one ``op`` from operand indices.
 
-        Four contiguous slice assignments instead of a Python loop over
-        provenance tuples.
+        Slice assignments instead of a Python loop over provenance
+        tuples.  ``op`` may be a scalar (the usual single-operator
+        batch) or a per-row array (checkpoint replay, which restores a
+        whole mixed-operator level at once); ``ordinals`` are the rows'
+        1-based absolute generation ordinals (zeros when omitted).
         """
         count = rows.shape[0]
         if count == 0:
             return
         if count != len(lefts) or count != len(rights):
             raise ValueError("rows and provenance lengths differ")
+        if ordinals is not None and count != len(ordinals):
+            raise ValueError("rows and ordinals lengths differ")
         self._ensure(count)
         lo, hi = self.n_rows, self.n_rows + count
         self.matrix[lo:hi] = rows
         self._ops[lo:hi] = op
         self._lefts[lo:hi] = lefts
         self._rights[lo:hi] = rights
+        if ordinals is not None:
+            self._gen[lo:hi] = ordinals
         self.n_rows += count
+
+    def gen_ordinals(self, start: int, end: int) -> np.ndarray:
+        """A read-only view of the generation ordinals of ``[start, end)``."""
+        return self._gen[start:end]
+
+    def provenance_arrays(
+        self, start: int, end: int
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Column-wise ``(ops, lefts, rights)`` views of ``[start, end)``."""
+        return (
+            self._ops[start:end],
+            self._lefts[start:end],
+            self._rights[start:end],
+        )
 
     def planes(self, start: int, end: int, n_bits: int) -> np.ndarray:
         """Bit-sliced planes of rows ``[start, end)`` — sliced once,

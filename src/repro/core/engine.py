@@ -17,7 +17,10 @@ from __future__ import annotations
 
 import multiprocessing
 import time
+from dataclasses import dataclass
 from typing import Callable, List, Optional, Tuple
+
+import numpy as np
 
 from ..language.guide_table import GuideTable
 from ..language.universe import Universe
@@ -50,6 +53,53 @@ STATUS_CANCELLED = "cancelled"
 
 class BudgetExhausted(Exception):
     """Internal control-flow signal: the ``max_generated`` cap was hit."""
+
+
+@dataclass
+class LevelCheckpoint:
+    """One completed cost level in replayable form.
+
+    Everything a fresh engine needs to adopt the level without
+    re-enumerating it: the stored CS rows (packed uint64, the
+    cross-backend interchange format), their provenance columns, each
+    row's 1-based absolute generation ordinal, and the engine's
+    cumulative ``generated`` counter at level completion.  Because
+    enumeration, dedupe and storage are spec-independent, a checkpoint
+    taken under one spec replays bit-identically under any other spec
+    over the same universe and cost function.
+    """
+
+    cost: int
+    rows: np.ndarray  # (n, lanes) uint64
+    ops: np.ndarray  # (n,) int64
+    lefts: np.ndarray  # (n,) int64
+    rights: np.ndarray  # (n,) int64
+    ordinals: np.ndarray  # (n,) int64, 1-based absolute
+    generated_total: int
+
+    def to_payload(self) -> dict:
+        """A plain-dict form (what the checkpoint journal pickles)."""
+        return {
+            "cost": int(self.cost),
+            "rows": self.rows,
+            "ops": self.ops,
+            "lefts": self.lefts,
+            "rights": self.rights,
+            "ordinals": self.ordinals,
+            "generated_total": int(self.generated_total),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "LevelCheckpoint":
+        return cls(
+            cost=int(payload["cost"]),
+            rows=np.asarray(payload["rows"], dtype=np.uint64),
+            ops=np.asarray(payload["ops"], dtype=np.int64),
+            lefts=np.asarray(payload["lefts"], dtype=np.int64),
+            rights=np.asarray(payload["rights"], dtype=np.int64),
+            ordinals=np.asarray(payload["ordinals"], dtype=np.int64),
+            generated_total=int(payload["generated_total"]),
+        )
 
 
 def cs_solves(cs: int, pos_mask: int, neg_mask: int, max_errors: int) -> bool:
@@ -150,6 +200,15 @@ class SearchEngine:
         #: a serial run — the observable the tests and the serving
         #: layer's result extras use to tell the paths apart).
         self.sharded_emits = 0
+        #: Pair groups re-executed serially because a shard worker died
+        #: mid-round (sharding is disabled for the rest of the run after
+        #: the first failover).
+        self.shard_failovers = 0
+        #: Cost levels adopted from checkpoints instead of enumerated
+        #: (see :meth:`restore_levels`).
+        self.resumed_levels = 0
+        self._restored_levels: List[LevelCheckpoint] = []
+        self._checks_disabled = False
         self.status: Optional[str] = None
         self.solution: Optional[Tuple[int, int, int]] = None  # provenance triple
         self.solution_cost: Optional[int] = None
@@ -280,17 +339,34 @@ class SearchEngine:
         op: int,
         pairings: List[Tuple[Tuple[int, int], Tuple[int, int], bool]],
     ) -> bool:
-        """Fan one pair group out to the shard pool and reconcile."""
+        """Fan one pair group out to the shard pool and reconcile.
+
+        A shard worker crashing mid-round is survivable: the coordinator
+        mutates no engine state before :meth:`_apply_shard_outcome`, so
+        the whole group is simply re-executed on the serial path
+        (bit-identical by construction) and sharding is disabled for the
+        rest of the run.
+        """
+        from .shard import ShardWorkerDied
+
         if self._shard_coordinator is None:
             self._shard_coordinator = self._make_shard_coordinator()
-        self.sharded_emits += 1
-        self._shard_coordinator.sync_rows(self._shard_rows, len(self.cache))
         remaining = (
             None
             if self.max_generated is None
             else self.max_generated - self.generated
         )
-        outcome = self._shard_coordinator.emit_pair_group(op, pairings, remaining)
+        try:
+            self._shard_coordinator.sync_rows(self._shard_rows, len(self.cache))
+            outcome = self._shard_coordinator.emit_pair_group(
+                op, pairings, remaining
+            )
+        except ShardWorkerDied:
+            self._close_shards()
+            self.shard_workers = 1
+            self.shard_failovers += 1
+            return self._emit_pair_group_serial(op, pairings)
+        self.sharded_emits += 1
         return self._apply_shard_outcome(op, outcome)
 
     def _make_shard_coordinator(self):
@@ -331,6 +407,28 @@ class SearchEngine:
         raise NotImplementedError
 
     # ------------------------------------------------------------------
+    # Level checkpointing (abstract half; see restore_levels below)
+    # ------------------------------------------------------------------
+    def _level_payload(
+        self, start: int, end: int
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Cache range ``[start, end)`` as ``(rows, ops, lefts, rights,
+        ordinals)`` in the packed interchange format."""
+        raise NotImplementedError
+
+    def _adopt_restored(self, payload: LevelCheckpoint, lo: int, hi: int) -> None:
+        """Append rows ``[lo, hi)`` of a checkpointed level to the cache
+        and the dedupe set, exactly as enumeration would have."""
+        raise NotImplementedError
+
+    def _scan_restored(
+        self, payload: LevelCheckpoint, limit: int
+    ) -> Optional[int]:
+        """Index of the first row in ``[0, limit)`` of a checkpointed
+        level that satisfies the spec, or None."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
     # Solution predicate on int CSs (engines may vectorise their own)
     # ------------------------------------------------------------------
     def solves_int(self, cs: int) -> bool:
@@ -356,6 +454,7 @@ class SearchEngine:
         self.pos_mask = 1
         self.neg_mask = 1
         self.max_errors = 0
+        self._checks_disabled = True
 
     # ------------------------------------------------------------------
     # The sweep (Algorithm 1)
@@ -403,6 +502,111 @@ class SearchEngine:
         if self._cancel_requested():
             raise SweepCancelled()
 
+    # ------------------------------------------------------------------
+    # Level checkpointing (shared half)
+    # ------------------------------------------------------------------
+    def restore_levels(self, levels: List[LevelCheckpoint]) -> None:
+        """Arm the next :meth:`run` to adopt checkpointed levels.
+
+        ``levels`` must start at the seed cost and be consecutive; they
+        are replayed — dedupe-set inserts, cache appends, level marks,
+        solution scans and budget accounting included — before any
+        enumeration happens, so the run continues from the last adopted
+        level exactly as if it had enumerated them itself.
+        """
+        if self.generated or self.levels_built or len(self.cache):
+            raise RuntimeError("restore_levels must precede the sweep")
+        self._restored_levels = list(levels)
+
+    def level_checkpoint(self, cost: int, start: int, end: int) -> LevelCheckpoint:
+        """Snapshot a just-completed level (call from an ``on_level``
+        hook, when ``generated`` still equals the level-end total)."""
+        rows, ops, lefts, rights, ordinals = self._level_payload(start, end)
+        return LevelCheckpoint(
+            cost=cost,
+            rows=rows,
+            ops=ops,
+            lefts=lefts,
+            rights=rights,
+            ordinals=ordinals,
+            generated_total=int(self.generated),
+        )
+
+    def _replay_restored(self, max_cost: int) -> Optional[int]:
+        """Adopt the armed checkpoints; returns the next cost to build.
+
+        Returns None when the replay itself settles the run: a restored
+        row satisfies the spec (solution recorded, partial level
+        adopted — identical to enumeration stopping at that candidate),
+        or the generation budget lands inside a restored level
+        (:class:`BudgetExhausted` raised after adopting the in-budget
+        prefix).  Mirrors the solo sweep's bookkeeping exactly: no
+        ``level_stats`` entry for the seed level or a budget-interrupted
+        level, no level mark for a solved or budget-interrupted level.
+        """
+        levels = self._restored_levels
+        self._restored_levels = []
+        c1 = self.cost_fn.literal
+        budget = self.max_generated
+        prev_total = self.generated  # the two trivial candidates
+        next_cost = c1
+        for payload in levels:
+            cost = payload.cost
+            if cost != next_cost or cost > max_cost:
+                break  # a gap or past the ceiling: enumerate from here
+            self._current_cost = cost
+            n = int(payload.ordinals.shape[0])
+            cut = n
+            if budget is not None:
+                cut = int(
+                    np.searchsorted(payload.ordinals, budget, side="right")
+                )
+            hit = None
+            if not self._checks_disabled:
+                hit = self._scan_restored(payload, cut)
+            start = len(self.cache)
+            if hit is not None:
+                self._adopt_restored(payload, 0, hit)
+                self.generated = int(payload.ordinals[hit])
+                if cost != c1:
+                    self.level_stats.append(
+                        {
+                            "cost": cost,
+                            "generated": self.generated - prev_total,
+                            "stored": len(self.cache) - start,
+                            "otf": False,
+                        }
+                    )
+                self._record_solution(
+                    int(payload.ops[hit]),
+                    int(payload.lefts[hit]),
+                    int(payload.rights[hit]),
+                    cost,
+                )
+                return None
+            if budget is not None and payload.generated_total >= budget:
+                self._adopt_restored(payload, 0, cut)
+                self.generated = budget
+                raise BudgetExhausted()
+            self._adopt_restored(payload, 0, n)
+            self.generated = int(payload.generated_total)
+            if cost != c1:
+                self.level_stats.append(
+                    {
+                        "cost": cost,
+                        "generated": self.generated - prev_total,
+                        "stored": n,
+                        "otf": False,
+                    }
+                )
+            self.cache.levels.mark(cost, start, len(self.cache))
+            self.levels_built += 1
+            self.resumed_levels += 1
+            prev_total = self.generated
+            next_cost = cost + 1
+            self._after_level(cost, start, len(self.cache))
+        return next_cost
+
     def _run(self, max_cost: int) -> str:
         # An already-cancelled run (a job cancelled while queued, or a
         # watchdog that fired before the sweep began) exits before doing
@@ -413,13 +617,22 @@ class SearchEngine:
         self._current_cost = c1
         if self._check_trivials(c1):
             return self.status
-        if self._seed_alphabet():
-            return self.status
-        self.cache.levels.mark(c1, 0, len(self.cache))
-        self.levels_built = 1
-        self._after_level(c1, 0, len(self.cache))
+        next_cost = c1
+        if self._restored_levels:
+            next_cost = self._replay_restored(max_cost)
+            if next_cost is None:
+                return self.status
+        if next_cost == c1:
+            # Nothing restored (or the checkpoints were unusable):
+            # enumerate the seed level as usual.
+            if self._seed_alphabet():
+                return self.status
+            self.cache.levels.mark(c1, 0, len(self.cache))
+            self.levels_built = 1
+            self._after_level(c1, 0, len(self.cache))
+            next_cost = c1 + 1
 
-        for cost in range(c1 + 1, max_cost + 1):
+        for cost in range(next_cost, max_cost + 1):
             if self.otf and not self._otf_can_build(cost):
                 self.status = STATUS_OOM
                 return self.status

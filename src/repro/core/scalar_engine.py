@@ -13,6 +13,8 @@ from __future__ import annotations
 
 from typing import Optional, Tuple
 
+import numpy as np
+
 from ..language.guide_table import GuideTable
 from ..language.universe import Universe
 from ..regex.cost import CostFunction
@@ -100,7 +102,7 @@ class ScalarEngine(SearchEngine):
             if self._cache.is_full:
                 self.otf = True
             else:
-                self._cache.append(cs, op, left, right)
+                self._cache.append(cs, op, left, right, self.generated)
         # The budget is checked *after* the candidate was fully processed,
         # so a solution at exactly the budget boundary is still found —
         # the vectorised engine truncates batches to the same boundary.
@@ -168,6 +170,7 @@ class ScalarEngine(SearchEngine):
         the cache sequence identical to the serial scalar loop; the
         ``generated`` counter advances by the plan's ordinals.
         """
+        base = self.generated
         rows = outcome.rows
         if rows.shape[0]:
             width = self.universe.lanes * 8
@@ -178,13 +181,62 @@ class ScalarEngine(SearchEngine):
                 cs = int.from_bytes(data[k * width : (k + 1) * width], "little")
                 if seen.insert(cs):
                     cache.append(
-                        cs, op, int(outcome.a_idx[k]), int(outcome.b_idx[k])
+                        cs,
+                        op,
+                        int(outcome.a_idx[k]),
+                        int(outcome.b_idx[k]),
+                        base + 1 + int(outcome.ordinals[k]),
                     )
         if outcome.hit is not None:
             ordinal, left, right = outcome.hit
-            self.generated += ordinal + 1
+            self.generated = base + ordinal + 1
             self._record_solution(op, left, right, self._current_cost)
             return True
-        self.generated += outcome.total
+        self.generated = base + outcome.total
         self._check_budget()
         return False
+
+    # ------------------------------------------------------------------
+    # Level checkpointing (see SearchEngine.restore_levels)
+    # ------------------------------------------------------------------
+    def _level_payload(self, start: int, end: int):
+        rows = ints_to_matrix(
+            self._cache.cs_list[start:end], self.universe.lanes
+        )
+        provenance = self._cache.provenance[start:end]
+        return (
+            rows,
+            np.array([p[0] for p in provenance], dtype=np.int64),
+            np.array([p[1] for p in provenance], dtype=np.int64),
+            np.array([p[2] for p in provenance], dtype=np.int64),
+            np.array(self._cache.ordinals[start:end], dtype=np.int64),
+        )
+
+    def _restored_ints(self, payload, lo: int, hi: int):
+        """Rows ``[lo, hi)`` of a checkpoint as Python-int CSs."""
+        rows = payload.rows[lo:hi]
+        width = self.universe.lanes * 8
+        data = np.ascontiguousarray(rows).astype("<u8", copy=False).tobytes()
+        return [
+            int.from_bytes(data[k * width : (k + 1) * width], "little")
+            for k in range(rows.shape[0])
+        ]
+
+    def _adopt_restored(self, payload, lo: int, hi: int) -> None:
+        for offset, cs in enumerate(self._restored_ints(payload, lo, hi)):
+            k = lo + offset
+            if self.check_uniqueness:
+                self._seen.insert(cs)
+            self._cache.append(
+                cs,
+                int(payload.ops[k]),
+                int(payload.lefts[k]),
+                int(payload.rights[k]),
+                int(payload.ordinals[k]),
+            )
+
+    def _scan_restored(self, payload, limit: int) -> Optional[int]:
+        for k, cs in enumerate(self._restored_ints(payload, 0, limit)):
+            if self.solves_int(cs):
+                return k
+        return None

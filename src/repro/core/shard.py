@@ -67,6 +67,7 @@ from typing import Callable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..testing.faults import fault_point
 from .bitops import popcount_rows, unbitslice_rows
 from .cache import PackedCache
 from .engine import OP_CONCAT
@@ -434,6 +435,7 @@ class _ShardWorker:
         kept_rows: List[np.ndarray] = []
         kept_a: List[np.ndarray] = []
         kept_b: List[np.ndarray] = []
+        kept_ord: List[np.ndarray] = []
         hit: Optional[Tuple[int, int, int]] = None
         for index, row_lo, row_hi, ordinal in layout.slices(unit_lo, unit_hi):
             if ordinal >= stop_ordinal or ordinal >= self.stop_value.value:
@@ -463,12 +465,12 @@ class _ShardWorker:
                 block_ordinal = ordinal
                 ordinal += rows.shape[0]
                 if block_ordinal >= stop_ordinal:
-                    return self._reply(hit, kept_rows, kept_a, kept_b)
+                    return self._reply(hit, kept_rows, kept_a, kept_b, kept_ord)
                 if block_ordinal >= self.stop_value.value:
                     # Advisory early-out: another shard already found a
                     # solution at a smaller ordinal, so everything from
                     # here on would be discarded by the coordinator.
-                    return self._reply(hit, kept_rows, kept_a, kept_b)
+                    return self._reply(hit, kept_rows, kept_a, kept_b, kept_ord)
                 if ordinal > stop_ordinal:
                     keep = stop_ordinal - block_ordinal
                     rows = rows[:keep]
@@ -495,24 +497,27 @@ class _ShardWorker:
                         kept_rows.append(rows.take(keep_pos, axis=0))
                         kept_a.append(a_idx.take(keep_pos))
                         kept_b.append(b_idx.take(keep_pos))
+                        kept_ord.append(block_ordinal + keep_pos)
                 if hit is not None:
                     with self.stop_value.get_lock():
                         if hit[0] + 1 < self.stop_value.value:
                             self.stop_value.value = hit[0] + 1
-                    return self._reply(hit, kept_rows, kept_a, kept_b)
-        return self._reply(hit, kept_rows, kept_a, kept_b)
+                    return self._reply(hit, kept_rows, kept_a, kept_b, kept_ord)
+        return self._reply(hit, kept_rows, kept_a, kept_b, kept_ord)
 
-    def _reply(self, hit, kept_rows, kept_a, kept_b):
+    def _reply(self, hit, kept_rows, kept_a, kept_b, kept_ord):
         lanes = self.cache.lanes
         if kept_rows:
             rows = np.concatenate(kept_rows)
             a_idx = np.concatenate(kept_a)
             b_idx = np.concatenate(kept_b)
+            ordinals = np.concatenate(kept_ord).astype(np.int64, copy=False)
         else:
             rows = np.zeros((0, lanes), dtype=np.uint64)
             a_idx = np.zeros(0, dtype=np.int64)
             b_idx = np.zeros(0, dtype=np.int64)
-        return hit, rows, a_idx, b_idx
+            ordinals = np.zeros(0, dtype=np.int64)
+        return hit, rows, a_idx, b_idx, ordinals
 
 
 def _shard_worker_main(
@@ -545,6 +550,7 @@ def _shard_worker_main(
                 worker.append(message[1])
             elif tag == "emit":
                 _, op, pairings, unit_lo, unit_hi, stop_ordinal = message
+                fault_point("shard.worker.emit")
                 reply = worker.emit(op, pairings, unit_lo, unit_hi, stop_ordinal)
                 conn.send(reply)
             else:  # "close"
@@ -558,6 +564,16 @@ def _shard_worker_main(
 # ----------------------------------------------------------------------
 # Coordinator
 # ----------------------------------------------------------------------
+class ShardWorkerDied(RuntimeError):
+    """A shard worker's pipe broke mid-round (the process crashed).
+
+    Raised by the coordinator in place of the low-level pipe errors so
+    the engine can fall back to serial re-execution of the group — safe
+    because a round mutates no engine state until its outcome is
+    reconciled.
+    """
+
+
 @dataclass
 class ShardOutcome:
     """The merged result of one sharded pair-group emit.
@@ -566,8 +582,10 @@ class ShardOutcome:
     the budget stop (``min(group candidates, remaining budget)``);
     ``rows``/``a_idx``/``b_idx`` are the locally-novel survivors in
     enumeration order, still subject to the engine's authoritative
-    dedupe; ``hit`` is the winning solution as ``(group ordinal, left,
-    right)`` or None.
+    dedupe, and ``ordinals`` their 0-based group-relative generation
+    ordinals (what level checkpoints turn into absolute ordinals);
+    ``hit`` is the winning solution as ``(group ordinal, left, right)``
+    or None.
     """
 
     total: int
@@ -575,6 +593,7 @@ class ShardOutcome:
     rows: np.ndarray
     a_idx: np.ndarray
     b_idx: np.ndarray
+    ordinals: np.ndarray
 
 
 class ShardCoordinator:
@@ -650,8 +669,20 @@ class ShardCoordinator:
             return
         rows = np.ascontiguousarray(fetch(self._synced_rows, upto))
         for conn in self._conns:
-            conn.send(("append", rows))
+            self._send(conn, ("append", rows))
         self._synced_rows = upto
+
+    def _send(self, conn, message) -> None:
+        try:
+            conn.send(message)
+        except (BrokenPipeError, ConnectionResetError, EOFError, OSError) as exc:
+            raise ShardWorkerDied("shard worker pipe broke on send") from exc
+
+    def _recv(self, conn):
+        try:
+            return conn.recv()
+        except (EOFError, ConnectionResetError, OSError) as exc:
+            raise ShardWorkerDied("shard worker died before replying") from exc
 
     def emit_pair_group(
         self,
@@ -671,7 +702,8 @@ class ShardCoordinator:
             self._stop_value.value = stop if stop < total else _NO_STOP
         plan = plan_shards(layout.weights, self.n_shards)
         for shard_range, conn in zip(plan, self._conns):
-            conn.send(
+            self._send(
+                conn,
                 (
                     "emit",
                     op,
@@ -679,9 +711,9 @@ class ShardCoordinator:
                     shard_range.unit_lo,
                     shard_range.unit_hi,
                     stop,
-                )
+                ),
             )
-        replies = [conn.recv() for conn in self._conns]
+        replies = [self._recv(conn) for conn in self._conns]
         return self._merge(replies, stop)
 
     def _merge(self, replies, stop: int) -> ShardOutcome:
@@ -690,7 +722,8 @@ class ShardCoordinator:
         it whole and the hit shard's pre-hit survivors, drop the rest."""
         best_hit = None
         hit_shard = None
-        for shard, (hit, _rows, _a, _b) in enumerate(replies):
+        for shard, reply in enumerate(replies):
+            hit = reply[0]
             if hit is not None and (best_hit is None or hit[0] < best_hit[0]):
                 best_hit = hit
                 hit_shard = shard
@@ -701,16 +734,21 @@ class ShardCoordinator:
             merged_rows = np.concatenate(rows)
             merged_a = np.concatenate([r[2] for r in replies if r[1].shape[0]])
             merged_b = np.concatenate([r[3] for r in replies if r[1].shape[0]])
+            merged_ord = np.concatenate(
+                [r[4] for r in replies if r[1].shape[0]]
+            )
         else:
             merged_rows = np.zeros((0, self.lanes), dtype=np.uint64)
             merged_a = np.zeros(0, dtype=np.int64)
             merged_b = np.zeros(0, dtype=np.int64)
+            merged_ord = np.zeros(0, dtype=np.int64)
         return ShardOutcome(
             total=stop,
             hit=best_hit,
             rows=merged_rows,
             a_idx=merged_a,
             b_idx=merged_b,
+            ordinals=merged_ord,
         )
 
     # ------------------------------------------------------------------

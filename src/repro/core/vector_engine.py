@@ -355,6 +355,7 @@ class VectorEngine(SearchEngine):
         started = time.perf_counter()
         flags = self._solve_flags(rows)
         self.phase_seconds["solve"] += time.perf_counter() - started
+        base = self.generated
         hits = np.flatnonzero(flags)
         if hits.size:
             first = int(hits[0])
@@ -362,15 +363,27 @@ class VectorEngine(SearchEngine):
             # the non-solution prefix of the batch, so the cache and the
             # ``generated`` counter match the scalar engine's sequential
             # behaviour exactly.
-            self.generated += first + 1
+            self.generated = base + first + 1
             if not self.otf:
-                self._store_rows(op, rows[:first], a_idx, b_idx)
+                self._store_rows(
+                    op,
+                    rows[:first],
+                    a_idx,
+                    b_idx,
+                    base + 1 + np.arange(first, dtype=np.int64),
+                )
             right = -1 if b_idx is None else int(b_idx[first])
             self._record_solution(op, int(a_idx[first]), right, self._current_cost)
             return True
-        self.generated += rows.shape[0]
+        self.generated = base + rows.shape[0]
         if not self.otf:
-            self._store_rows(op, rows, a_idx, b_idx)
+            self._store_rows(
+                op,
+                rows,
+                a_idx,
+                b_idx,
+                base + 1 + np.arange(rows.shape[0], dtype=np.int64),
+            )
         if truncated:
             raise BudgetExhausted()
         self._check_budget()
@@ -382,6 +395,7 @@ class VectorEngine(SearchEngine):
         rows: np.ndarray,
         a_idx: np.ndarray,
         b_idx: Optional[np.ndarray],
+        ordinals: np.ndarray,
     ) -> None:
         """Dedupe (order-preserving) and bulk-append a batch to the cache.
 
@@ -418,7 +432,9 @@ class VectorEngine(SearchEngine):
             rights = np.full(kept.size, -1, dtype=np.int64)
         else:
             rights = b_idx[kept]
-        self._cache.append_rows(contiguous[kept], op, lefts, rights)
+        self._cache.append_rows(
+            contiguous[kept], op, lefts, rights, ordinals[kept]
+        )
         self.phase_seconds["store"] += time.perf_counter() - started
 
     # ------------------------------------------------------------------
@@ -504,16 +520,60 @@ class VectorEngine(SearchEngine):
         seen-set insert, order-preserving), and the counters advance by
         the ordinals the partition plan fixed up front — exactly the
         serial batch semantics."""
+        base = self.generated
+        absolute = base + 1 + outcome.ordinals
         if outcome.hit is not None:
             ordinal, left, right = outcome.hit
-            self.generated += ordinal + 1
-            self._store_rows(op, outcome.rows, outcome.a_idx, outcome.b_idx)
+            self.generated = base + ordinal + 1
+            self._store_rows(
+                op, outcome.rows, outcome.a_idx, outcome.b_idx, absolute
+            )
             self._record_solution(op, left, right, self._current_cost)
             return True
-        self.generated += outcome.total
-        self._store_rows(op, outcome.rows, outcome.a_idx, outcome.b_idx)
+        self.generated = base + outcome.total
+        self._store_rows(
+            op, outcome.rows, outcome.a_idx, outcome.b_idx, absolute
+        )
         self._check_budget()
         return False
+
+    # ------------------------------------------------------------------
+    # Level checkpointing (see SearchEngine.restore_levels)
+    # ------------------------------------------------------------------
+    def _level_payload(
+        self, start: int, end: int
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        ops, lefts, rights = self._cache.provenance_arrays(start, end)
+        return (
+            np.array(self._cache.rows(start, end), dtype=np.uint64),
+            np.array(ops, dtype=np.int64),
+            np.array(lefts, dtype=np.int64),
+            np.array(rights, dtype=np.int64),
+            np.array(self._cache.gen_ordinals(start, end), dtype=np.int64),
+        )
+
+    def _adopt_restored(self, payload, lo: int, hi: int) -> None:
+        if hi <= lo:
+            return
+        rows = np.ascontiguousarray(payload.rows[lo:hi])
+        if self.check_uniqueness:
+            # Stored cache rows are globally distinct by construction,
+            # so the cheap no-probe bulk insert applies.
+            self._seen.insert_novel_batch(rows)
+        self._cache.append_rows(
+            rows,
+            payload.ops[lo:hi],
+            payload.lefts[lo:hi],
+            payload.rights[lo:hi],
+            payload.ordinals[lo:hi],
+        )
+
+    def _scan_restored(self, payload, limit: int) -> Optional[int]:
+        if limit <= 0:
+            return None
+        rows = np.ascontiguousarray(payload.rows[:limit])
+        hits = np.flatnonzero(self._matcher.flags(rows))
+        return int(hits[0]) if hits.size else None
 
     # ------------------------------------------------------------------
     # Concatenation: plane-resident pair blocks

@@ -14,11 +14,15 @@ into a long-running, multi-core, restart-durable service:
 * :mod:`repro.service.store` — :class:`StagingStore` /
   :class:`ResultStore`: content-addressed persistence so a restarted
   service warm-starts instead of re-enumerating.
+* :mod:`repro.service.checkpoint` — :class:`CheckpointStore`: durable
+  per-cost-level journals, so an interrupted query resumes from its
+  last completed level and repeat traffic re-serves enumerated levels.
 * :mod:`repro.service.client` — :class:`ServiceClient`: the facade the
   CLI (``repro serve`` / ``repro submit``), the evaluation harness and
   the benchmarks all drive.
 """
 
+from .checkpoint import CheckpointStore, checkpoint_key
 from .client import ServiceClient
 from .pool import WorkerPool
 from .queue import (
@@ -42,6 +46,8 @@ from .wire import (
 )
 
 __all__ = [
+    "CheckpointStore",
+    "checkpoint_key",
     "ServiceClient",
     "WorkerPool",
     "Job",

@@ -1,0 +1,270 @@
+"""Durable level checkpoints: an append-only journal plus a manifest.
+
+The enumeration is strictly level-by-level over cost, which makes each
+*completed* cost level a natural checkpoint (the multicore-recovery
+recipe: lightweight logging, recovery replays only the tail).  The
+:class:`CheckpointStore` persists
+:class:`~repro.core.engine.LevelCheckpoint` snapshots per *checkpoint
+key* — the content address of an enumeration, hashed over the staging
+fingerprint, the cost function, the guide-table toggle and the
+:func:`~repro.core.cache.cache_version_fingerprint` (so a layout or
+dedupe change invalidates stale checkpoints wholesale, never replaying
+rows under the wrong interpretation).  The spec's masks and the backend
+are deliberately **excluded**: enumeration is spec-independent and
+bit-identical across backends, so one query's checkpoints serve every
+query over the same universe and cost function, from either engine.
+
+On-disk layout, per key::
+
+    <key>.journal        RLVL | u64 payload-length | sha256 | pickle …
+    <key>.manifest.json  {"records": [{cost, offset, length, …}, …]}
+    <key>.lock           flock'd around append rounds
+
+Crash safety is the classic journal/manifest split: a record is
+appended and fsynced *before* the manifest is atomically rewritten to
+mention it.  A crash between the two leaves orphan bytes after the last
+manifest offset — skipped forever, harmlessly.  A torn or bit-rotten
+record fails its digest on load; the loader serves the valid
+consecutive prefix and rewrites the manifest down to it (self-healing),
+so recovery is never worse than a shorter resume.  Concurrent appenders
+(pool siblings finishing the same level) serialise on the lock file and
+dedupe by cost, and since enumeration is deterministic they would write
+identical payloads anyway.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import struct
+from contextlib import contextmanager
+from pathlib import Path
+from typing import List, Optional
+
+from ..core.cache import cache_version_fingerprint
+from ..core.engine import LevelCheckpoint
+from ..regex.cost import CostFunction
+from ..testing.faults import fault_point
+from .store import atomic_write_bytes
+from .wire import _sha256_of
+
+try:  # POSIX only; the store degrades to lock-free on other platforms
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None
+
+_RECORD_MAGIC = b"RLVL"
+_HEADER = struct.Struct("<4sQ")
+_DIGEST_SIZE = hashlib.sha256().digest_size
+
+
+def checkpoint_key(
+    staging_fp: str, cost_fn: CostFunction, use_guide_table: bool = True
+) -> str:
+    """Content address of one enumeration's level sequence.
+
+    Spec masks, budgets and the backend are excluded on purpose — none
+    of them changes what a completed level contains (the spec only
+    decides when the sweep *stops*, budgets only where it is cut, and
+    the engines are bit-identical).
+    """
+    return _sha256_of(
+        {
+            "staging": staging_fp,
+            "cost_fn": list(cost_fn.as_tuple()),
+            "use_guide_table": bool(use_guide_table),
+            "cache_version": cache_version_fingerprint(),
+        }
+    )
+
+
+class CheckpointStore:
+    """A directory of per-key level journals (see the module docstring)."""
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    def _journal_path(self, key: str) -> Path:
+        return self.root / ("%s.journal" % key)
+
+    def _manifest_path(self, key: str) -> Path:
+        return self.root / ("%s.manifest.json" % key)
+
+    @contextmanager
+    def _locked(self, key: str):
+        if fcntl is None:  # pragma: no cover - non-POSIX fallback
+            yield
+            return
+        lock_path = self.root / ("%s.lock" % key)
+        fd = os.open(str(lock_path), os.O_CREAT | os.O_RDWR)
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX)
+            yield
+        finally:
+            # The kernel drops the flock when the fd closes — including
+            # on SIGKILL, which is the whole point of using flock here.
+            os.close(fd)
+
+    def _read_manifest(self, key: str) -> List[dict]:
+        """The manifest's record list (empty on absent/corrupt manifest)."""
+        try:
+            data = json.loads(
+                self._manifest_path(key).read_text(encoding="utf-8")
+            )
+        except (OSError, ValueError):
+            return []
+        records = data.get("records") if isinstance(data, dict) else None
+        if not isinstance(records, list):
+            return []
+        out = []
+        for record in records:
+            if not isinstance(record, dict):
+                return out
+            try:
+                out.append(
+                    {
+                        "cost": int(record["cost"]),
+                        "offset": int(record["offset"]),
+                        "length": int(record["length"]),
+                        "generated_total": int(record["generated_total"]),
+                    }
+                )
+            except (KeyError, TypeError, ValueError):
+                return out
+        return out
+
+    def _write_manifest(self, key: str, records: List[dict]) -> None:
+        payload = json.dumps(
+            {"version": 1, "records": records}, indent=2, sort_keys=True
+        )
+        atomic_write_bytes(self._manifest_path(key), payload.encode("utf-8"))
+
+    # ------------------------------------------------------------------
+    def levels_recorded(self, key: str) -> List[int]:
+        """Costs the manifest currently lists (cheap; no payload reads)."""
+        return [record["cost"] for record in self._read_manifest(key)]
+
+    def append_level(self, key: str, level: LevelCheckpoint) -> bool:
+        """Journal one completed level; returns False when its cost is
+        already recorded (a pool sibling got there first)."""
+        with self._locked(key):
+            records = self._read_manifest(key)
+            if any(record["cost"] == level.cost for record in records):
+                return False
+            payload = pickle.dumps(
+                level.to_payload(), protocol=pickle.HIGHEST_PROTOCOL
+            )
+            digest = hashlib.sha256(payload).digest()
+            with open(self._journal_path(key), "ab") as handle:
+                offset = handle.tell()
+                handle.write(_HEADER.pack(_RECORD_MAGIC, len(payload)))
+                handle.write(digest)
+                handle.write(payload)
+                handle.flush()
+                os.fsync(handle.fileno())
+            # A crash here (the injection point) loses only the manifest
+            # update: the journal bytes become unreachable orphans and
+            # the level is re-journalled at the end of the file later.
+            fault_point("checkpoint.append")
+            records.append(
+                {
+                    "cost": int(level.cost),
+                    "offset": offset,
+                    "length": len(payload),
+                    "generated_total": int(level.generated_total),
+                }
+            )
+            records.sort(key=lambda record: record["cost"])
+            self._write_manifest(key, records)
+            return True
+
+    def _read_record(self, handle, record: dict) -> Optional[LevelCheckpoint]:
+        """One verified journal record, or None when it fails any check."""
+        try:
+            handle.seek(record["offset"])
+            header = handle.read(_HEADER.size)
+            if len(header) != _HEADER.size:
+                return None
+            magic, length = _HEADER.unpack(header)
+            if magic != _RECORD_MAGIC or length != record["length"]:
+                return None
+            digest = handle.read(_DIGEST_SIZE)
+            payload = handle.read(length)
+            if len(digest) != _DIGEST_SIZE or len(payload) != length:
+                return None
+            if hashlib.sha256(payload).digest() != digest:
+                return None
+            level = LevelCheckpoint.from_payload(pickle.loads(payload))
+        except Exception:
+            return None
+        if level.cost != record["cost"]:
+            return None
+        return level
+
+    def load_levels(
+        self, key: str, upto_cost: Optional[int] = None
+    ) -> List[LevelCheckpoint]:
+        """The valid consecutive level prefix recorded under ``key``.
+
+        Verifies every record (magic, length, digest, cost) and stops at
+        the first failure or cost gap, so the result is always a
+        replayable prefix.  When damage shortened the prefix, the
+        manifest is rewritten to match (self-healing) — the bad tail is
+        simply re-enumerated and re-journalled by the next run.
+        """
+        records = self._read_manifest(key)
+        if not records:
+            return []
+        levels: List[LevelCheckpoint] = []
+        kept: List[dict] = []
+        try:
+            handle = open(self._journal_path(key), "rb")
+        except OSError:
+            handle = None
+        if handle is None:
+            self._heal(key, [])
+            return []
+        with handle:
+            for record in records:
+                if levels and record["cost"] != levels[-1].cost + 1:
+                    break
+                level = self._read_record(handle, record)
+                if level is None:
+                    break
+                levels.append(level)
+                kept.append(record)
+        if len(kept) != len(records):
+            self._heal(key, kept)
+        if upto_cost is not None:
+            levels = [level for level in levels if level.cost <= upto_cost]
+        return levels
+
+    def _heal(self, key: str, kept: List[dict]) -> None:
+        """Rewrite the manifest down to the verified prefix (best-effort)."""
+        try:
+            with self._locked(key):
+                current = self._read_manifest(key)
+                kept_costs = {record["cost"] for record in kept}
+                # Another appender may have advanced the manifest since
+                # we read it; only drop records we actually verified bad
+                # (same offset/length as what we read).
+                checked = {
+                    (r["cost"], r["offset"], r["length"]) for r in kept
+                }
+                read_upto = max(kept_costs) if kept_costs else None
+                survivors = []
+                for record in current:
+                    triple = (record["cost"], record["offset"], record["length"])
+                    if triple in checked:
+                        survivors.append(record)
+                    elif read_upto is not None and record["cost"] <= read_upto:
+                        survivors.append(record)
+                    elif read_upto is None and kept:
+                        survivors.append(record)
+                self._write_manifest(key, survivors if kept else [])
+        except OSError:
+            pass

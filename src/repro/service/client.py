@@ -36,6 +36,9 @@ class ServiceClient:
         per_worker_depth: int = 2,
         reuse_results: bool = False,
         max_staged_per_worker: Optional[int] = 64,
+        retry_max_attempts: int = 3,
+        retry_backoff_s: float = 0.05,
+        checkpoints: bool = True,
     ) -> None:
         self.pool = WorkerPool(
             workers=workers,
@@ -45,6 +48,9 @@ class ServiceClient:
             per_worker_depth=per_worker_depth,
             reuse_results=reuse_results,
             max_staged_per_worker=max_staged_per_worker,
+            retry_max_attempts=retry_max_attempts,
+            retry_backoff_s=retry_backoff_s,
+            checkpoints=checkpoints,
         )
 
     # ------------------------------------------------------------------

@@ -29,27 +29,38 @@ like an in-process one.
 from __future__ import annotations
 
 import atexit
+import json
 import multiprocessing
 import os
 import threading
 import time
 import traceback
+from pathlib import Path
 from queue import Empty
 from collections import OrderedDict
 from dataclasses import replace as dataclasses_replace
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..api.config import EngineConfig, SynthesisRequest
 from ..api.registry import BackendRegistry, default_registry
 from ..api.session import Session
 from ..core.result import SynthesisResult
+from ..testing.faults import fault_point
+from .checkpoint import CheckpointStore
 from .queue import Job, JobHandle, JobQueue
-from .store import ResultStore, StagingStore, StoreBackedSession
-from .wire import PRIORITY_NORMAL, WireRequest
+from .store import (
+    ResultStore,
+    StagingStore,
+    StoreBackedSession,
+    atomic_write_bytes,
+)
+from .wire import PRIORITY_HIGH, PRIORITY_NORMAL, WireRequest
 
 #: Store layout under a service root directory.
 STAGING_SUBDIR = "staging"
 RESULTS_SUBDIR = "results"
+CHECKPOINTS_SUBDIR = "checkpoints"
+QUARANTINE_SUBDIR = "quarantine"
 
 #: How often (seconds) a worker's watchdog mirrors the cross-process
 #: cancellation event into the engine-visible local flag.
@@ -61,6 +72,7 @@ def _worker_main(
     config: EngineConfig,
     store_dir: Optional[str],
     max_staged: Optional[int],
+    checkpoints: bool,
     task_queue,
     result_queue,
 ) -> None:
@@ -70,14 +82,23 @@ def _worker_main(
         if store_dir is not None
         else None
     )
+    checkpoint_store = (
+        CheckpointStore(os.path.join(store_dir, CHECKPOINTS_SUBDIR))
+        if store_dir is not None and checkpoints
+        else None
+    )
     session = StoreBackedSession(
-        config, max_staged=max_staged, staging_store=staging_store
+        config,
+        max_staged=max_staged,
+        staging_store=staging_store,
+        checkpoint_store=checkpoint_store,
     )
     while True:
         message = task_queue.get()
         if message[0] == "shutdown":
             break
         _, job_id, wire, cancel_event = message
+        fault_point("pool.worker.before_job")
         local_cancel = threading.Event()
         stop_watchdog = threading.Event()
 
@@ -108,6 +129,7 @@ def _worker_main(
         )
         try:
             result = session.synthesize(request)
+            fault_point("pool.worker.after_job")
             result_queue.put(
                 ("done", worker_id, job_id, result, _session_stats(session))
             )
@@ -131,6 +153,9 @@ def _session_stats(session: Session) -> Dict[str, int]:
     if isinstance(session, StoreBackedSession):
         snapshot["store_loads"] = session.store_loads
         snapshot["store_saves"] = session.store_saves
+        snapshot["checkpoint_loads"] = session.checkpoint_loads
+        snapshot["checkpoint_saves"] = session.checkpoint_saves
+        snapshot["resumed_queries"] = session.resumed_queries
     return snapshot
 
 
@@ -193,11 +218,16 @@ class WorkerPool:
         per_worker_depth: int = 2,
         max_staged_per_worker: Optional[int] = 64,
         reuse_results: bool = False,
+        retry_max_attempts: int = 3,
+        retry_backoff_s: float = 0.05,
+        checkpoints: bool = True,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if per_worker_depth < 1:
             raise ValueError("per_worker_depth must be >= 1")
+        if retry_max_attempts < 1:
+            raise ValueError("retry_max_attempts must be >= 1")
         self.config = config if config is not None else EngineConfig()
         self.registry = registry if registry is not None else default_registry()
         self.registry.resolve(self.config.backend)  # fail fast
@@ -206,6 +236,13 @@ class WorkerPool:
         self.per_worker_depth = per_worker_depth
         self.max_staged_per_worker = max_staged_per_worker
         self.reuse_results = reuse_results
+        #: Total dispatch attempts a job gets before quarantine (so a
+        #: job survives ``retry_max_attempts - 1`` worker deaths).
+        self.retry_max_attempts = retry_max_attempts
+        #: Base of the exponential retry backoff (delay of retry *n* is
+        #: ``retry_backoff_s * 2**(n-1)``).
+        self.retry_backoff_s = retry_backoff_s
+        self.checkpoints = checkpoints
         # The parent only touches results (dedup fast path + persisting
         # answers); staging stores live worker-side, in each worker's
         # StoreBackedSession.
@@ -223,8 +260,14 @@ class WorkerPool:
             "result_hits": 0,
             "completed": 0,
             "failed": 0,
+            "retries": 0,
+            "quarantined": 0,
+            "respawns": 0,
         }
         self._lock = threading.RLock()
+        #: job_id → (job, backoff timer) for jobs waiting out a retry
+        #: delay — neither pending nor in flight, but still live.
+        self._retrying: Dict[str, Tuple[Job, threading.Timer]] = {}
         self._workers: List[_WorkerState] = []
         self._jobs_by_id: Dict[str, Job] = {}
         self._cancel_events: Dict[str, object] = {}
@@ -258,20 +301,7 @@ class WorkerPool:
                 # below replaces the daemon flag's normal-exit cleanup;
                 # a hard-killed parent orphans children under either
                 # flag, so no safety is lost.
-                process = self._mp.Process(
-                    target=_worker_main,
-                    args=(
-                        worker_id,
-                        self.config,
-                        self.store_dir,
-                        self.max_staged_per_worker,
-                        task_queue,
-                        self._result_queue,
-                    ),
-                    daemon=False,
-                    name="repro-worker-%d" % worker_id,
-                )
-                process.start()
+                process = self._spawn_process(worker_id, task_queue)
                 self._workers.append(
                     _WorkerState(
                         worker_id, process, task_queue,
@@ -290,6 +320,25 @@ class WorkerPool:
             atexit.register(self._atexit_hook)
             self._started = True
         return self
+
+    def _spawn_process(self, worker_id: int, task_queue):
+        """Start one worker process (initial spawn and respawn share it)."""
+        process = self._mp.Process(
+            target=_worker_main,
+            args=(
+                worker_id,
+                self.config,
+                self.store_dir,
+                self.max_staged_per_worker,
+                self.checkpoints,
+                task_queue,
+                self._result_queue,
+            ),
+            daemon=False,
+            name="repro-worker-%d" % worker_id,
+        )
+        process.start()
+        return process
 
     def _exit_cleanup(self) -> None:  # pragma: no cover - exit path
         try:
@@ -353,8 +402,15 @@ class WorkerPool:
         # flight, or a worker terminated past the join timeout) will
         # never get a worker reply — fail it so blocked
         # ``JobHandle.result()`` callers raise instead of hanging.
+        # Retry timers are cancelled the same way: their jobs would
+        # requeue into a stopped pool.
         with self._lock:
             orphaned = list(self._jobs_by_id.values())
+            retrying = list(self._retrying.values())
+            self._retrying.clear()
+        for job, timer in retrying:
+            timer.cancel()
+            orphaned.append(job)
         for job in orphaned:
             self.queue.fail(job, "pool shut down before the job completed")
         for job in self.queue.pending_in_order():
@@ -634,20 +690,29 @@ class WorkerPool:
                 traceback.print_exc()
 
     def _reap_dead_workers(self) -> None:
-        """Fail the in-flight jobs of workers that died without replying.
+        """Recover from workers that died without replying.
 
         Only in-worker Python exceptions come back as ``error``
         messages; an OOM kill or segfault leaves the job unanswered, so
-        the collector's idle tick checks process liveness and fails the
-        orphaned jobs rather than letting their handles block forever.
-        Dead workers are excluded from future dispatch; if none remain,
-        still-queued jobs are failed too.
+        the collector's idle tick checks process liveness.  Each dead
+        worker is *respawned* (fresh process, fresh task queue — the old
+        queue may hold undelivered messages the crash poisoned) and its
+        orphaned jobs are *retried* with exponential backoff, up to
+        :attr:`retry_max_attempts` dispatches, after which a job is
+        quarantined and failed.  Level checkpoints make the retry cheap:
+        the replacement run resumes from the last level the dead
+        worker's session journalled.  If every worker is dead and none
+        can be respawned (the pool is closing), still-queued jobs are
+        failed so their handles never block forever.
         """
         orphaned: List[Job] = []
+        stranded: List[Job] = []
+        respawn: List[_WorkerState] = []
         with self._lock:
             # Reaping must keep working while the pool is closing:
             # ``shutdown(wait=True)`` blocks on the live-job count, and
             # a worker that died mid-job can only be drained here.
+            closing = self._closing
             for worker in self._workers:
                 if worker.dead or worker.process.is_alive():
                     continue
@@ -658,21 +723,112 @@ class WorkerPool:
                     self._pending_final_events.pop(job_id, None)
                     if job is not None:
                         orphaned.append(job)
-                        self.stats["failed"] += 1
                 worker.inflight.clear()
                 worker.load = 0
-            if all(w.dead for w in self._workers):
+                if not closing:
+                    respawn.append(worker)
+            if all(w.dead for w in self._workers) and not respawn:
                 for job in self.queue.pending_in_order():
                     if self.queue.mark_running(job, -1):
-                        orphaned.append(job)
+                        stranded.append(job)
                         self.stats["failed"] += 1
+        for worker in respawn:
+            self._respawn_worker(worker)
+        for job in stranded:
+            self.queue.fail(
+                job, "worker process died without reporting a result"
+            )
         for job in orphaned:
+            self._retry_or_fail(
+                job, "worker process died without reporting a result"
+            )
+        if orphaned or respawn:
+            self._dispatch()
+
+    def _respawn_worker(self, worker: "_WorkerState") -> None:
+        """Replace a dead worker's process (and poisoned task queue)."""
+        worker.task_queue.close()
+        worker.task_queue.cancel_join_thread()
+        task_queue = self._mp.Queue()
+        process = self._spawn_process(worker.worker_id, task_queue)
+        with self._lock:
+            worker.process = process
+            worker.task_queue = task_queue
+            # The replacement session starts cold; with a store it
+            # warm-starts from disk, but the affinity map must not
+            # promise memory-warmth the new process does not have.
+            worker.warm.clear()
+            worker.dead = False
+            self.stats["respawns"] += 1
+
+    # ------------------------------------------------------------------
+    # Retry with backoff (worker deaths only — in-worker exceptions are
+    # deterministic and fail immediately via _on_error)
+    # ------------------------------------------------------------------
+    def _retry_or_fail(self, job: Job, error: str) -> None:
+        with self._lock:
+            if job.finished:
+                return  # a racing cancellation already settled it
+            if job.attempts < self.retry_max_attempts:
+                self.stats["retries"] += 1
+                delay = self.retry_backoff_s * (2 ** max(0, job.attempts - 1))
+                timer = threading.Timer(delay, self._requeue_job, args=(job,))
+                timer.daemon = True
+                self._retrying[job.job_id] = (job, timer)
+                timer.start()
+                return
+            self.stats["failed"] += 1
+        self._quarantine(job, error)
+        self.queue.fail(job, "%s (attempts=%d)" % (error, job.attempts))
+
+    def _requeue_job(self, job: Job) -> None:
+        """Timer body: put a backed-off job back in the queue.
+
+        The retry is *escalated* to high priority — the job (and every
+        handle joined to it) has already waited out a full attempt, so
+        it must not queue behind traffic that arrived after it.
+        """
+        with self._lock:
+            self._retrying.pop(job.job_id, None)
+            stopped = not self._started
+        if stopped:
             self.queue.fail(
                 job,
-                "worker process died without reporting a result",
+                "pool shut down before the job completed (attempts=%d)"
+                % job.attempts,
             )
-        if orphaned:
+            return
+        if self.queue.requeue(job, priority=PRIORITY_HIGH):
             self._dispatch()
+
+    def _quarantine(self, job: Job, error: str) -> None:
+        """Record a poison job (kills every worker it touches) on disk."""
+        if self.store_dir is None:
+            with self._lock:
+                self.stats["quarantined"] += 1
+            return
+        record = {
+            "job_id": job.job_id,
+            "fingerprint": job.fingerprint,
+            "attempts": job.attempts,
+            "error": error,
+            "request": job.wire.to_json_dict(),
+        }
+        path = (
+            Path(self.store_dir)
+            / QUARANTINE_SUBDIR
+            / ("%s.json" % job.fingerprint)
+        )
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            atomic_write_bytes(
+                path,
+                json.dumps(record, indent=2, sort_keys=True).encode("utf-8"),
+            )
+        except OSError:  # pragma: no cover - the answer still fails below
+            traceback.print_exc()
+        with self._lock:
+            self.stats["quarantined"] += 1
 
     def _poll_cancel_probes(self, job: Optional[Job] = None) -> None:
         """Deliver cancellations requested through request-level
@@ -743,6 +899,8 @@ class WorkerPool:
             self.stats["completed"] += 1
         if job is None:  # pragma: no cover - defensive
             return
+        if isinstance(result.extra, dict):
+            result.extra["attempts"] = job.attempts
         # Persist deterministic outcomes only: a cancelled verdict is an
         # operational accident, not the content-addressed answer.  A
         # failing store write (full disk) must not block the answer.

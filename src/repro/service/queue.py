@@ -50,6 +50,7 @@ class Job:
         "priority",
         "seq",
         "state",
+        "attempts",
         "worker_id",
         "result",
         "error",
@@ -79,6 +80,9 @@ class Job:
         self.priority = priority
         self.seq = seq
         self.state = JOB_QUEUED
+        #: Dispatch count — 1 on the first run, +1 per retry after a
+        #: worker death (surfaced in the result's ``extra["attempts"]``).
+        self.attempts = 0
         self.worker_id: Optional[int] = None
         self.result: Optional[SynthesisResult] = None
         self.error: Optional[str] = None
@@ -286,7 +290,28 @@ class JobQueue:
                 return False
             self._pending.remove(job)
             job.state = JOB_RUNNING
+            job.attempts += 1
             job.worker_id = worker_id
+            return True
+
+    def requeue(self, job: Job, priority: Optional[int] = None) -> bool:
+        """Put a running job back in the pending queue (worker died).
+
+        Only a live, running job can be requeued — a finished one (a
+        late cancellation won the race) is left alone.  ``priority``
+        may *escalate* the job (lower value only): a retried job has
+        already waited a full attempt, and joined duplicate handles
+        must not be starved behind fresh traffic.
+        """
+        with self._lock:
+            if job.finished or job.state != JOB_RUNNING:
+                return False
+            job.state = JOB_QUEUED
+            job.worker_id = None
+            if priority is not None and priority < job.priority:
+                job.priority = priority
+            self._pending.append(job)
+            self._pending.sort(key=lambda j: j.sort_key)
             return True
 
     # ------------------------------------------------------------------

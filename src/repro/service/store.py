@@ -30,23 +30,56 @@ from ..core.result import SynthesisResult
 from ..language.guide_table import GuideTable
 from ..language.universe import Universe
 from ..spec import Spec
+from ..testing.faults import fault_point
 from .wire import staging_fingerprint
+
+#: Version tag wrapped around every pickled store value.  Bump it when
+#: the on-disk payload shape changes: old blobs then load as misses (and
+#: are quarantined) instead of deserialising into the wrong shape.
+STORE_VERSION = 1
+_STORE_TAG = "repro-store"
+
+
+def _fsync_directory(directory: Path) -> None:
+    """Flush a directory entry table to disk (best-effort).
+
+    Without this an ``os.replace`` can survive a process crash but be
+    lost in a *machine* crash — the rename lived only in the page cache.
+    Platforms whose directories cannot be opened/fsynced are skipped.
+    """
+    try:
+        dir_fd = os.open(str(directory), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(dir_fd)
+    except OSError:
+        pass
+    finally:
+        os.close(dir_fd)
 
 
 def atomic_write_bytes(path: Path, payload: bytes) -> None:
-    """Write ``payload`` to ``path`` atomically (tmp + ``os.replace``).
+    """Write ``payload`` to ``path`` atomically and durably.
 
     The single implementation of the store-and-protocol write idiom:
-    readers (a pool sibling, the serve loop, ``repro submit --wait``)
-    never observe a partial file, and the temp file is cleaned up when
-    the write fails.
+    the payload is flushed to a temp file (``fsync`` before the rename,
+    so the replace can never expose an empty or partial file after a
+    power cut), ``os.replace``\\ d into place, and the parent directory
+    is fsynced so the rename itself survives a crash.  Readers (a pool
+    sibling, the serve loop, ``repro submit --wait``) never observe a
+    partial file, and the temp file is cleaned up when the write fails.
     """
+    path = Path(path)
     fd, tmp_name = tempfile.mkstemp(
         prefix=".%s." % path.name[:16], suffix=".tmp", dir=str(path.parent)
     )
     try:
         with os.fdopen(fd, "wb") as handle:
             handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        fault_point("store.atomic_write_bytes")
         os.replace(tmp_name, path)
     except BaseException:
         try:
@@ -54,6 +87,7 @@ def atomic_write_bytes(path: Path, payload: bytes) -> None:
         except OSError:
             pass
         raise
+    _fsync_directory(path.parent)
 
 
 class _PickleStore:
@@ -80,8 +114,9 @@ class _PickleStore:
     def save(self, key: str, value: object) -> Path:
         """Persist ``value`` under ``key`` atomically; returns the path."""
         path = self._path(key)
+        envelope = (_STORE_TAG, STORE_VERSION, value)
         atomic_write_bytes(
-            path, pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+            path, pickle.dumps(envelope, protocol=pickle.HIGHEST_PROTOCOL)
         )
         return path
 
@@ -89,19 +124,41 @@ class _PickleStore:
         """The stored value, or None when the key is absent *or
         unreadable*.
 
-        A corrupt or version-skewed blob (bit rot, a code upgrade that
-        changed the pickled classes) is treated as a miss rather than
-        an error, so callers rebuild and overwrite — the store
-        self-heals instead of permanently failing one content address.
+        A corrupt or version-skewed blob (bit rot, a truncated write, a
+        code upgrade that changed the pickled classes or bumped
+        ``STORE_VERSION``) is treated as a miss rather than an error,
+        so callers rebuild and overwrite — the store self-heals instead
+        of permanently failing one content address.  The bad file is
+        renamed to ``<name>.corrupt`` so the next ``save`` is not racing
+        a reader of the damaged blob and an operator can post-mortem it
+        (see docs/README.md).
         """
         path = self._path(key)
         try:
             with open(path, "rb") as handle:
-                return pickle.load(handle)
+                envelope = pickle.load(handle)
         except FileNotFoundError:
             return None
         except Exception:
+            self._quarantine(path)
             return None
+        if (
+            not isinstance(envelope, tuple)
+            or len(envelope) != 3
+            or envelope[0] != _STORE_TAG
+            or envelope[1] != STORE_VERSION
+        ):
+            self._quarantine(path)
+            return None
+        return envelope[2]
+
+    @staticmethod
+    def _quarantine(path: Path) -> None:
+        """Move a damaged blob aside (``x.pkl`` → ``x.pkl.corrupt``)."""
+        try:
+            os.replace(str(path), str(path) + ".corrupt")
+        except OSError:
+            pass
 
 
 class StagingStore(_PickleStore):
@@ -169,11 +226,16 @@ class StoreBackedSession(Session):
         registry: Optional[BackendRegistry] = None,
         max_staged: Optional[int] = None,
         staging_store: Optional[StagingStore] = None,
+        checkpoint_store=None,
     ) -> None:
         super().__init__(config, registry=registry, max_staged=max_staged)
         self.staging_store = staging_store
+        self.checkpoint_store = checkpoint_store
         self.store_loads = 0
         self.store_saves = 0
+        self.checkpoint_loads = 0
+        self.checkpoint_saves = 0
+        self.resumed_queries = 0
 
     def staging_for(self, spec: Spec) -> Tuple[Universe, GuideTable]:
         key = staging_key_of(spec)
@@ -189,3 +251,66 @@ class StoreBackedSession(Session):
         self.staging_store.save_staging(fingerprint, universe, guide)
         self.store_saves += 1
         return universe, guide
+
+    # ------------------------------------------------------------------
+    # Level checkpoints (see repro.service.checkpoint)
+    # ------------------------------------------------------------------
+    def _attach_durability(self, engine) -> None:
+        """Restore checkpointed cost levels and arm the writer hook.
+
+        Eligibility mirrors what makes a checkpoint replayable at all:
+        engines with a bounded cache (OnTheFly fallback changes what is
+        stored) or with dedupe disabled (the stored sequence is no
+        longer the canonical first-occurrence sequence) are excluded.
+        Replay failures of any kind degrade to a cold run — durability
+        must never make a query fail that would otherwise succeed.
+        """
+        if self.checkpoint_store is None:
+            return
+        if engine.max_cache_size is not None or not engine.check_uniqueness:
+            return
+        from .checkpoint import checkpoint_key
+
+        key = checkpoint_key(
+            staging_fingerprint(engine.spec),
+            engine.cost_fn,
+            engine.use_guide_table,
+        )
+        try:
+            levels = self.checkpoint_store.load_levels(key)
+        except Exception:
+            levels = []
+        if levels and levels[0].cost == engine.cost_fn.literal:
+            try:
+                engine.restore_levels(levels)
+            except Exception:
+                pass
+            else:
+                self.checkpoint_loads += len(levels)
+                self.resumed_queries += 1
+
+        store = self.checkpoint_store
+        session = self
+        previous = engine.on_level
+        # Don't re-journal what we just restored: the writer starts
+        # past the last restored cost.
+        state = {"last": levels[-1].cost if levels else 0}
+
+        def checkpoint_and_forward(cost: int, start: int, end: int):
+            # Journal FIRST, then forward: a cancel/progress hook that
+            # stops the run still leaves this level on disk, which is
+            # what makes kill-at-any-level resume work.
+            if cost > state["last"]:
+                state["last"] = cost
+                try:
+                    if store.append_level(
+                        key, engine.level_checkpoint(cost, start, end)
+                    ):
+                        session.checkpoint_saves += 1
+                except OSError:
+                    pass
+            if previous is not None:
+                return previous(cost, start, end)
+            return False
+
+        engine.on_level = checkpoint_and_forward

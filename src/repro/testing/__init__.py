@@ -1,0 +1,24 @@
+"""Test-support utilities shipped with the package.
+
+Only :mod:`repro.testing.faults` lives here today: the deterministic
+fault-injection harness the recovery tests and the CI smoke job use to
+kill workers, truncate checkpoints, and fail writes on purpose.  The
+module is dependency-free and its hooks are no-ops unless explicitly
+armed, so importing it from production paths costs nothing.
+"""
+
+from .faults import (
+    fault_point,
+    inject,
+    reset,
+    corrupt_file,
+    truncate_file,
+)
+
+__all__ = [
+    "fault_point",
+    "inject",
+    "reset",
+    "corrupt_file",
+    "truncate_file",
+]

@@ -1,0 +1,497 @@
+"""Crash-recovery tests: fault harness, durable checkpoints, job retry.
+
+The headline acceptance criteria live in :class:`TestCheckpointResume`
+(a query interrupted after *any* completed cost level resumes from that
+level and answers **bit-identically** to an uninterrupted run, on both
+backends) and :class:`TestPoolRecoverySmoke` (a job whose worker is
+SIGKILLed mid-run is retried with backoff on a respawned worker and
+completes, with the attempt count in the result extras; a poison job is
+quarantined instead of killing the pool).
+"""
+
+import json
+import pickle
+
+import numpy as np
+import pytest
+
+from repro import EngineConfig, Session, Spec, SynthesisRequest
+from repro.core.cache import cache_version_fingerprint
+from repro.regex.cost import CostFunction
+from repro.service import (
+    CheckpointStore,
+    JobFailedError,
+    ServiceClient,
+    StoreBackedSession,
+    checkpoint_key,
+    staging_fingerprint,
+)
+from repro.service.store import StagingStore, atomic_write_bytes
+from repro.testing import faults
+from repro.testing.faults import (
+    FaultSpecError,
+    corrupt_file,
+    fault_point,
+    inject,
+    parse_spec,
+    truncate_file,
+)
+
+#: Small but non-trivial: five full cost levels before the solution.
+SPEC = Spec(positive=["00", "010", "0110"], negative=["", "11", "101"])
+
+BACKENDS = ("vector", "scalar")
+
+#: Result fields that must match bit-for-bit between an uninterrupted
+#: run and a resumed one.
+IDENTITY_FIELDS = (
+    "status", "regex", "cost", "generated", "unique_cs", "levels_built",
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_faults(monkeypatch):
+    """Every test starts and ends with no fault armed."""
+    monkeypatch.delenv(faults.ENV_FAULTS, raising=False)
+    monkeypatch.delenv(faults.ENV_FAULTS_DIR, raising=False)
+    faults.reset()
+    yield
+    faults.reset()
+
+
+def interrupted_after(session, spec, levels):
+    """Run ``spec`` on ``session`` but cancel after ``levels`` levels."""
+    count = {"n": 0}
+
+    def on_progress(event):
+        if not event.done:
+            count["n"] += 1
+
+    request = SynthesisRequest(
+        spec=spec,
+        on_progress=on_progress,
+        cancel=lambda: count["n"] >= levels,
+    )
+    return session.synthesize(request)
+
+
+def assert_identical(resumed, reference):
+    for field in IDENTITY_FIELDS:
+        assert getattr(resumed, field) == getattr(reference, field), field
+    assert resumed.extra["level_stats"] == reference.extra["level_stats"]
+
+
+# ----------------------------------------------------------------------
+# The fault-injection harness itself
+# ----------------------------------------------------------------------
+class TestFaultHarness:
+    def test_spec_grammar(self):
+        table = parse_spec(
+            "pool.worker.before_job:kill:2:once, checkpoint.append:raise"
+        )
+        fault = table["pool.worker.before_job"]
+        assert (fault.action, fault.hit, fault.once) == ("kill", 2, True)
+        fault = table["checkpoint.append"]
+        assert (fault.action, fault.hit, fault.once) == ("raise", 1, False)
+
+    @pytest.mark.parametrize("bad", ["justapoint", "p:frobnicate", "p:raise:x"])
+    def test_malformed_specs_are_rejected(self, bad):
+        with pytest.raises(FaultSpecError):
+            parse_spec(bad)
+
+    def test_unarmed_points_are_noops(self):
+        fault_point("nothing.armed.here")
+
+    def test_raise_fires_on_the_nth_arrival_then_disarms(self):
+        inject("t.point", "raise", hit=3)
+        fault_point("t.point")
+        fault_point("t.point")
+        with pytest.raises(OSError):
+            fault_point("t.point")
+        fault_point("t.point")  # disarmed after firing
+
+    def test_environment_arming_and_reset(self, monkeypatch):
+        monkeypatch.setenv(faults.ENV_FAULTS, "t.env:raise")
+        faults.reset()  # next arrival re-reads the environment
+        with pytest.raises(OSError):
+            fault_point("t.env")
+        monkeypatch.delenv(faults.ENV_FAULTS)
+        faults.reset()
+        fault_point("t.env")
+
+    def test_once_sentinel_claims_across_rearms(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(faults.ENV_FAULTS_DIR, str(tmp_path))
+        inject("t.once", "raise", once=True)
+        with pytest.raises(OSError):
+            fault_point("t.once")
+        # A re-armed copy (as a respawned process would have) loses the
+        # O_EXCL sentinel race and stays silent.
+        inject("t.once", "raise", once=True)
+        fault_point("t.once")
+
+    def test_corruption_helpers(self, tmp_path):
+        path = tmp_path / "blob.bin"
+        path.write_bytes(b"abcdef")
+        truncate_file(path, 3)
+        assert path.read_bytes() == b"abc"
+        corrupt_file(path, offset=1)
+        assert path.read_bytes() == bytes([ord("a"), ord("b") ^ 0xFF, ord("c")])
+
+
+# ----------------------------------------------------------------------
+# Store satellites: atomic writes and pickle quarantine
+# ----------------------------------------------------------------------
+class TestAtomicWriteFaults:
+    def test_failed_write_leaves_no_temp_and_keeps_old_content(self, tmp_path):
+        target = tmp_path / "value.pkl"
+        atomic_write_bytes(target, b"old")
+        inject("store.atomic_write_bytes", "raise")
+        with pytest.raises(OSError):
+            atomic_write_bytes(target, b"new")
+        assert target.read_bytes() == b"old"
+        assert list(tmp_path.glob("*.tmp")) == []
+
+
+class TestPickleStoreQuarantine:
+    def make_store(self, tmp_path):
+        store = StagingStore(tmp_path / "staging")
+        store.save("k", {"payload": 1})
+        return store, store._path("k")
+
+    def test_truncated_blob_quarantines_and_misses(self, tmp_path):
+        store, path = self.make_store(tmp_path)
+        truncate_file(path, path.stat().st_size // 2)
+        assert store.load("k") is None
+        assert path.with_name(path.name + ".corrupt").exists()
+        assert not path.exists()
+        # The address self-heals on the next save.
+        store.save("k", {"payload": 2})
+        assert store.load("k") == {"payload": 2}
+
+    def test_bitrot_quarantines(self, tmp_path):
+        store, path = self.make_store(tmp_path)
+        corrupt_file(path, offset=path.stat().st_size // 2)
+        assert store.load("k") is None
+        assert path.with_name(path.name + ".corrupt").exists()
+
+    def test_version_skew_quarantines(self, tmp_path):
+        store, path = self.make_store(tmp_path)
+        path.write_bytes(pickle.dumps(("repro-store", 999, {"payload": 1})))
+        assert store.load("k") is None
+        assert path.with_name(path.name + ".corrupt").exists()
+
+    def test_unwrapped_legacy_blob_quarantines(self, tmp_path):
+        store, path = self.make_store(tmp_path)
+        path.write_bytes(pickle.dumps({"payload": 1}))
+        assert store.load("k") is None
+        assert path.with_name(path.name + ".corrupt").exists()
+
+
+# ----------------------------------------------------------------------
+# The checkpoint store
+# ----------------------------------------------------------------------
+def checkpoints_of(backend, spec):
+    """Every completed level of a solo run, as LevelCheckpoints."""
+    session = Session(EngineConfig(backend=backend))
+    engine = session.make_engine(SynthesisRequest(spec=spec))
+    taken = []
+
+    def snap(cost, start, end):
+        taken.append(engine.level_checkpoint(cost, start, end))
+        return False
+
+    engine.on_level = snap
+    engine.run(40)
+    return taken
+
+
+class TestCheckpointStore:
+    def test_key_is_stable_and_cost_fn_sensitive(self):
+        fp = staging_fingerprint(SPEC)
+        uniform = checkpoint_key(fp, CostFunction.uniform())
+        assert uniform == checkpoint_key(fp, CostFunction.uniform())
+        other = checkpoint_key(fp, CostFunction.from_tuple((1, 1, 10, 1, 1)))
+        assert uniform != other
+        assert cache_version_fingerprint() != fp  # distinct namespaces
+
+    def test_roundtrip_and_duplicate_dedupe(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        levels = checkpoints_of("vector", SPEC)
+        assert len(levels) >= 4
+        key = checkpoint_key(staging_fingerprint(SPEC), CostFunction.uniform())
+        for level in levels:
+            assert store.append_level(key, level) is True
+        assert store.append_level(key, levels[0]) is False  # already there
+        loaded = store.load_levels(key)
+        assert [lv.cost for lv in loaded] == [lv.cost for lv in levels]
+        for got, want in zip(loaded, levels):
+            assert got.generated_total == want.generated_total
+            for field in ("rows", "ops", "lefts", "rights", "ordinals"):
+                assert np.array_equal(getattr(got, field), getattr(want, field))
+
+    def fill(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        levels = checkpoints_of("vector", SPEC)
+        key = checkpoint_key(staging_fingerprint(SPEC), CostFunction.uniform())
+        for level in levels:
+            store.append_level(key, level)
+        return store, key, levels
+
+    def test_truncated_journal_serves_prefix_and_heals(self, tmp_path):
+        store, key, levels = self.fill(tmp_path)
+        journal = store._journal_path(key)
+        truncate_file(journal, journal.stat().st_size - 25)
+        loaded = store.load_levels(key)
+        assert 0 < len(loaded) == len(levels) - 1
+        assert [lv.cost for lv in loaded] == [lv.cost for lv in levels[:-1]]
+        # The manifest was healed down to the surviving prefix, and the
+        # lost tail can be re-journalled (offsets skip the torn bytes).
+        assert store.levels_recorded(key) == [lv.cost for lv in loaded]
+        assert store.append_level(key, levels[-1]) is True
+        assert len(store.load_levels(key)) == len(levels)
+
+    def test_bitrot_stops_the_prefix_at_the_damaged_record(self, tmp_path):
+        store, key, levels = self.fill(tmp_path)
+        records = store._read_manifest(key)
+        # Flip a byte inside the SECOND record's payload.
+        corrupt_file(
+            store._journal_path(key),
+            offset=records[1]["offset"] + 60,
+        )
+        loaded = store.load_levels(key)
+        assert [lv.cost for lv in loaded] == [levels[0].cost]
+
+    def test_missing_journal_or_manifest_is_empty(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        assert store.load_levels("nothing") == []
+        _, key, _ = self.fill(tmp_path / "full")
+        full = CheckpointStore(tmp_path / "full")
+        full._manifest_path(key).unlink()
+        assert full.load_levels(key) == []
+
+
+# ----------------------------------------------------------------------
+# Checkpointed sessions: kill at every level, resume bit-identically
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestCheckpointResume:
+    def test_resume_from_every_kill_level_is_bit_identical(
+        self, backend, tmp_path
+    ):
+        config = EngineConfig(backend=backend)
+        reference = Session(config).synthesize(SPEC)
+        assert reference.status == "success"
+        for kill_after in range(1, reference.levels_built + 1):
+            store = CheckpointStore(tmp_path / ("kill%d" % kill_after))
+            crashed = StoreBackedSession(config, checkpoint_store=store)
+            partial = interrupted_after(crashed, SPEC, kill_after)
+            assert partial.status == "cancelled"
+            assert crashed.checkpoint_saves >= kill_after
+            resumed_session = StoreBackedSession(
+                config, checkpoint_store=store
+            )
+            resumed = resumed_session.synthesize(SPEC)
+            assert resumed_session.resumed_queries == 1
+            assert resumed.extra["resumed_levels"] >= kill_after
+            assert_identical(resumed, reference)
+
+    def test_completed_query_re_serves_all_levels(self, backend, tmp_path):
+        config = EngineConfig(backend=backend)
+        store = CheckpointStore(tmp_path)
+        first_session = StoreBackedSession(config, checkpoint_store=store)
+        first = first_session.synthesize(SPEC)
+        again_session = StoreBackedSession(config, checkpoint_store=store)
+        again = again_session.synthesize(SPEC)
+        assert again.extra["resumed_levels"] == first.levels_built
+        assert again_session.checkpoint_saves == 0  # nothing new to journal
+        assert_identical(again, first)
+
+    def test_cross_backend_checkpoint_reuse(self, backend, tmp_path):
+        # Checkpoints are keyed by (universe, cost function, layout
+        # version) only: what one backend journals, the other resumes.
+        other = "scalar" if backend == "vector" else "vector"
+        store = CheckpointStore(tmp_path)
+        writer = StoreBackedSession(
+            EngineConfig(backend=backend), checkpoint_store=store
+        )
+        written = writer.synthesize(SPEC)
+        reader_session = StoreBackedSession(
+            EngineConfig(backend=other), checkpoint_store=store
+        )
+        resumed = reader_session.synthesize(SPEC)
+        assert reader_session.resumed_queries == 1
+        assert resumed.extra["resumed_levels"] > 0
+        assert_identical(resumed, written)
+
+    def test_damaged_checkpoints_degrade_to_a_cold_run(self, backend, tmp_path):
+        config = EngineConfig(backend=backend)
+        store = CheckpointStore(tmp_path)
+        StoreBackedSession(config, checkpoint_store=store).synthesize(SPEC)
+        for journal in tmp_path.glob("*.journal"):
+            corrupt_file(journal, offset=10)
+        session = StoreBackedSession(config, checkpoint_store=store)
+        resumed = session.synthesize(SPEC)
+        reference = Session(config).synthesize(SPEC)
+        assert_identical(resumed, reference)
+
+    def test_layout_version_fingerprint_invalidates(
+        self, backend, tmp_path, monkeypatch
+    ):
+        config = EngineConfig(backend=backend)
+        store = CheckpointStore(tmp_path)
+        StoreBackedSession(config, checkpoint_store=store).synthesize(SPEC)
+        import repro.service.checkpoint as checkpoint_module
+
+        monkeypatch.setattr(
+            checkpoint_module,
+            "cache_version_fingerprint",
+            lambda: "a-new-packed-layout",
+        )
+        session = StoreBackedSession(config, checkpoint_store=store)
+        result = session.synthesize(SPEC)
+        assert session.resumed_queries == 0  # stale journals not replayed
+        assert result.extra["resumed_levels"] == 0
+        assert_identical(result, Session(config).synthesize(SPEC))
+
+
+def test_batched_sweeps_checkpoint_and_resume(tmp_path):
+    specs = [SPEC, Spec(positive=["010", "0110"], negative=["00", "11", ""])]
+    config = EngineConfig(backend="vector")
+    reference = [Session(config).synthesize(s) for s in specs]
+    store = CheckpointStore(tmp_path)
+    first = StoreBackedSession(config, checkpoint_store=store)
+    for got, want in zip(first.synthesize_many(specs), reference):
+        assert (got.regex, got.cost, got.status) == (
+            want.regex, want.cost, want.status)
+    assert first.checkpoint_saves > 0
+    second = StoreBackedSession(config, checkpoint_store=store)
+    results = second.synthesize_many(specs)
+    assert results[0].extra["resumed_levels"] > 0
+    for got, want in zip(results, reference):
+        assert (got.regex, got.cost, got.status) == (
+            want.regex, want.cost, want.status)
+
+
+# ----------------------------------------------------------------------
+# Pool-level recovery (the CI recovery-smoke scenario)
+# ----------------------------------------------------------------------
+class TestPoolRecoverySmoke:
+    def arm(self, monkeypatch, tmp_path, spec):
+        monkeypatch.setenv(faults.ENV_FAULTS, spec)
+        monkeypatch.setenv(faults.ENV_FAULTS_DIR, str(tmp_path / "sentinels"))
+        (tmp_path / "sentinels").mkdir(exist_ok=True)
+        faults.reset()  # forked workers re-read the environment
+
+    def test_killed_worker_job_is_retried_and_completes(
+        self, monkeypatch, tmp_path
+    ):
+        self.arm(monkeypatch, tmp_path, "pool.worker.before_job:kill:1:once")
+        reference = Session(EngineConfig(backend="vector")).synthesize(SPEC)
+        with ServiceClient(
+            workers=2,
+            config=EngineConfig(backend="vector"),
+            store_dir=str(tmp_path / "store"),
+            retry_backoff_s=0.02,
+        ) as client:
+            result = client.synthesize(SPEC, timeout=120)
+            stats = client.stats
+        assert result.status == "success"
+        assert result.regex == reference.regex
+        assert result.extra["attempts"] == 2
+        assert stats["retries"] == 1
+        assert stats["respawns"] == 1
+        assert stats["quarantined"] == 0
+        assert stats["failed"] == 0
+
+    def test_worker_killed_mid_checkpointing_resumes_on_retry(
+        self, monkeypatch, tmp_path
+    ):
+        # The acceptance combo: the worker dies AFTER journalling level
+        # 3 (mid-append, manifest not yet updated), and the retried job
+        # resumes from the last manifest-visible level instead of
+        # re-enumerating from level 1 — bit-identical to a solo run.
+        self.arm(monkeypatch, tmp_path, "checkpoint.append:kill:3:once")
+        reference = Session(EngineConfig(backend="vector")).synthesize(SPEC)
+        with ServiceClient(
+            workers=2,
+            config=EngineConfig(backend="vector"),
+            store_dir=str(tmp_path / "store"),
+            retry_backoff_s=0.02,
+        ) as client:
+            result = client.synthesize(SPEC, timeout=120)
+            stats = client.stats
+        assert result.status == "success"
+        assert result.extra["attempts"] == 2
+        assert result.extra["resumed_levels"] >= 2
+        assert result.regex == reference.regex
+        assert result.cost == reference.cost
+        assert result.generated == reference.generated
+        assert result.extra["level_stats"] == reference.extra["level_stats"]
+        assert stats["retries"] == 1 and stats["respawns"] == 1
+
+    def test_poison_job_is_quarantined_with_its_error(
+        self, monkeypatch, tmp_path
+    ):
+        # No ``once``: the job kills every worker that touches it.
+        self.arm(monkeypatch, tmp_path, "pool.worker.before_job:kill")
+        store_dir = tmp_path / "store"
+        with ServiceClient(
+            workers=2,
+            config=EngineConfig(backend="vector"),
+            store_dir=str(store_dir),
+            retry_backoff_s=0.02,
+            retry_max_attempts=2,
+        ) as client:
+            handle = client.submit(SPEC)
+            with pytest.raises(JobFailedError, match="attempts=2"):
+                handle.result(timeout=120)
+            stats = client.stats
+        assert stats["quarantined"] == 1
+        records = list((store_dir / "quarantine").glob("*.json"))
+        assert len(records) == 1
+        record = json.loads(records[0].read_text())
+        assert record["attempts"] == 2
+        assert record["fingerprint"] == records[0].stem
+        assert "died" in record["error"]
+        assert record["request"]["spec"]["positive"] == list(SPEC.positive)
+
+
+# ----------------------------------------------------------------------
+# Shard-coordinator failover
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_dead_shard_worker_falls_back_to_serial(backend, tmp_path, monkeypatch):
+    from repro.language.guide_table import GuideTable
+    from repro.language.universe import Universe
+    from repro.core.scalar_engine import ScalarEngine
+    from repro.core.vector_engine import VectorEngine
+
+    engines = {"scalar": ScalarEngine, "vector": VectorEngine}
+    universe = Universe(SPEC.all_words, alphabet=SPEC.alphabet)
+    guide = GuideTable(universe)
+
+    def run(shard_workers, armed):
+        if armed:
+            # Armed pre-fork: the forked shard workers inherit the
+            # fault table and die at their first emit round; the parent
+            # never visits the point.
+            inject("shard.worker.emit", "kill")
+        engine = engines[backend](
+            SPEC, CostFunction.uniform(), universe, guide,
+            shard_workers=shard_workers,
+        )
+        engine.shard_min_candidates = 0
+        status = engine.run(40)
+        faults.reset()
+        return engine, status
+
+    serial, serial_status = run(1, armed=False)
+    sharded, sharded_status = run(3, armed=True)
+    assert sharded.shard_failovers >= 1
+    assert sharded.shard_workers == 1  # sharding disabled after failover
+    assert sharded_status == serial_status
+    assert sharded.generated == serial.generated
+    assert sharded.levels_built == serial.levels_built
+    assert sharded.level_stats == serial.level_stats
+    assert sharded.solution == serial.solution
+    assert sharded.solution_cost == serial.solution_cost

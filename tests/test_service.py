@@ -487,9 +487,12 @@ class TestPoolBehaviour:
 
 
     def test_killed_worker_fails_its_job_instead_of_hanging(self):
+        # With retries exhausted (max_attempts=1) a killed worker's job
+        # must fail promptly rather than hang its handle; the retry path
+        # itself is covered in tests/test_recovery.py.
         slow = slow_request()
         events = []
-        with ServiceClient(workers=1) as client:
+        with ServiceClient(workers=1, retry_max_attempts=1) as client:
             handle = client.submit(slow, on_progress=events.append)
             deadline = time.monotonic() + 60
             while not events and time.monotonic() < deadline:
@@ -499,6 +502,7 @@ class TestPoolBehaviour:
             with pytest.raises(JobFailedError, match="died"):
                 handle.result(timeout=60)
             assert client.stats["failed"] == 1
+            assert client.stats["quarantined"] == 1
 
 
     def test_request_level_hooks_work_through_the_pool(self):
