@@ -1,0 +1,262 @@
+"""Load benchmark of the HTTP synthesis server: latency under mix.
+
+The evidence behind the admission-controlled, two-lane scheduler:
+
+* **interactive-only closed loop** — a few client threads submit small
+  distinct specs over HTTP and wait for each answer; the per-request
+  round-trip latencies give the interactive baseline (p50/p99) and the
+  sustained QPS.
+* **mixed traffic** — the same closed loop runs again while an
+  *open-loop* injector keeps heavy batch sweeps in flight on the batch
+  lane.  The assertion is the whole point of the two-lane design:
+  interactive p99 under batch load stays within ``P99_RATIO_LIMIT`` of
+  the interactive-only baseline (sub-``P99_FLOOR_S`` baselines are
+  noise-dominated on shared CI runners, so the ratio is taken against
+  the floor).
+* **overload** — interactive submissions past the lane's bounded
+  backlog are rejected with 429 + Retry-After, and every rejection
+  returns promptly: overload degrades to fast feedback, never a hang.
+
+:func:`test_emit_load_artifact` writes ``BENCH_load.json`` to the repo
+root.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import shutil
+import tempfile
+import threading
+import time
+
+from _bench_utils import REPO_ROOT, bench_scale, is_full
+from repro import CostFunction, EngineConfig, Spec
+from repro.server import (
+    CLASS_BATCH,
+    CLASS_INTERACTIVE,
+    HttpServiceClient,
+    OverloadedError,
+    SynthesisServer,
+)
+from repro.service import WireRequest
+
+#: Mixed-load interactive p99 must stay within this factor of the
+#: interactive-only p99 (the two-lane isolation claim).
+P99_RATIO_LIMIT = 3.0
+
+#: Baselines below this are timer/scheduler noise on shared runners;
+#: the ratio is taken against ``max(p99, floor)``.
+P99_FLOOR_S = 0.05
+
+#: Per-request candidate budget of the interactive specs — bounds the
+#: worst case so "interactive" stays interactive even on slow runners.
+INTERACTIVE_BUDGET = 200_000
+
+
+def interactive_specs(count):
+    """``count`` distinct, quickly-solvable specs (distinct
+    fingerprints, so nothing is answered by in-flight dedupe)."""
+    specs = []
+    for index in range(count):
+        word = format(index + 2, "b")
+        specs.append(
+            Spec(
+                positive=[word, word + word],
+                negative=["" if "1" in word else "1", word[::-1] + "01"],
+            )
+        )
+    return specs
+
+
+def interactive_wire(spec):
+    return WireRequest(
+        spec=spec,
+        max_generated=INTERACTIVE_BUDGET,
+        config=EngineConfig(backend="vector"),
+    )
+
+
+def batch_wire(index):
+    """A heavy sweep (expensive star over a >64-word universe) that
+    keeps a batch worker busy for seconds; ``allowed_error`` varies the
+    fingerprint so each injection is a fresh job."""
+    return WireRequest(
+        spec=Spec(
+            positive=["0110100101", "1010010110"],
+            negative=["", "0", "1", "0011001100"],
+        ),
+        cost_fn=CostFunction.from_tuple((1, 1, 10, 1, 1)),
+        max_generated=5_000_000,
+        allowed_error=index / 1000.0,
+        config=EngineConfig(backend="vector"),
+    )
+
+
+def percentile(samples, q):
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, max(0, math.ceil(q * len(ordered)) - 1))
+    return ordered[index]
+
+
+def closed_loop(address, specs, clients):
+    """Serve ``specs`` from ``clients`` threads, one request in flight
+    per thread; returns (latencies, wall_seconds)."""
+    latencies = []
+    lock = threading.Lock()
+    queue = list(specs)
+
+    def worker():
+        client = HttpServiceClient(address)
+        while True:
+            with lock:
+                if not queue:
+                    return
+                spec = queue.pop()
+            started = time.perf_counter()
+            job = client.submit(interactive_wire(spec),
+                                klass=CLASS_INTERACTIVE)
+            client.result(job["job_id"], timeout=300)
+            elapsed = time.perf_counter() - started
+            with lock:
+                latencies.append(elapsed)
+
+    threads = [threading.Thread(target=worker) for _ in range(clients)]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return latencies, time.perf_counter() - started
+
+
+def phase_stats(latencies, wall_seconds):
+    return {
+        "requests": len(latencies),
+        "wall_seconds": wall_seconds,
+        "qps": len(latencies) / wall_seconds if wall_seconds else 0.0,
+        "p50_s": percentile(latencies, 0.50),
+        "p99_s": percentile(latencies, 0.99),
+    }
+
+
+def test_emit_load_artifact():
+    """Drive the three load phases and record the evidence."""
+    if is_full():
+        requests, clients, batch_jobs = 60, 4, 6
+    else:
+        requests, clients, batch_jobs = 12, 2, 2
+
+    store_root = tempfile.mkdtemp(prefix="repro-bench-load-")
+    try:
+        with SynthesisServer(
+            store_dir=store_root,
+            interactive_workers=1,
+            batch_workers=1,
+            per_worker_depth=2,
+            max_queue={CLASS_INTERACTIVE: 2, CLASS_BATCH: 2 * batch_jobs},
+            reuse_results=False,
+        ) as server:
+            address = server.address
+            control = HttpServiceClient(address)
+
+            # Phase 1: interactive-only closed loop (the baseline).
+            solo_specs = interactive_specs(requests)
+            solo_latencies, solo_wall = closed_loop(
+                address, solo_specs, clients
+            )
+            solo = phase_stats(solo_latencies, solo_wall)
+
+            # Phase 2: the same closed loop under open-loop batch load.
+            batch_ids = []
+            for index in range(batch_jobs):
+                job = control.submit(batch_wire(index), klass=CLASS_BATCH)
+                batch_ids.append(job["job_id"])
+            mixed_specs = interactive_specs(2 * requests)[requests:]
+            mixed_latencies, mixed_wall = closed_loop(
+                address, mixed_specs, clients
+            )
+            mixed = phase_stats(mixed_latencies, mixed_wall)
+            batch_live = sum(
+                1
+                for job_id in batch_ids
+                if control.status(job_id)["state"] in ("queued", "running")
+            )
+            for job_id in batch_ids:
+                control.cancel(job_id)
+            for job_id in batch_ids:
+                control.result(job_id, timeout=300)
+            assert batch_live > 0, (
+                "batch injections must still be in flight while the "
+                "mixed interactive phase runs, or the phase measured "
+                "nothing"
+            )
+
+            # The two-lane isolation claim, asserted at every scale.
+            baseline = max(solo["p99_s"], P99_FLOOR_S)
+            ratio = mixed["p99_s"] / baseline
+            assert mixed["p99_s"] <= P99_RATIO_LIMIT * baseline, (
+                "interactive p99 under batch load must stay within "
+                "%.1fx of the interactive-only baseline: %.4fs vs "
+                "%.4fs (%.2fx)"
+                % (P99_RATIO_LIMIT, mixed["p99_s"], baseline, ratio)
+            )
+
+            # Phase 3: overload -> fast 429s, never a hang.
+            fillers = []
+            rejected = 0
+            reject_latencies = []
+            for index in range(8):
+                started = time.perf_counter()
+                try:
+                    job = control.submit(
+                        batch_wire(100 + index), klass=CLASS_INTERACTIVE
+                    )
+                except OverloadedError as exc:
+                    reject_latencies.append(time.perf_counter() - started)
+                    rejected += 1
+                    assert exc.retry_after_s >= 1.0
+                else:
+                    fillers.append(job["job_id"])
+            for job_id in fillers:
+                control.cancel(job_id)
+            for job_id in fillers:
+                control.result(job_id, timeout=300)
+            assert rejected > 0, "overload must reject past the backlog"
+            max_reject = max(reject_latencies)
+            assert max_reject < 5.0, (
+                "a 429 must come back promptly, slowest took %.2fs"
+                % max_reject
+            )
+            health = control.healthz()
+    finally:
+        shutil.rmtree(store_root, ignore_errors=True)
+
+    artifact = {
+        "benchmark": "HTTP server under mixed load",
+        "scale": bench_scale(),
+        "cpu_count": os.cpu_count(),
+        "lanes": {"interactive_workers": 1, "batch_workers": 1,
+                  "per_worker_depth": 2},
+        "closed_loop_clients": clients,
+        "interactive_only": solo,
+        "mixed": mixed,
+        "batch_jobs_injected": len(batch_ids),
+        "interactive_p99_ratio": ratio,
+        "p99_ratio_limit": P99_RATIO_LIMIT,
+        "p99_floor_s": P99_FLOOR_S,
+        "overload": {
+            "attempts": 8,
+            "rejected_429": rejected,
+            "max_reject_latency_s": max_reject,
+        },
+        "server_admission": health["admission"],
+        "server_latency": health["latency"],
+    }
+    (REPO_ROOT / "BENCH_load.json").write_text(
+        json.dumps(artifact, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    print("\nBENCH_load.json:")
+    print(json.dumps(artifact, indent=2, sort_keys=True))

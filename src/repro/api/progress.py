@@ -40,6 +40,50 @@ class ProgressEvent:
     incumbent: Optional[object] = None
     elapsed_s: float = 0.0
 
+    # ------------------------------------------------------------------
+    # Wire codec (used by the HTTP event stream): the engine-side
+    # ``elapsed_s`` monotonic clock must survive the trip, so a streamed
+    # event reads exactly like an in-process one.
+    # ------------------------------------------------------------------
+    def to_json_dict(self) -> dict:
+        """JSON-serialisable form; a result incumbent becomes its
+        ``to_dict()`` summary."""
+        data = {
+            "cost": self.cost,
+            "generated": self.generated,
+            "stored": self.stored,
+            "elapsed_seconds": self.elapsed_seconds,
+            "done": self.done,
+            "elapsed_s": self.elapsed_s,
+        }
+        if self.incumbent is not None:
+            incumbent = self.incumbent
+            data["incumbent"] = (
+                incumbent.to_dict()
+                if hasattr(incumbent, "to_dict")
+                else incumbent
+            )
+        return data
+
+    @classmethod
+    def from_json_dict(cls, data: dict) -> "ProgressEvent":
+        """Inverse of :meth:`to_json_dict`.
+
+        The incumbent (when present) stays the plain result *dict* —
+        the receiving side of a network stream has no engine state to
+        rebuild a live :class:`~repro.core.result.SynthesisResult`
+        from, and the dict already carries every reportable field.
+        """
+        return cls(
+            cost=int(data.get("cost", -1)),
+            generated=int(data.get("generated", 0)),
+            stored=int(data.get("stored", 0)),
+            elapsed_seconds=float(data.get("elapsed_seconds", 0.0)),
+            done=bool(data.get("done", False)),
+            incumbent=data.get("incumbent"),
+            elapsed_s=float(data.get("elapsed_s", 0.0)),
+        )
+
 
 class CancellationToken:
     """A write-once cancellation switch, polled between cost levels.

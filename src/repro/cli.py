@@ -4,6 +4,8 @@ Commands
 --------
 synth        infer a regex from --pos/--neg examples
 serve        run the multi-core synthesis service over a store directory
+server       run the HTTP synthesis server (admission-controlled lanes)
+client       talk to a running `repro server` over HTTP
 submit       submit a job (or a cancellation) to a running service
 backends     list the registered engines, aliases and capabilities
 table1       regenerate Table 1 (scalar vs vector engines)
@@ -20,6 +22,11 @@ directory: ``submit`` drops a content-addressed job file into
 watches the inbox, runs jobs on its worker pool, and answers into
 ``<store>/outbox/<id>.json``.  The same store holds the persistent
 staging/result caches, so a restarted server warm-starts.
+
+``server``/``client`` are the network-native equivalents: ``server``
+exposes the same pool behind HTTP with admission control and two
+latency lanes (see :mod:`repro.server`), and ``client`` (or
+``submit --server URL``) talks to it.
 """
 
 from __future__ import annotations
@@ -106,6 +113,25 @@ def _parse_spec_file(path_text: str) -> Spec:
         raise argparse.ArgumentTypeError(
             "invalid spec JSON in %r: %s" % (path_text, exc)
         )
+
+
+def _parse_bytes(text: str) -> int:
+    """argparse type for byte budgets: plain int or K/M/G suffixed."""
+    cleaned = text.strip().upper()
+    factor = 1
+    for suffix, scale in (("K", 1024), ("M", 1024 ** 2), ("G", 1024 ** 3)):
+        if cleaned.endswith(suffix):
+            cleaned, factor = cleaned[: -len(suffix)], scale
+            break
+    try:
+        value = int(cleaned)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            "expected a byte count like 500000, 64M or 2G, got %r" % text
+        )
+    if value < 0:
+        raise argparse.ArgumentTypeError("byte budget must be >= 0")
+    return value * factor
 
 
 def _cmd_synth(args: argparse.Namespace) -> int:
@@ -284,6 +310,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             "repro serve: error: need --jobs FILE, --watch, or both\n")
         return 2
     root, inbox, outbox = _store_dirs(args.store)
+    if args.checkpoint_budget is not None:
+        _prune_checkpoint_budget(root, args.checkpoint_budget)
     config = EngineConfig(backend=args.backend)
     client = ServiceClient(
         workers=args.workers,
@@ -393,9 +421,80 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_submit(args: argparse.Namespace) -> int:
-    root, inbox, outbox = _store_dirs(args.store)
+def _prune_checkpoint_budget(root: Path, max_bytes: int) -> None:
+    """Apply a ``--checkpoint-budget`` to the store's checkpoint dir."""
+    from .service.checkpoint import CheckpointStore
+    from .service.pool import CHECKPOINTS_SUBDIR
+
+    stats = CheckpointStore(root / CHECKPOINTS_SUBDIR).prune(
+        max_bytes=max_bytes
+    )
+    if stats["removed_keys"]:
+        print("checkpoint budget: evicted %d key(s), %d bytes "
+              "(%d kept, %d bytes)"
+              % (stats["removed_keys"], stats["removed_bytes"],
+                 stats["kept_keys"], stats["kept_bytes"]))
+
+
+def _print_result_summary(answer: dict) -> int:
+    print("status     :", answer.get("status"))
+    if answer.get("regex"):
+        print("regex      :", answer["regex"])
+        print("cost       :", answer.get("cost"))
+    print("elapsed    : %.4f s" % (answer.get("elapsed_seconds") or 0.0))
+    return 0 if answer.get("status") == "success" else 1
+
+
+def _submit_over_http(args: argparse.Namespace, wire) -> int:
+    """`repro submit --server URL`: route through the HTTP service."""
+    from .server.client import HttpServiceClient, OverloadedError, ServerError
+
+    client = HttpServiceClient(args.server)
     if args.cancel is not None:
+        try:
+            answer = client.cancel(args.cancel)
+        except ServerError as exc:
+            sys.stderr.write("repro submit: %s\n" % exc)
+            return 3
+        print("cancellation %s for %s"
+              % ("delivered" if answer.get("cancelled") else "moot",
+                 args.cancel))
+        return 0
+    try:
+        job = client.submit(wire)
+    except OverloadedError as exc:
+        sys.stderr.write(
+            "repro submit: server overloaded; retry after %.0f s\n"
+            % exc.retry_after_s)
+        return 4
+    except (ServerError, OSError) as exc:
+        sys.stderr.write("repro submit: %s\n" % exc)
+        return 3
+    print("job id     :", job["job_id"])
+    print("class      :", job.get("class"))
+    if not args.wait:
+        return 0
+    try:
+        done = client.result(job["job_id"], timeout=args.timeout)
+    except TimeoutError:
+        sys.stderr.write("repro submit: timed out after %.0f s\n"
+                         % args.timeout)
+        return 3
+    except ServerError as exc:
+        sys.stderr.write("repro submit: %s\n" % exc)
+        return 3
+    return _print_result_summary(done.get("result") or {})
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    if args.server is None and args.store is None:
+        sys.stderr.write(
+            "repro submit: error: need --store DIR or --server URL\n")
+        return 2
+    if args.cancel is not None and args.server is not None:
+        return _submit_over_http(args, None)
+    if args.cancel is not None:
+        root, inbox, outbox = _store_dirs(args.store)
         marker = inbox / ("%s.cancel" % args.cancel)
         marker.write_text("", encoding="utf-8")
         print("cancellation requested for %s" % args.cancel)
@@ -418,6 +517,9 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         time_limit=args.time_limit,
         config=EngineConfig(backend=default_registry().canonical(args.backend)),
     )
+    if args.server is not None:
+        return _submit_over_http(args, wire)
+    root, inbox, outbox = _store_dirs(args.store)
     fingerprint = wire.fingerprint()
     payload = wire.to_json_dict()
     payload["priority"] = _PRIORITIES[args.priority]
@@ -427,22 +529,131 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         print("submitted; result will appear at %s"
               % (outbox / ("%s.json" % fingerprint)))
         return 0
+    # Exponential backoff: poll fast while the answer is likely near,
+    # back off to a capped interval so a long job costs no busy-wait.
+    from .server.client import poll_intervals
+
     answer_path = outbox / ("%s.json" % fingerprint)
     deadline = time.monotonic() + args.timeout
-    while not answer_path.exists():
-        if time.monotonic() > deadline:
+    for delay in poll_intervals():
+        if answer_path.exists():
+            break
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
             sys.stderr.write(
                 "repro submit: timed out after %.0f s waiting for %s\n"
                 % (args.timeout, answer_path))
             return 3
-        time.sleep(0.05)
+        time.sleep(min(delay, remaining))
     answer = json.loads(answer_path.read_text(encoding="utf-8"))
-    print("status     :", answer.get("status"))
-    if answer.get("regex"):
-        print("regex      :", answer["regex"])
-        print("cost       :", answer.get("cost"))
-    print("elapsed    : %.4f s" % (answer.get("elapsed_seconds") or 0.0))
-    return 0 if answer.get("status") == "success" else 1
+    return _print_result_summary(answer)
+
+
+def _cmd_server(args: argparse.Namespace) -> int:
+    from .server import SynthesisServer
+
+    server = SynthesisServer(
+        host=args.host,
+        port=args.port,
+        store_dir=args.store,
+        interactive_workers=args.interactive_workers,
+        batch_workers=args.batch_workers,
+        per_worker_depth=args.depth,
+        max_queue={
+            "interactive": args.max_queue_interactive,
+            "batch": args.max_queue_batch,
+        },
+        config=EngineConfig(backend=args.backend),
+        registry=default_registry(),
+        reuse_results=args.reuse_results,
+        checkpoint_budget_bytes=args.checkpoint_budget,
+        checkpoints=args.checkpoints,
+    )
+    with server:
+        print("repro server: listening on %s" % server.address)
+        print("  lanes: %d interactive / %d batch workers (%s), store %s"
+              % (args.interactive_workers, args.batch_workers,
+                 args.backend, args.store))
+        sys.stdout.flush()
+        try:
+            server.serve_forever(idle_timeout=args.idle_timeout)
+        except KeyboardInterrupt:  # pragma: no cover - interactive
+            pass
+    print("repro server: stopped")
+    return 0
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    from .server.client import HttpServiceClient, OverloadedError, ServerError
+
+    client = HttpServiceClient(args.server)
+    try:
+        if args.action == "health":
+            print(json.dumps(client.healthz(), indent=2, sort_keys=True))
+            return 0
+        if args.action == "metrics":
+            sys.stdout.write(client.metrics())
+            return 0
+        if args.action in ("status", "cancel", "events"):
+            if args.job_id is None:
+                sys.stderr.write(
+                    "repro client: error: %s needs a job id\n" % args.action)
+                return 2
+            if args.action == "status":
+                print(json.dumps(client.status(args.job_id), indent=2,
+                                 sort_keys=True))
+                return 0
+            if args.action == "cancel":
+                answer = client.cancel(args.job_id)
+                print(json.dumps(answer, indent=2, sort_keys=True))
+                return 0
+            for event in client.events(args.job_id):
+                if event.done:
+                    print("done: elapsed_s=%.4f" % event.elapsed_s)
+                else:
+                    print("level %3d: %8d REs, %7d CSs, %.3f s"
+                          % (event.cost, event.generated, event.stored,
+                             event.elapsed_s))
+            return 0
+        # submit
+        if args.spec_file is not None:
+            if args.pos or args.neg:
+                sys.stderr.write(
+                    "repro client: error: --spec-file cannot be combined "
+                    "with --pos/--neg\n")
+                return 2
+            spec = args.spec_file
+        else:
+            spec = Spec(args.pos, args.neg)
+        wire = WireRequest(
+            spec=spec,
+            cost_fn=args.cost,
+            max_cost=args.max_cost,
+            allowed_error=args.error,
+            max_generated=args.max_generated,
+            time_limit=args.time_limit,
+            config=EngineConfig(
+                backend=default_registry().canonical(args.backend)),
+        )
+        job = client.submit(wire, klass=args.klass)
+        print("job id     :", job["job_id"])
+        print("class      :", job.get("class"))
+        if not args.wait:
+            return 0
+        done = client.result(job["job_id"], timeout=args.timeout)
+        return _print_result_summary(done.get("result") or {})
+    except OverloadedError as exc:
+        sys.stderr.write(
+            "repro client: server overloaded; retry after %.0f s\n"
+            % exc.retry_after_s)
+        return 4
+    except TimeoutError:
+        sys.stderr.write("repro client: timed out after %.0f s\n"
+                         % args.timeout)
+        return 3
+    except (ServerError, OSError) as exc:
+        sys.stderr.write("repro client: %s\n" % exc)
+        return 3
 
 
 def _cmd_table1(args: argparse.Namespace) -> int:
@@ -566,12 +777,96 @@ def build_parser() -> argparse.ArgumentParser:
                    dest="checkpoints",
                    help="disable durable level checkpoints (crashed or "
                         "repeated queries re-enumerate from scratch)")
+    p.add_argument("--checkpoint-budget", type=_parse_bytes, default=None,
+                   dest="checkpoint_budget", metavar="BYTES",
+                   help="LRU-evict checkpoint journals beyond this many "
+                        "bytes at startup (accepts K/M/G suffixes)")
     p.set_defaults(func=_cmd_serve)
 
-    p = sub.add_parser("submit",
-                       help="submit a job to a running `repro serve`")
+    p = sub.add_parser("server",
+                       help="run the HTTP synthesis server")
     p.add_argument("--store", required=True,
-                   help="the service's store directory")
+                   help="service store directory (shared by both lanes)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="listen port (0 = OS-assigned, printed at start)")
+    p.add_argument("--interactive-workers", type=int, default=1,
+                   dest="interactive_workers",
+                   help="worker processes in the interactive lane")
+    p.add_argument("--batch-workers", type=int, default=2,
+                   dest="batch_workers",
+                   help="worker processes in the batch lane")
+    p.add_argument("--depth", type=int, default=2,
+                   help="max jobs in flight per worker")
+    p.add_argument("--backend", default="vector",
+                   choices=sorted(registry.names())
+                   + sorted(registry.aliases()))
+    p.add_argument("--max-queue-interactive", type=int, default=16,
+                   dest="max_queue_interactive", metavar="N",
+                   help="interactive backlog bound past the lane's slots "
+                        "(submissions beyond it get 429)")
+    p.add_argument("--max-queue-batch", type=int, default=32,
+                   dest="max_queue_batch", metavar="N",
+                   help="batch backlog bound (see --max-queue-interactive)")
+    p.add_argument("--idle-timeout", type=float, default=None,
+                   dest="idle_timeout", metavar="SECONDS",
+                   help="exit after this long without requests "
+                        "(default: run until interrupted)")
+    p.add_argument("--no-reuse-results", action="store_false",
+                   dest="reuse_results",
+                   help="re-run repeat submissions instead of answering "
+                        "from the persistent result store")
+    p.add_argument("--no-checkpoints", action="store_false",
+                   dest="checkpoints",
+                   help="disable durable level checkpoints")
+    p.add_argument("--checkpoint-budget", type=_parse_bytes, default=None,
+                   dest="checkpoint_budget", metavar="BYTES",
+                   help="LRU-evict checkpoint journals beyond this many "
+                        "bytes (applied at startup and periodically; "
+                        "accepts K/M/G suffixes)")
+    p.set_defaults(func=_cmd_server)
+
+    p = sub.add_parser("client",
+                       help="talk to a running `repro server` over HTTP")
+    p.add_argument("action",
+                   choices=["submit", "status", "cancel", "events",
+                            "health", "metrics"])
+    p.add_argument("job_id", nargs="?", default=None,
+                   help="job id for status/cancel/events")
+    p.add_argument("--server", required=True, metavar="URL",
+                   help="server address, e.g. http://127.0.0.1:8765")
+    p.add_argument("--pos", nargs="*", default=[], help="positive examples")
+    p.add_argument("--neg", nargs="*", default=[], help="negative examples")
+    p.add_argument("--spec-file", type=_parse_spec_file, default=None,
+                   dest="spec_file", metavar="PATH")
+    p.add_argument("--cost", type=_parse_cost, default=None,
+                   help="cost homomorphism c1,c2,c3,c4,c5")
+    p.add_argument("--backend", default="vector",
+                   choices=sorted(registry.names())
+                   + sorted(registry.aliases()))
+    p.add_argument("--error", type=float, default=0.0, help="allowed error")
+    p.add_argument("--max-cost", type=int, default=None, dest="max_cost")
+    p.add_argument("--max-generated", type=int, default=None,
+                   dest="max_generated")
+    p.add_argument("--time-limit", type=float, default=None,
+                   dest="time_limit")
+    p.add_argument("--class", choices=["interactive", "batch"],
+                   default=None, dest="klass",
+                   help="override the scheduler's workload classification")
+    p.add_argument("--wait", action="store_true",
+                   help="block (with backoff) until the job finishes")
+    p.add_argument("--timeout", type=float, default=300.0,
+                   help="--wait timeout in seconds")
+    p.set_defaults(func=_cmd_client)
+
+    p = sub.add_parser("submit",
+                       help="submit a job to a running `repro serve` "
+                            "or `repro server`")
+    p.add_argument("--store", default=None,
+                   help="the service's store directory (file protocol)")
+    p.add_argument("--server", default=None, metavar="URL",
+                   help="route through a running `repro server` instead "
+                        "of the file-based store protocol")
     p.add_argument("--pos", nargs="*", default=[], help="positive examples")
     p.add_argument("--neg", nargs="*", default=[], help="negative examples")
     p.add_argument("--spec-file", type=_parse_spec_file, default=None,

@@ -1,0 +1,236 @@
+"""A blocking HTTP client for :class:`~repro.server.app.SynthesisServer`.
+
+The hand-rolled constraint applies to the *server* (it must multiplex
+long-lived event streams); the client side is ordinary one-shot HTTP,
+so the stdlib's :mod:`http.client` is exactly right — and its response
+objects transparently decode the chunked ``/events`` body, which makes
+the NDJSON stream a plain ``readline()`` loop.
+
+:class:`HttpServiceClient` mirrors the in-process
+:class:`~repro.service.client.ServiceClient` surface where it can
+(``submit`` / ``result`` / ``cancel``), which is what lets the CLI and
+the tests swap one for the other and assert bit-identical answers.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Dict, Iterator, Optional
+from urllib.parse import urlsplit
+
+from ..api.progress import ProgressEvent
+from ..errors import ReproError
+from ..service.wire import WireRequest
+
+#: Result-poll backoff: start fast, back off exponentially to the cap.
+POLL_BASE_S = 0.05
+POLL_CAP_S = 1.0
+
+
+class ServerError(ReproError):
+    """An HTTP-level failure talking to the synthesis server."""
+
+    def __init__(self, status: int, payload: object) -> None:
+        super().__init__("server returned %d: %r" % (status, payload))
+        self.status = status
+        self.payload = payload
+
+
+class OverloadedError(ServerError):
+    """A 429 rejection; ``retry_after_s`` is the server's suggestion."""
+
+    def __init__(self, payload: object, retry_after_s: float) -> None:
+        super().__init__(429, payload)
+        self.retry_after_s = retry_after_s
+
+
+def poll_intervals(
+    base: float = POLL_BASE_S, cap: float = POLL_CAP_S
+) -> Iterator[float]:
+    """The exponential-backoff schedule used by every ``--wait`` path:
+    ``base, 2·base, 4·base, …`` capped at ``cap``, then constant."""
+    delay = base
+    while True:
+        yield delay
+        delay = min(cap, delay * 2)
+
+
+class HttpServiceClient:
+    """One server address, no connection reuse (the server closes per
+    response anyway), no background threads."""
+
+    def __init__(self, address: str, timeout: float = 30.0) -> None:
+        split = urlsplit(
+            address if "//" in address else "http://%s" % address
+        )
+        if split.scheme not in ("", "http"):
+            raise ValueError("only http:// addresses are supported")
+        self.host = split.hostname or "127.0.0.1"
+        self.port = split.port or 80
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[dict] = None,
+        timeout: Optional[float] = None,
+    ):
+        connection = http.client.HTTPConnection(
+            self.host, self.port,
+            timeout=self.timeout if timeout is None else timeout,
+        )
+        payload = (
+            json.dumps(body).encode("utf-8") if body is not None else None
+        )
+        headers = {"Content-Type": "application/json"} if payload else {}
+        connection.request(method, path, body=payload, headers=headers)
+        return connection, connection.getresponse()
+
+    def _json_call(
+        self, method: str, path: str, body: Optional[dict] = None
+    ) -> dict:
+        connection, response = self._request(method, path, body)
+        try:
+            raw = response.read()
+            try:
+                data = json.loads(raw.decode("utf-8")) if raw else {}
+            except ValueError:
+                data = {"raw": raw.decode("utf-8", "replace")}
+            if response.status == 429:
+                retry_after = float(
+                    response.getheader("Retry-After")
+                    or data.get("retry_after_s")
+                    or 1.0
+                )
+                raise OverloadedError(data, retry_after)
+            if response.status >= 400:
+                raise ServerError(response.status, data)
+            return data
+        finally:
+            connection.close()
+
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        request,
+        klass: Optional[str] = None,
+        registry=None,
+    ) -> dict:
+        """POST the request; returns the server's job document.
+
+        Accepts anything :meth:`WireRequest.of` does.  Raises
+        :class:`OverloadedError` on a 429 (carrying the server's
+        Retry-After) rather than papering over admission control.
+        """
+        wire = WireRequest.of(request, registry=registry)
+        payload = wire.to_json_dict()
+        if klass is not None:
+            payload["class"] = klass
+        return self._json_call("POST", "/jobs", payload)
+
+    def status(self, job_id: str) -> dict:
+        """GET the job document."""
+        return self._json_call("GET", "/jobs/%s" % job_id)
+
+    def cancel(self, job_id: str) -> dict:
+        """DELETE the job; a finished job returns its result untouched."""
+        return self._json_call("DELETE", "/jobs/%s" % job_id)
+
+    def result(
+        self, job_id: str, timeout: Optional[float] = None
+    ) -> dict:
+        """Poll (with exponential backoff) until the job finishes.
+
+        Returns the terminal job document; raises :class:`TimeoutError`
+        past ``timeout`` and :class:`ServerError` when the job failed.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        for delay in poll_intervals():
+            data = self.status(job_id)
+            state = data.get("state")
+            if state in ("done", "cancelled"):
+                return data
+            if state == "failed":
+                raise ServerError(500, data)
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise TimeoutError(
+                        "job %s not finished within %r s" % (job_id, timeout)
+                    )
+                delay = min(delay, remaining)
+            time.sleep(delay)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def synthesize(self, request, timeout: Optional[float] = None) -> dict:
+        """Submit and block; returns the result dict of the finished job."""
+        job = self.submit(request)
+        done = (
+            job if job.get("state") in ("done", "cancelled")
+            else self.result(job["job_id"], timeout=timeout)
+        )
+        return done.get("result") or {}
+
+    # ------------------------------------------------------------------
+    def events(
+        self, job_id: str, timeout: Optional[float] = None
+    ) -> Iterator[ProgressEvent]:
+        """Stream the job's progress events (replay + live, in order).
+
+        Yields :class:`ProgressEvent` objects; ``elapsed_s`` is the
+        engine's own clock, exactly as emitted server-side.  Closing the
+        generator mid-stream closes the connection — the server notices
+        and releases the subscription.
+        """
+        connection, response = self._request(
+            "GET",
+            "/jobs/%s/events" % job_id,
+            timeout=timeout if timeout is not None else 300.0,
+        )
+        try:
+            if response.status != 200:
+                raw = response.read()
+                try:
+                    data = json.loads(raw.decode("utf-8"))
+                except ValueError:
+                    data = {"raw": raw.decode("utf-8", "replace")}
+                raise ServerError(response.status, data)
+            while True:
+                line = response.readline()
+                if not line:
+                    return
+                line = line.strip()
+                if not line:
+                    continue
+                yield ProgressEvent.from_json_dict(json.loads(line))
+        finally:
+            connection.close()
+
+    # ------------------------------------------------------------------
+    def healthz(self) -> dict:
+        """GET /healthz."""
+        return self._json_call("GET", "/healthz")
+
+    def metrics(self) -> str:
+        """GET /metrics (raw Prometheus text)."""
+        connection, response = self._request("GET", "/metrics")
+        try:
+            if response.status >= 400:
+                raise ServerError(response.status, response.read())
+            return response.read().decode("utf-8")
+        finally:
+            connection.close()
+
+
+__all__ = [
+    "HttpServiceClient",
+    "OverloadedError",
+    "ServerError",
+    "poll_intervals",
+    "POLL_BASE_S",
+    "POLL_CAP_S",
+]

@@ -1,0 +1,253 @@
+"""A minimal HTTP/1.1 layer over ``asyncio`` streams.
+
+Hand-rolled on purpose: the server must not grow runtime dependencies,
+and the stdlib's ``http.server`` is thread-per-request and cannot
+multiplex long-lived chunked event streams with cheap status probes.
+This module implements exactly what the synthesis server needs and
+nothing more:
+
+* request parsing — request line, headers, ``Content-Length`` body,
+  with hard limits so a malformed or hostile peer cannot balloon
+  memory;
+* fixed-length JSON responses (``Connection: close`` — the load
+  generator measures whole round trips, and one-shot connections keep
+  the state machine trivial);
+* ``Transfer-Encoding: chunked`` writing for the ``/events`` stream,
+  one chunk per progress event, flushed eagerly so a client sees each
+  level as the engine finishes it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+#: Parsing limits: longer request lines / more header bytes / larger
+#: bodies than this are protocol errors, not allocation requests.
+MAX_REQUEST_LINE = 8 * 1024
+MAX_HEADER_BYTES = 64 * 1024
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+#: Seconds a connection may take to deliver a complete request head.
+REQUEST_TIMEOUT_S = 30.0
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    204: "No Content",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class ProtocolError(Exception):
+    """A malformed request (maps to a 400 close)."""
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    query: Dict[str, str] = field(default_factory=dict)
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def json(self) -> object:
+        """The body parsed as JSON (:class:`ProtocolError` on garbage)."""
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise ProtocolError("invalid JSON body: %s" % exc)
+
+
+async def read_request(
+    reader: asyncio.StreamReader,
+    timeout: float = REQUEST_TIMEOUT_S,
+) -> Optional[Request]:
+    """Parse one request off the stream; None on a clean EOF."""
+    try:
+        request_line = await asyncio.wait_for(
+            reader.readline(), timeout=timeout
+        )
+    except asyncio.TimeoutError:
+        raise ProtocolError("timed out waiting for the request line")
+    if not request_line:
+        return None
+    if len(request_line) > MAX_REQUEST_LINE:
+        raise ProtocolError("request line too long")
+    parts = request_line.decode("latin-1").strip().split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise ProtocolError("malformed request line %r" % request_line[:64])
+    method, target, _version = parts
+    split = urlsplit(target)
+    query = {
+        key: values[-1]
+        for key, values in parse_qs(
+            split.query, keep_blank_values=True
+        ).items()
+    }
+
+    headers: Dict[str, str] = {}
+    header_bytes = 0
+    while True:
+        try:
+            line = await asyncio.wait_for(reader.readline(), timeout=timeout)
+        except asyncio.TimeoutError:
+            raise ProtocolError("timed out reading headers")
+        if line in (b"\r\n", b"\n"):
+            break
+        if not line:
+            raise ProtocolError("connection closed mid-headers")
+        header_bytes += len(line)
+        if header_bytes > MAX_HEADER_BYTES:
+            raise ProtocolError("headers too large")
+        name, sep, value = line.decode("latin-1").partition(":")
+        if not sep:
+            raise ProtocolError("malformed header line %r" % line[:64])
+        headers[name.strip().lower()] = value.strip()
+
+    body = b""
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError:
+            raise ProtocolError("malformed Content-Length")
+        if length < 0 or length > MAX_BODY_BYTES:
+            raise ProtocolError("body too large (%d bytes)" % length)
+        if length:
+            try:
+                body = await asyncio.wait_for(
+                    reader.readexactly(length), timeout=timeout
+                )
+            except (asyncio.TimeoutError, asyncio.IncompleteReadError):
+                raise ProtocolError("connection closed mid-body")
+    return Request(
+        method=method.upper(),
+        path=split.path,
+        query=query,
+        headers=headers,
+        body=body,
+    )
+
+
+def _head(
+    status: int,
+    extra_headers: Optional[Dict[str, str]],
+    content_length: Optional[int],
+    content_type: str,
+) -> bytes:
+    lines = [
+        "HTTP/1.1 %d %s" % (status, _REASONS.get(status, "Unknown")),
+        "Content-Type: %s" % content_type,
+        "Connection: close",
+    ]
+    if content_length is not None:
+        lines.append("Content-Length: %d" % content_length)
+    for name, value in (extra_headers or {}).items():
+        lines.append("%s: %s" % (name, value))
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+
+
+async def send_response(
+    writer: asyncio.StreamWriter,
+    status: int,
+    payload: object,
+    headers: Optional[Dict[str, str]] = None,
+    content_type: str = "application/json",
+) -> None:
+    """One complete fixed-length response (payload JSON-encoded unless
+    it is already ``bytes``/``str``)."""
+    if isinstance(payload, bytes):
+        body = payload
+    elif isinstance(payload, str):
+        body = payload.encode("utf-8")
+    else:
+        body = (
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        ).encode("utf-8")
+    writer.write(_head(status, headers, len(body), content_type))
+    writer.write(body)
+    await writer.drain()
+
+
+class ChunkedWriter:
+    """``Transfer-Encoding: chunked`` body writing for event streams."""
+
+    def __init__(
+        self,
+        writer: asyncio.StreamWriter,
+        content_type: str = "application/x-ndjson",
+    ) -> None:
+        self._writer = writer
+        self._content_type = content_type
+        self._started = False
+        self._closed = False
+
+    async def start(self, status: int = 200) -> None:
+        """Send the response head (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        self._writer.write(
+            _head(
+                status,
+                {"Transfer-Encoding": "chunked", "Cache-Control": "no-store"},
+                None,
+                self._content_type,
+            )
+        )
+        await self._writer.drain()
+
+    async def send(self, payload: object) -> None:
+        """One chunk — a JSON line per event, flushed immediately."""
+        if not self._started:
+            await self.start()
+        if isinstance(payload, bytes):
+            data = payload
+        elif isinstance(payload, str):
+            data = payload.encode("utf-8")
+        else:
+            data = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+        self._writer.write(b"%x\r\n" % len(data) + data + b"\r\n")
+        await self._writer.drain()
+
+    async def finish(self) -> None:
+        """The terminating zero-length chunk (idempotent)."""
+        if self._closed or not self._started:
+            self._closed = True
+            return
+        self._closed = True
+        self._writer.write(b"0\r\n\r\n")
+        await self._writer.drain()
+
+
+def split_job_path(path: str) -> Tuple[Optional[str], Optional[str]]:
+    """``/jobs/<id>[/<sub>]`` → ``(job_id, sub)`` (Nones when no match)."""
+    parts = [part for part in path.split("/") if part]
+    if len(parts) >= 2 and parts[0] == "jobs":
+        job_id = parts[1]
+        sub = parts[2] if len(parts) > 2 else None
+        if len(parts) <= 3:
+            return job_id, sub
+    return None, None
+
+
+__all__ = [
+    "ChunkedWriter",
+    "MAX_BODY_BYTES",
+    "ProtocolError",
+    "Request",
+    "read_request",
+    "send_response",
+    "split_job_path",
+]

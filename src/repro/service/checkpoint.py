@@ -243,6 +243,94 @@ class CheckpointStore:
             levels = [level for level in levels if level.cost <= upto_cost]
         return levels
 
+    # ------------------------------------------------------------------
+    # GC / size budgeting
+    # ------------------------------------------------------------------
+    def keys(self) -> List[str]:
+        """Every checkpoint key with a journal on disk."""
+        return sorted(path.stem for path in self.root.glob("*.journal"))
+
+    def size_of(self, key: str) -> int:
+        """Bytes this key holds on disk (journal + manifest)."""
+        total = 0
+        for path in (self._journal_path(key), self._manifest_path(key)):
+            try:
+                total += path.stat().st_size
+            except OSError:
+                pass
+        return total
+
+    def prune(
+        self,
+        max_bytes: Optional[int] = None,
+        max_age_s: Optional[float] = None,
+        now: Optional[float] = None,
+    ) -> dict:
+        """Evict journal/manifest pairs, least-recently-*written* first.
+
+        A long-lived store accretes one journal per (universe, cost
+        function) ever enumerated; ``prune`` keeps it inside a byte
+        budget.  Recency is the journal's mtime — appends touch it, so
+        a universe still receiving traffic keeps advancing while an
+        abandoned one ages out.  ``max_age_s`` drops keys idle longer
+        than that outright; ``max_bytes`` then evicts oldest-first until
+        the remainder fits.  Evicting a checkpoint is always safe: the
+        next query over that universe re-enumerates cold and re-journals.
+
+        Returns ``{"removed_keys", "removed_bytes", "kept_keys",
+        "kept_bytes"}``.
+        """
+        import time as _time
+
+        current = _time.time() if now is None else now
+        entries = []  # (mtime, key, bytes)
+        for key in self.keys():
+            try:
+                mtime = self._journal_path(key).stat().st_mtime
+            except OSError:
+                continue
+            entries.append((mtime, key, self.size_of(key)))
+        entries.sort()  # oldest first
+        removed_keys = 0
+        removed_bytes = 0
+        survivors = []
+        for mtime, key, size in entries:
+            if max_age_s is not None and current - mtime > max_age_s:
+                removed_bytes += self._remove(key, size)
+                removed_keys += 1
+            else:
+                survivors.append((mtime, key, size))
+        if max_bytes is not None:
+            total = sum(size for _, _, size in survivors)
+            while survivors and total > max_bytes:
+                mtime, key, size = survivors.pop(0)
+                total -= size
+                removed_bytes += self._remove(key, size)
+                removed_keys += 1
+        return {
+            "removed_keys": removed_keys,
+            "removed_bytes": removed_bytes,
+            "kept_keys": len(survivors),
+            "kept_bytes": sum(size for _, _, size in survivors),
+        }
+
+    def _remove(self, key: str, size: int) -> int:
+        """Delete one key's files under its lock; returns bytes freed."""
+        with self._locked(key):
+            for path in (
+                self._journal_path(key),
+                self._manifest_path(key),
+            ):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+        try:
+            (self.root / ("%s.lock" % key)).unlink()
+        except OSError:
+            pass
+        return size
+
     def _heal(self, key: str, kept: List[dict]) -> None:
         """Rewrite the manifest down to the verified prefix (best-effort)."""
         try:

@@ -106,6 +106,25 @@ class ServiceClient:
 
     # ------------------------------------------------------------------
     @property
+    def queue_depth(self) -> int:
+        """Jobs queued but not yet dispatched to a worker."""
+        return len(self.pool.queue)
+
+    @property
+    def live_jobs(self) -> int:
+        """Jobs queued or running (the admission layer's backlog)."""
+        return self.pool.queue.live_jobs
+
+    def liveness(self) -> Dict[str, object]:
+        """Pool process liveness/load (see :meth:`WorkerPool.liveness`)."""
+        return self.pool.liveness()
+
+    def quarantine_records(self):
+        """Quarantined poison jobs on disk (ids + attempts + errors)."""
+        return self.pool.quarantine_records()
+
+    # ------------------------------------------------------------------
+    @property
     def stats(self) -> Dict[str, int]:
         """Scheduler counters (affinity hits, steals, dedupe, …)."""
         merged = dict(self.pool.stats)

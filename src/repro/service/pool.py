@@ -932,6 +932,69 @@ class WorkerPool:
         self._dispatch()
 
     # ------------------------------------------------------------------
+    # Introspection for the health/metrics endpoints
+    # ------------------------------------------------------------------
+    def liveness(self) -> Dict[str, object]:
+        """Process liveness and load, as one JSON-ready snapshot.
+
+        ``capacity`` is the scheduler-slot total (``alive × depth``) the
+        admission layer sizes its quotas against; ``load`` the
+        slot-weighted in-flight sum, so ``load / capacity`` is the
+        pool's utilisation.
+        """
+        with self._lock:
+            workers = list(self._workers)
+            alive = sum(
+                1
+                for w in workers
+                if not w.dead and w.process is not None
+                and w.process.is_alive()
+            )
+            load = sum(w.load for w in workers if not w.dead)
+        return {
+            "started": self._started,
+            "workers": len(workers),
+            "alive": alive,
+            "dead": len(workers) - alive,
+            "load": load,
+            "capacity": alive * self.per_worker_depth,
+        }
+
+    def quarantine_records(self) -> List[Dict[str, object]]:
+        """The quarantined poison jobs on disk (ids, attempts, errors).
+
+        Surfaced through ``GET /healthz`` so an operator sees poisoned
+        jobs without shell access to the store directory.  Unreadable
+        records are reported as such rather than hidden — quarantine is
+        exactly the place where damaged artifacts congregate.
+        """
+        if self.store_dir is None:
+            return []
+        quarantine_dir = Path(self.store_dir) / QUARANTINE_SUBDIR
+        records: List[Dict[str, object]] = []
+        try:
+            paths = sorted(quarantine_dir.glob("*.json"))
+        except OSError:
+            return []
+        for path in paths:
+            try:
+                record = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                records.append(
+                    {"fingerprint": path.stem, "error": "unreadable record"}
+                )
+                continue
+            records.append(
+                {
+                    "fingerprint": record.get("fingerprint", path.stem),
+                    "job_id": record.get("job_id"),
+                    "attempts": record.get("attempts"),
+                    "error": record.get("error"),
+                }
+            )
+        return records
+
+    # ------------------------------------------------------------------
     def worker_stats(self) -> List[Dict[str, object]]:
         """Per-worker bookkeeping (served counts, warm sets, session
         stats as of the last completed job or shutdown)."""

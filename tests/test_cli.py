@@ -301,3 +301,119 @@ class TestServeAndSubmit:
         assert payload["status"] == "success"
         # The answer is filed under the computed content fingerprint.
         assert answers[0].stem == payload["fingerprint"]
+
+
+class TestByteBudgetParsing:
+    def test_suffixes(self):
+        from repro.cli import _parse_bytes
+
+        assert _parse_bytes("500000") == 500_000
+        assert _parse_bytes("64K") == 64 * 1024
+        assert _parse_bytes("2m") == 2 * 1024 ** 2
+        assert _parse_bytes("1G") == 1024 ** 3
+
+    @pytest.mark.parametrize("bad", ["", "lots", "1.5M", "-3"])
+    def test_malformed_is_a_usage_error(self, bad):
+        import argparse
+
+        from repro.cli import _parse_bytes
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_bytes(bad)
+
+
+class TestCheckpointBudgetFlag:
+    def test_serve_prunes_checkpoints_at_startup(self, tmp_path, capsys):
+        from repro.service import CheckpointStore
+
+        store = tmp_path / "store"
+        checkpoints = store / "checkpoints"
+        checkpoints.mkdir(parents=True)
+        cp = CheckpointStore(checkpoints)
+        import os
+
+        for index in range(3):
+            key = "key%d" % index
+            cp._journal_path(key).write_bytes(b"x" * 1000)
+            cp._manifest_path(key).write_text("{}", encoding="utf-8")
+            os.utime(cp._journal_path(key), (1_000 + index, 1_000 + index))
+        jobs = tmp_path / "jobs.jsonl"
+        jobs.write_text("", encoding="utf-8")
+        code = main(["serve", "--store", str(store), "--workers", "1",
+                     "--jobs", str(jobs), "--checkpoint-budget", "2K"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "checkpoint budget: evicted 1 key(s)" in out
+        assert cp.keys() == ["key1", "key2"]  # oldest evicted
+
+
+class TestServerAndClientCommands:
+    @pytest.fixture()
+    def running_server(self, tmp_path):
+        from repro.server import SynthesisServer
+
+        with SynthesisServer(
+            store_dir=str(tmp_path / "store"),
+            interactive_workers=1,
+            batch_workers=1,
+        ) as server:
+            yield server
+
+    def test_submit_requires_store_or_server(self, capsys):
+        code = main(["submit", "--pos", "0", "--neg", "1"])
+        assert code == 2
+        assert "--store" in capsys.readouterr().err
+
+    def test_submit_over_http_waits_with_backoff(self, running_server,
+                                                 capsys):
+        code = main(["submit", "--server", running_server.address,
+                     "--pos", "0", "00", "--neg", "1", "--wait",
+                     "--timeout", "120"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "job id" in out
+        assert "status     : success" in out
+
+    def test_client_submit_status_events_health_metrics(self,
+                                                        running_server,
+                                                        capsys):
+        address = running_server.address
+        assert main(["client", "submit", "--server", address,
+                     "--pos", "10", "100", "--neg", "", "0",
+                     "--wait", "--timeout", "120"]) == 0
+        out = capsys.readouterr().out
+        job_id = next(line.split(":")[1].strip()
+                      for line in out.splitlines()
+                      if line.startswith("job id"))
+        assert main(["client", "status", job_id, "--server", address]) == 0
+        assert '"state": "done"' in capsys.readouterr().out
+        assert main(["client", "events", job_id, "--server", address]) == 0
+        assert "done: elapsed_s=" in capsys.readouterr().out
+        assert main(["client", "health", "--server", address]) == 0
+        assert '"status": "ok"' in capsys.readouterr().out
+        assert main(["client", "metrics", "--server", address]) == 0
+        assert "repro_queue_depth" in capsys.readouterr().out
+
+    def test_client_cancel_of_finished_job_is_moot(self, running_server,
+                                                   capsys):
+        address = running_server.address
+        assert main(["client", "submit", "--server", address,
+                     "--pos", "0", "--neg", "1",
+                     "--wait", "--timeout", "120"]) == 0
+        out = capsys.readouterr().out
+        job_id = next(line.split(":")[1].strip()
+                      for line in out.splitlines()
+                      if line.startswith("job id"))
+        assert main(["client", "cancel", job_id, "--server", address]) == 0
+        assert '"cancelled": false' in capsys.readouterr().out
+
+    def test_client_status_needs_a_job_id(self, capsys):
+        code = main(["client", "status", "--server", "http://127.0.0.1:1"])
+        assert code == 2
+        assert "needs a job id" in capsys.readouterr().err
+
+    def test_server_refused_connection_is_a_clean_error(self, capsys):
+        code = main(["client", "health",
+                     "--server", "http://127.0.0.1:9"])
+        assert code == 3
+        assert "repro client" in capsys.readouterr().err

@@ -271,6 +271,64 @@ class TestCheckpointStore:
 
 
 # ----------------------------------------------------------------------
+# Checkpoint GC: the --checkpoint-budget LRU eviction
+# ----------------------------------------------------------------------
+class TestCheckpointPrune:
+    @staticmethod
+    def seed(tmp_path, sizes, base_mtime=1_000_000.0):
+        """Fabricate journals of the given sizes, oldest first."""
+        import os
+
+        store = CheckpointStore(tmp_path)
+        for index, size in enumerate(sizes):
+            key = "key%02d" % index
+            store._journal_path(key).write_bytes(b"x" * size)
+            store._manifest_path(key).write_text("{}", encoding="utf-8")
+            mtime = base_mtime + index
+            os.utime(store._journal_path(key), (mtime, mtime))
+        return store
+
+    def test_no_budget_is_a_noop(self, tmp_path):
+        store = self.seed(tmp_path, [100, 200])
+        stats = store.prune()
+        assert stats["removed_keys"] == 0
+        assert stats["kept_keys"] == 2
+        assert sorted(store.keys()) == ["key00", "key01"]
+
+    def test_byte_budget_evicts_oldest_first(self, tmp_path):
+        store = self.seed(tmp_path, [100, 100, 100])
+        # 3 keys x 102 bytes (journal + "{}" manifest); budget keeps 2.
+        stats = store.prune(max_bytes=2 * 102)
+        assert stats["removed_keys"] == 1
+        assert stats["removed_bytes"] == 102
+        assert store.keys() == ["key01", "key02"]  # key00 was oldest
+        assert not store._manifest_path("key00").exists()
+        assert not (tmp_path / "key00.lock").exists()
+
+    def test_age_budget_drops_idle_keys(self, tmp_path):
+        store = self.seed(tmp_path, [50, 50], base_mtime=1_000.0)
+        stats = store.prune(max_age_s=100.0, now=1_100.5)
+        # key00 (mtime 1000) is 100.5s idle, key01 (mtime 1001) 99.5s.
+        assert stats["removed_keys"] == 1
+        assert store.keys() == ["key01"]
+
+    def test_pruned_key_recovers_as_a_cold_run(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        levels = checkpoints_of("vector", SPEC)
+        key = checkpoint_key(staging_fingerprint(SPEC), CostFunction.uniform())
+        for level in levels:
+            store.append_level(key, level)
+        assert store.prune(max_bytes=0)["removed_keys"] == 1
+        assert store.load_levels(key) == []  # cold, not corrupt
+        assert store.append_level(key, levels[0]) is True  # re-journals
+
+    def test_size_of_counts_journal_and_manifest(self, tmp_path):
+        store = self.seed(tmp_path, [64])
+        assert store.size_of("key00") == 64 + 2
+        assert store.size_of("missing") == 0
+
+
+# ----------------------------------------------------------------------
 # Checkpointed sessions: kill at every level, resume bit-identically
 # ----------------------------------------------------------------------
 @pytest.mark.parametrize("backend", BACKENDS)

@@ -70,6 +70,7 @@ class TestCiContract:
             "coverage",
             "bench-smoke",
             "service-smoke",
+            "load-smoke",
             "recovery-smoke",
             "examples-smoke",
         }
@@ -96,7 +97,12 @@ class TestCiContract:
 
     def test_bench_jobs_stay_on_the_pinned_interpreter(self):
         jobs = load("ci.yml")["jobs"]
-        for job_name in ("bench-smoke", "service-smoke", "recovery-smoke"):
+        for job_name in (
+            "bench-smoke",
+            "service-smoke",
+            "load-smoke",
+            "recovery-smoke",
+        ):
             setup = next(
                 s
                 for s in jobs[job_name]["steps"]
@@ -154,7 +160,7 @@ class TestNightlyContract:
                 full_scale_targets.add(str(step["run"]))
         joined = " && ".join(full_scale_targets)
         for suite in ("bench_kernels", "bench_session", "bench_shard",
-                      "bench_service", "bench_recovery"):
+                      "bench_service", "bench_recovery", "bench_load"):
             assert suite in joined, "nightly misses %s" % suite
         runs = " && ".join(str(s.get("run", "")) for s in steps)
         assert "check_perf_ceilings" in runs
