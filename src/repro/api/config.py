@@ -44,6 +44,13 @@ class EngineConfig:
     the serial code path.  In the service pool, a job whose config
     shards claims that many scheduler slots (see
     :meth:`repro.service.pool.WorkerPool.plan_assignments`).
+
+    ``trace`` turns on end-to-end span recording (:mod:`repro.obs`):
+    every layer that touches the request — staging, checkpoint replay,
+    per-cost-level enumeration, shard fan-out — records timed spans
+    into ``result.extra["trace"]``.  Like ``shard_workers`` it is a
+    pure execution knob: it never changes the answer, and it is
+    excluded from the wire fingerprint for exactly that reason.
     """
 
     backend: str = "vector"
@@ -52,6 +59,7 @@ class EngineConfig:
     check_uniqueness: bool = True
     max_generated: Optional[int] = None
     shard_workers: int = 1
+    trace: bool = False
 
     def replace(self, **changes: object) -> "EngineConfig":
         """A copy with the given fields changed."""
@@ -74,6 +82,14 @@ class SynthesisRequest:
     bounds the search wall-clock in seconds.  Requests carrying hooks,
     a time limit or a private budget are always served individually —
     they never join a shared batch sweep.
+
+    ``trace_ctx`` is the portable trace identity
+    (:class:`~repro.obs.trace.TraceContext`) minted where the request
+    entered the system; ``tracer`` is the live per-process recorder
+    (:class:`~repro.obs.trace.Tracer`).  Both are observability-only:
+    like the hooks they never cross the wire fingerprint, and a
+    ``None`` tracer with ``config.trace`` unset is the zero-overhead
+    path.
     """
 
     spec: Spec
@@ -86,6 +102,8 @@ class SynthesisRequest:
     cancel: Optional[Callable[[], object]] = None
     config: Optional[EngineConfig] = None
     tag: Optional[str] = None
+    trace_ctx: Optional[object] = None
+    tracer: Optional[object] = None
 
     @classmethod
     def of(cls, value: Union["SynthesisRequest", Spec, tuple]) -> "SynthesisRequest":

@@ -51,6 +51,8 @@ from ..core.reconstruct import reconstruct
 from ..core.result import SynthesisResult
 from ..language.guide_table import GuideTable
 from ..language.universe import Universe
+from ..obs.export import trace_payload
+from ..obs.trace import TraceContext, Tracer
 from ..regex.cost import CostFunction
 from ..spec import Spec
 from .config import EngineConfig, SynthesisRequest
@@ -98,6 +100,26 @@ def _phase_breakdown(
     # ``total`` covers everything listed, so phase shares sum to ~1.
     phases["total"] = staging_seconds + elapsed
     return phases
+
+
+def _tracer_for(request: SynthesisRequest, config: EngineConfig):
+    """Resolve a request's tracer: ``(tracer, session_owns_it)``.
+
+    A live tracer handed in (the pool worker's) wins; otherwise tracing
+    activates when the request carries a trace context or the config
+    asks for it, and the *session* owns the tracer — it drains the
+    spans into ``result.extra["trace"]`` itself.  ``(None, False)`` is
+    the untraced fast path.
+    """
+    if request.tracer is not None:
+        return request.tracer, False
+    if request.trace_ctx is None and not config.trace:
+        return None, False
+    ctx = request.trace_ctx or TraceContext.mint()
+    return (
+        Tracer(ctx.trace_id, process="session", parent_span_id=ctx.parent_span_id),
+        True,
+    )
 
 
 class Session:
@@ -237,11 +259,17 @@ class Session:
         info = self.registry.resolve(config.backend)
         cost_fn = request.effective_cost_fn()
         max_cost = request.effective_max_cost(cost_fn)
+        tracer, owns_tracer = _tracer_for(request, config)
         staging_started = time.perf_counter()
         if universe is None and guide is None:
-            universe, guide = self.staging_for(request.spec)
+            if tracer is None:
+                universe, guide = self.staging_for(request.spec)
+            else:
+                with tracer.span("staging"):
+                    universe, guide = self.staging_for(request.spec)
         staging_seconds = time.perf_counter() - staging_started
         engine = self.make_engine(request, universe=universe, guide=guide)
+        engine.tracer = tracer
 
         started = time.perf_counter()
         if request.on_progress is not None:
@@ -292,6 +320,13 @@ class Session:
                 ),
             },
         )
+        plane_stats = getattr(engine.cache, "plane_stats", None)
+        if plane_stats is not None:
+            result.extra["plane_stats"] = dict(plane_stats)
+        if owns_tracer:
+            result.extra["trace"] = trace_payload(
+                tracer.trace_id, tracer.drain()
+            )
         if status == STATUS_SUCCESS:
             result.regex = reconstruct(
                 engine.solution, engine.cache.provenance, engine.universe.alphabet
@@ -348,8 +383,10 @@ class Session:
 
     def _batch_key(self, request: SynthesisRequest) -> Optional[tuple]:
         """The sweep-sharing group of a request, or None if it must be
-        served solo (hooks, private budgets, bounded caches, or a
-        backend without the ``batch-serving`` capability)."""
+        served solo (hooks, private budgets, bounded caches, tracing, or
+        a backend without the ``batch-serving`` capability).  Traced
+        requests stay solo so every span on a timeline belongs to
+        exactly one request."""
         config = request.config if request.config is not None else self.config
         info = self.registry.resolve(config.backend)
         if (
@@ -357,6 +394,9 @@ class Session:
             or request.cancel is not None
             or request.time_limit is not None
             or request.max_generated is not None
+            or request.trace_ctx is not None
+            or request.tracer is not None
+            or config.trace
             or config.max_cache_size is not None
             or config.max_generated is not None
             or not info.supports("batch-serving")
@@ -441,6 +481,9 @@ class Session:
                 engine, staging_seconds, sweep_seconds
             ),
         }
+        plane_stats = getattr(engine.cache, "plane_stats", None)
+        if plane_stats is not None:
+            shared_extra["plane_stats"] = dict(plane_stats)
         for query, index in zip(queries, indices):
             results[index] = query.to_result(
                 info.name, cost_fn, universe, provenance, shared_extra

@@ -7,6 +7,8 @@ serve        run the multi-core synthesis service over a store directory
 server       run the HTTP synthesis server (admission-controlled lanes)
 client       talk to a running `repro server` over HTTP
 submit       submit a job (or a cancellation) to a running service
+trace        fetch a job's trace: text waterfall + Chrome trace JSON
+report       render BENCH_*.json benchmark artifacts as markdown
 backends     list the registered engines, aliases and capabilities
 table1       regenerate Table 1 (scalar vs vector engines)
 table2       regenerate Table 2 (AlphaRegex vs Paresy)
@@ -656,6 +658,47 @@ def _cmd_client(args: argparse.Namespace) -> int:
         return 3
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .obs.export import waterfall
+    from .server.client import HttpServiceClient, ServerError
+
+    client = HttpServiceClient(args.server)
+    try:
+        document = client.trace(args.job_id)
+    except (ServerError, OSError) as exc:
+        sys.stderr.write("repro trace: %s\n" % exc)
+        return 3
+    finally:
+        client.close()
+    if args.out is not None:
+        payload = json.dumps(
+            document.get("chrome_trace") or {}, indent=2, sort_keys=True
+        )
+        Path(args.out).write_text(payload + "\n", encoding="utf-8")
+        print(
+            "repro trace: wrote Chrome trace JSON to %s "
+            "(load it at https://ui.perfetto.dev)" % args.out
+        )
+    print(waterfall(document.get("spans") or []))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .eval.report import bench_report
+
+    paths = sorted(Path(args.dir).glob(args.glob))
+    text = bench_report(paths)
+    if args.out is not None:
+        Path(args.out).write_text(text, encoding="utf-8")
+        print(
+            "repro report: wrote %s (%d artifact files)"
+            % (args.out, len(paths))
+        )
+    else:
+        print(text, end="")
+    return 0
+
+
 def _cmd_table1(args: argparse.Namespace) -> int:
     print(table1(pool_size=args.pool, max_generated=args.max_generated,
                  repeats=args.repeats).render())
@@ -892,6 +935,26 @@ def build_parser() -> argparse.ArgumentParser:
                    help="cancel a previously submitted job id instead of "
                         "submitting")
     p.set_defaults(func=_cmd_submit)
+
+    p = sub.add_parser("trace",
+                       help="fetch a job's trace from a running server")
+    p.add_argument("job_id", help="job id (the submission fingerprint)")
+    p.add_argument("--server", required=True, metavar="URL",
+                   help="server address, e.g. http://127.0.0.1:8765")
+    p.add_argument("--out", default=None, metavar="PATH",
+                   help="also write Chrome trace-event JSON here "
+                        "(loadable at https://ui.perfetto.dev)")
+    p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser("report",
+                       help="render BENCH_*.json artifacts as markdown")
+    p.add_argument("--dir", default=".",
+                   help="directory holding the artifact files")
+    p.add_argument("--glob", default="BENCH_*.json",
+                   help="artifact filename pattern")
+    p.add_argument("--out", default=None, metavar="PATH",
+                   help="write the markdown here instead of stdout")
+    p.set_defaults(func=_cmd_report)
 
     p = sub.add_parser("table1", help="scalar vs vector engine comparison")
     p.add_argument("--pool", type=int, default=8)

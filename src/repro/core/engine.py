@@ -237,6 +237,12 @@ class SearchEngine:
         #: Optional ``time.perf_counter()`` deadline, checked between
         #: cost levels.
         self.deadline: Optional[float] = None
+        #: Optional :class:`repro.obs.trace.Tracer`.  When set, the
+        #: sweep records spans (checkpoint replay, seed level, one span
+        #: per cost level with dedupe/solve/store deltas, shard
+        #: fan-outs); ``None`` (the default) is the zero-overhead path —
+        #: one predicate test per level, nothing recorded.
+        self.tracer = None
         #: ``time.monotonic()`` timestamp of the current :meth:`run`
         #: (None before the first run).  Progress events derive their
         #: self-describing ``elapsed_s`` from this clock.
@@ -356,16 +362,30 @@ class SearchEngine:
             if self.max_generated is None
             else self.max_generated - self.generated
         )
+        tracer = self.tracer
+        fan_span = (
+            tracer.start("shard-fanout", op=op, shards=self.shard_workers)
+            if tracer is not None
+            else None
+        )
         try:
             self._shard_coordinator.sync_rows(self._shard_rows, len(self.cache))
             outcome = self._shard_coordinator.emit_pair_group(
-                op, pairings, remaining
+                op,
+                pairings,
+                remaining,
+                span_parent=None if fan_span is None else fan_span.span_id,
             )
         except ShardWorkerDied:
+            if fan_span is not None:
+                tracer.finish(fan_span, failover=True)
             self._close_shards()
             self.shard_workers = 1
             self.shard_failovers += 1
             return self._emit_pair_group_serial(op, pairings)
+        if fan_span is not None:
+            tracer.adopt(outcome.spans)
+            tracer.finish(fan_span, candidates=outcome.total)
         self.sharded_emits += 1
         return self._apply_shard_outcome(op, outcome)
 
@@ -382,6 +402,7 @@ class SearchEngine:
             self.shard_workers,
             max_batch=self._shard_max_batch,
             split_block_bytes=self._shard_split_block_bytes,
+            trace_id=None if self.tracer is None else self.tracer.trace_id,
         )
 
     def _shard_rows(self, start: int, end: int):
@@ -619,16 +640,31 @@ class SearchEngine:
             return self.status
         next_cost = c1
         if self._restored_levels:
-            next_cost = self._replay_restored(max_cost)
+            if self.tracer is None:
+                next_cost = self._replay_restored(max_cost)
+            else:
+                with self.tracer.span(
+                    "checkpoint-replay", levels=len(self._restored_levels)
+                ):
+                    next_cost = self._replay_restored(max_cost)
             if next_cost is None:
                 return self.status
         if next_cost == c1:
             # Nothing restored (or the checkpoints were unusable):
             # enumerate the seed level as usual.
-            if self._seed_alphabet():
-                return self.status
-            self.cache.levels.mark(c1, 0, len(self.cache))
-            self.levels_built = 1
+            seed_span = (
+                self.tracer.start("seed-level", cost=c1)
+                if self.tracer is not None
+                else None
+            )
+            try:
+                if self._seed_alphabet():
+                    return self.status
+                self.cache.levels.mark(c1, 0, len(self.cache))
+                self.levels_built = 1
+            finally:
+                if seed_span is not None:
+                    self.tracer.finish(seed_span, stored=len(self.cache))
             self._after_level(c1, 0, len(self.cache))
             next_cost = c1 + 1
 
@@ -639,7 +675,10 @@ class SearchEngine:
             start = len(self.cache)
             generated_before = self.generated
             self._current_cost = cost
-            solved = self._build_level(cost)
+            if self.tracer is None:
+                solved = self._build_level(cost)
+            else:
+                solved = self._build_level_traced(cost)
             self.level_stats.append(
                 {
                     "cost": cost,
@@ -688,6 +727,31 @@ class SearchEngine:
         if last is None:
             return False
         return cost - self.cost_fn.min_constructor_cost <= last
+
+    def _build_level_traced(self, cost: int) -> bool:
+        """:meth:`_build_level` inside a span, with the level's
+        dedupe/solve/store phase-timer deltas attached at completion —
+        the per-level split the coarse run-total ``phase_seconds``
+        cannot give."""
+        phases_before = dict(self.phase_seconds)
+        generated_before = self.generated
+        stored_before = len(self.cache)
+        span = self.tracer.start("level", cost=cost)
+        try:
+            return self._build_level(cost)
+        finally:
+            deltas = {
+                name + "_s": round(
+                    self.phase_seconds[name] - phases_before.get(name, 0.0), 9
+                )
+                for name in self.phase_seconds
+            }
+            self.tracer.finish(
+                span,
+                generated=self.generated - generated_before,
+                stored=len(self.cache) - stored_before,
+                **deltas,
+            )
 
     def _build_level(self, cost: int) -> bool:
         """Build every candidate of ``cost``: ``?``, ``*``, ``·``, ``+``."""

@@ -62,11 +62,12 @@ workers are non-daemonic exactly so pooled jobs can shard);
 from __future__ import annotations
 
 import multiprocessing
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..obs.trace import Tracer
 from ..testing.faults import fault_point
 from .bitops import popcount_rows, unbitslice_rows
 from .cache import PackedCache
@@ -530,6 +531,8 @@ def _shard_worker_main(
     max_batch: int,
     split_block_bytes: int,
     stop_value,
+    shard_index: int = 0,
+    trace_id: Optional[str] = None,
 ) -> None:
     """Worker process body: serve append/emit messages until close."""
     worker = _ShardWorker(
@@ -542,6 +545,11 @@ def _shard_worker_main(
         split_block_bytes,
         stop_value,
     )
+    tracer = (
+        None
+        if trace_id is None
+        else Tracer(trace_id, process="shard-worker-%d" % shard_index)
+    )
     try:
         while True:
             message = conn.recv()
@@ -549,9 +557,32 @@ def _shard_worker_main(
             if tag == "append":
                 worker.append(message[1])
             elif tag == "emit":
-                _, op, pairings, unit_lo, unit_hi, stop_ordinal = message
+                (
+                    _,
+                    op,
+                    pairings,
+                    unit_lo,
+                    unit_hi,
+                    stop_ordinal,
+                    span_parent,
+                ) = message
                 fault_point("shard.worker.emit")
-                reply = worker.emit(op, pairings, unit_lo, unit_hi, stop_ordinal)
+                if tracer is not None and span_parent is not None:
+                    span = tracer.start(
+                        "shard-emit",
+                        parent_id=span_parent,
+                        shard=shard_index,
+                        units=unit_hi - unit_lo,
+                    )
+                    reply = worker.emit(
+                        op, pairings, unit_lo, unit_hi, stop_ordinal
+                    )
+                    tracer.finish(span, kept=int(reply[1].shape[0]))
+                    reply = reply + (tracer.drain(),)
+                else:
+                    reply = worker.emit(
+                        op, pairings, unit_lo, unit_hi, stop_ordinal
+                    ) + ([],)
                 conn.send(reply)
             else:  # "close"
                 return
@@ -585,7 +616,10 @@ class ShardOutcome:
     dedupe, and ``ordinals`` their 0-based group-relative generation
     ordinals (what level checkpoints turn into absolute ordinals);
     ``hit`` is the winning solution as ``(group ordinal, left, right)``
-    or None.
+    or None.  ``spans`` are the wire-form trace spans the workers
+    recorded during the round (empty on an untraced run) — timing
+    metadata only, reconciled into the engine's tracer, never into
+    enumeration state.
     """
 
     total: int
@@ -594,6 +628,7 @@ class ShardOutcome:
     a_idx: np.ndarray
     b_idx: np.ndarray
     ordinals: np.ndarray
+    spans: List[dict] = field(default_factory=list)
 
 
 class ShardCoordinator:
@@ -616,6 +651,7 @@ class ShardCoordinator:
         n_shards: int,
         max_batch: int = 1 << 17,
         split_block_bytes: Optional[int] = None,
+        trace_id: Optional[str] = None,
     ) -> None:
         if n_shards < 2:
             raise ValueError("a shard coordinator needs >= 2 shards")
@@ -643,6 +679,8 @@ class ShardCoordinator:
                     max_batch,
                     split_block_bytes,
                     self._stop_value,
+                    shard,
+                    trace_id,
                 ),
                 daemon=True,
                 name="repro-shard-%d" % shard,
@@ -689,8 +727,14 @@ class ShardCoordinator:
         op: int,
         pairings: Sequence[Pairing],
         remaining_budget: Optional[int],
+        span_parent: Optional[str] = None,
     ) -> ShardOutcome:
-        """One synchronous sharded emit round; see :class:`ShardOutcome`."""
+        """One synchronous sharded emit round; see :class:`ShardOutcome`.
+
+        ``span_parent`` is the engine-side fan-out span id a traced
+        round's worker spans should hang off (None disables worker-side
+        span recording for the round).
+        """
         layout = PairGroupLayout(pairings)
         total = layout.total
         stop = (
@@ -711,6 +755,7 @@ class ShardCoordinator:
                     shard_range.unit_lo,
                     shard_range.unit_hi,
                     stop,
+                    span_parent,
                 ),
             )
         replies = [self._recv(conn) for conn in self._conns]
@@ -720,6 +765,12 @@ class ShardCoordinator:
         """Ordered reconciliation of the shard replies (phase two's
         input): pick the minimum-ordinal hit, keep every shard before
         it whole and the hit shard's pre-hit survivors, drop the rest."""
+        # Spans are harvested from *every* reply before the hit
+        # truncation below: a dropped shard's work still happened, and
+        # its timing is exactly what the timeline must show.
+        spans: List[dict] = []
+        for reply in replies:
+            spans.extend(reply[5])
         best_hit = None
         hit_shard = None
         for shard, reply in enumerate(replies):
@@ -749,6 +800,7 @@ class ShardCoordinator:
             a_idx=merged_a,
             b_idx=merged_b,
             ordinals=merged_ord,
+            spans=spans,
         )
 
     # ------------------------------------------------------------------

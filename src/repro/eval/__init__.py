@@ -3,6 +3,7 @@ paper's §4/§5.2 at reproduction scale."""
 
 from .figures import Figure1Data, figure1
 from .harness import RunRecord, staging_for, time_alpharegex, time_paresy
+from .report import bench_report, render_artifact
 from .reporting import ascii_series_plot, render_markdown, render_table
 from .tables import (
     ERROR_TABLE_SPEC,
@@ -23,6 +24,8 @@ __all__ = [
     "staging_for",
     "time_alpharegex",
     "time_paresy",
+    "bench_report",
+    "render_artifact",
     "ascii_series_plot",
     "render_markdown",
     "render_table",

@@ -117,11 +117,17 @@ def time_paresy(
 
 def _phase_extra(result: SynthesisResult) -> Dict[str, object]:
     """Per-phase timing of the run (staging, enumerate, dedupe, solve,
-    store), carried into the record's ``extra`` so JSON artifacts can
-    attribute wall-clock wins to pipeline stages without
-    re-instrumenting."""
+    store) plus — when the run was traced — the per-stage span summary,
+    carried into the record's ``extra`` so JSON artifacts can attribute
+    wall-clock wins to pipeline stages without re-instrumenting."""
+    extra: Dict[str, object] = {}
     phases = result.extra.get("phase_seconds")
-    return {"phase_seconds": phases} if phases else {}
+    if phases:
+        extra["phase_seconds"] = phases
+    trace = result.extra.get("trace")
+    if isinstance(trace, dict) and trace.get("stages"):
+        extra["trace_stages"] = trace["stages"]
+    return extra
 
 
 def _suite_record(

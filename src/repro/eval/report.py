@@ -1,0 +1,121 @@
+"""Render ``BENCH_*.json`` perf-trajectory artifacts as markdown.
+
+Every benchmark module drops a JSON artifact at the repo root with the
+same loose shape: a ``benchmark`` title, top-level scalar facts
+(``scale``, ``cpu_count``, headline ratios), nested dicts of related
+scalars, and lists of per-case record dicts.  :func:`bench_report`
+turns any mix of those files into one markdown document — a scalars
+table per artifact plus one table per record list — so the nightly
+workflow can upload a single human-readable summary next to the raw
+JSON.  Unknown fields render rather than error: the report must keep
+working as benchmarks grow new fields.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from .reporting import render_markdown
+
+#: Scalar keys hoisted to the front of every scalars table so the
+#: report leads with provenance, not alphabetics.
+_LEAD_KEYS = ("benchmark", "scale", "cpu_count")
+
+
+def _is_scalar(value: object) -> bool:
+    return value is None or isinstance(value, (bool, int, float, str))
+
+
+def _flatten_scalars(
+    payload: Dict[str, object], prefix: str = ""
+) -> List[Tuple[str, object]]:
+    """Depth-first ``key`` / ``parent.key`` pairs for every scalar leaf."""
+    pairs: List[Tuple[str, object]] = []
+    for key in sorted(payload):
+        value = payload[key]
+        name = "%s%s" % (prefix, key)
+        if _is_scalar(value):
+            pairs.append((name, value))
+        elif isinstance(value, dict):
+            pairs.append((name, "—"))
+            pairs.extend(_flatten_scalars(value, prefix=name + "."))
+        elif isinstance(value, list) and not any(
+            isinstance(item, dict) for item in value
+        ):
+            pairs.append((name, ", ".join(str(item) for item in value)))
+    return pairs
+
+
+def _record_lists(
+    payload: Dict[str, object]
+) -> List[Tuple[str, List[dict]]]:
+    """Every ``key -> [dict, ...]`` field, in key order."""
+    lists: List[Tuple[str, List[dict]]] = []
+    for key in sorted(payload):
+        value = payload[key]
+        if isinstance(value, list) and value and all(
+            isinstance(item, dict) for item in value
+        ):
+            lists.append((key, value))
+    return lists
+
+
+def _records_table(name: str, records: Sequence[dict]) -> str:
+    """One markdown table over the union of the records' scalar keys."""
+    columns: List[str] = []
+    for record in records:
+        for key in record:
+            if key not in columns and _is_scalar(record.get(key)):
+                columns.append(key)
+    rows = [[record.get(column) for column in columns] for record in records]
+    return render_markdown(columns, rows, title=name)
+
+
+def render_artifact(path: Path) -> str:
+    """One artifact file → one markdown section (robust to bad JSON)."""
+    lines: List[str] = ["## %s" % path.name, ""]
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        lines.append("*unreadable: %s*" % exc)
+        return "\n".join(lines)
+    if not isinstance(payload, dict):
+        lines.append("*not a JSON object — skipped*")
+        return "\n".join(lines)
+
+    scalars = dict(_flatten_scalars(payload))
+    ordered = [key for key in _LEAD_KEYS if key in scalars]
+    ordered += [key for key in scalars if key not in ordered]
+    if ordered:
+        lines.append(
+            render_markdown(
+                ["field", "value"],
+                [[key, scalars[key]] for key in ordered],
+            )
+        )
+        lines.append("")
+    for name, records in _record_lists(payload):
+        lines.append(_records_table(name, records))
+        lines.append("")
+    return "\n".join(lines).rstrip("\n")
+
+
+def bench_report(paths: Iterable[Path]) -> str:
+    """The full markdown report over every artifact path, in order."""
+    paths = list(paths)
+    sections = ["# Benchmark report", ""]
+    if not paths:
+        sections.append("*(no BENCH_*.json artifacts found)*")
+    else:
+        sections.append(
+            "%d artifact file%s."
+            % (len(paths), "" if len(paths) == 1 else "s")
+        )
+        sections.append("")
+        sections.extend(render_artifact(path) + "\n" for path in paths)
+    return "\n".join(sections).rstrip("\n") + "\n"
+
+
+__all__ = ["bench_report", "render_artifact"]

@@ -1,0 +1,221 @@
+"""Minimal Prometheus instruments: counter, gauge, histogram.
+
+Just enough of the text exposition format
+(https://prometheus.io/docs/instrumenting/exposition_formats/) to
+render ``# HELP`` / ``# TYPE`` blocks with labelled samples; the
+strict parser in :mod:`repro.obs.validate` round-trips this output in
+CI.  Stdlib-only and thread-safe (one coarse lock per instrument —
+observations happen per *job*, not per candidate, so contention is
+irrelevant).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Latency buckets spanning admission blips (1 ms) to batch sweeps (60 s).
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+_LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_labels(labels: _LabelKey) -> str:
+    if not labels:
+        return ""
+    inner = ",".join('%s="%s"' % (k, v) for k, v in labels)
+    return "{%s}" % inner
+
+
+def _label_key(labels: Dict[str, str]) -> _LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class _Instrument:
+    kind = "untyped"
+
+    def __init__(self, name: str, help_text: str) -> None:
+        self.name = name
+        self.help_text = help_text
+        self._lock = threading.Lock()
+
+    def header(self) -> List[str]:
+        return [
+            "# HELP %s %s" % (self.name, self.help_text),
+            "# TYPE %s %s" % (self.name, self.kind),
+        ]
+
+    def render(self) -> List[str]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class Counter(_Instrument):
+    """Monotonically increasing count, optionally labelled."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help_text: str) -> None:
+        super().__init__(name, help_text)
+        self._values: Dict[_LabelKey, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        """Add ``amount`` to the labelled series (created at zero)."""
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def render(self) -> List[str]:
+        """Exposition lines (a zero sample when never incremented)."""
+        with self._lock:
+            items = sorted(self._values.items())
+        lines = self.header()
+        if not items:
+            items = [((), 0.0)]
+        for key, value in items:
+            lines.append(
+                "%s%s %s" % (self.name, _format_labels(key), _format_value(value))
+            )
+        return lines
+
+
+class Gauge(_Instrument):
+    """A value that goes up and down (set to the latest observation)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help_text: str) -> None:
+        super().__init__(name, help_text)
+        self._values: Dict[_LabelKey, float] = {}
+
+    def set(self, value: float, **labels: str) -> None:
+        """Set the labelled series to ``value``."""
+        with self._lock:
+            self._values[_label_key(labels)] = float(value)
+
+    def render(self) -> List[str]:
+        """Exposition lines (a zero sample when never set)."""
+        with self._lock:
+            items = sorted(self._values.items())
+        lines = self.header()
+        if not items:
+            items = [((), 0.0)]
+        for key, value in items:
+            lines.append(
+                "%s%s %s" % (self.name, _format_labels(key), _format_value(value))
+            )
+        return lines
+
+
+class Histogram(_Instrument):
+    """Cumulative-bucket histogram with ``le`` labels (Prometheus shape)."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        super().__init__(name, help_text)
+        self.buckets = tuple(sorted(float(b) for b in buckets))
+        #: label-key → (per-bucket counts, sum, count)
+        self._series: Dict[_LabelKey, Tuple[List[int], float, int]] = {}
+
+    def observe(self, value: float, **labels: str) -> None:
+        """Record one observation into the labelled series."""
+        key = _label_key(labels)
+        with self._lock:
+            counts, total, n = self._series.get(
+                key, ([0] * len(self.buckets), 0.0, 0)
+            )
+            for index, bound in enumerate(self.buckets):
+                if value <= bound:
+                    counts[index] += 1
+            self._series[key] = (counts, total + float(value), n + 1)
+
+    def render(self) -> List[str]:
+        """Exposition lines: cumulative buckets, ``_sum``, ``_count``."""
+        with self._lock:
+            items = sorted(
+                (key, (list(counts), total, n))
+                for key, (counts, total, n) in self._series.items()
+            )
+        lines = self.header()
+        if not items:
+            items = [((), ([0] * len(self.buckets), 0.0, 0))]
+        for key, (counts, total, n) in items:
+            for bound, count in zip(self.buckets, counts):
+                bucket_key = key + (("le", _format_value(bound)),)
+                lines.append(
+                    "%s_bucket%s %d"
+                    % (self.name, _format_labels(bucket_key), count)
+                )
+            inf_key = key + (("le", "+Inf"),)
+            lines.append(
+                "%s_bucket%s %d" % (self.name, _format_labels(inf_key), n)
+            )
+            lines.append(
+                "%s_sum%s %s"
+                % (self.name, _format_labels(key), _format_value(total))
+            )
+            lines.append("%s_count%s %d" % (self.name, _format_labels(key), n))
+        return lines
+
+
+class MetricsRegistry:
+    """Named instruments rendered together into one exposition page."""
+
+    def __init__(self) -> None:
+        self._instruments: List[_Instrument] = []
+        self._by_name: Dict[str, _Instrument] = {}
+
+    def _register(self, instrument: _Instrument) -> _Instrument:
+        existing = self._by_name.get(instrument.name)
+        if existing is not None:
+            return existing
+        self._instruments.append(instrument)
+        self._by_name[instrument.name] = instrument
+        return instrument
+
+    def counter(self, name: str, help_text: str) -> Counter:
+        """Get or create the named :class:`Counter`."""
+        return self._register(Counter(name, help_text))  # type: ignore[return-value]
+
+    def gauge(self, name: str, help_text: str) -> Gauge:
+        """Get or create the named :class:`Gauge`."""
+        return self._register(Gauge(name, help_text))  # type: ignore[return-value]
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        """Get or create the named :class:`Histogram`."""
+        return self._register(  # type: ignore[return-value]
+            Histogram(name, help_text, buckets)
+        )
+
+    def get(self, name: str) -> Optional[_Instrument]:
+        """The named instrument, or None."""
+        return self._by_name.get(name)
+
+    def render(self) -> str:
+        """The full exposition page, in registration order."""
+        lines: List[str] = []
+        for instrument in self._instruments:
+            lines.extend(instrument.render())
+        return "\n".join(lines) + "\n" if lines else ""

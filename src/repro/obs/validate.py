@@ -1,0 +1,306 @@
+"""Strict validators for the observability exports, used by CI.
+
+Two formats leave the system: the Prometheus text exposition on
+``/metrics`` and Chrome trace-event JSON from ``/jobs/<id>/trace``.
+The ``obs-smoke`` CI job runs both through this module
+(``python -m repro.obs.validate metrics|trace <file>``), so a
+formatting regression fails the build instead of silently breaking
+Prometheus scrapes or Perfetto imports.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import re
+import sys
+from typing import Dict, List, Optional, Tuple
+
+METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>\S+)$"
+)
+LABEL_RE = re.compile(
+    r'(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"'
+)
+KINDS = {"counter", "gauge", "histogram", "summary", "untyped"}
+
+
+class ValidationError(ValueError):
+    """A document violated the format contract (message says where)."""
+
+
+def _parse_value(text: str, line_no: int) -> float:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    try:
+        value = float(text)
+    except ValueError:
+        raise ValidationError("line %d: bad sample value %r" % (line_no, text))
+    if math.isnan(value):
+        raise ValidationError("line %d: NaN sample value" % line_no)
+    return value
+
+
+def _parse_labels(text: str, line_no: int) -> Dict[str, str]:
+    labels: Dict[str, str] = {}
+    rest = text
+    while rest:
+        match = LABEL_RE.match(rest)
+        if match is None:
+            raise ValidationError(
+                "line %d: malformed label segment %r" % (line_no, rest)
+            )
+        name = match.group("name")
+        if name in labels:
+            raise ValidationError(
+                "line %d: duplicate label %r" % (line_no, name)
+            )
+        labels[name] = match.group("value")
+        rest = rest[match.end():]
+        if rest.startswith(","):
+            rest = rest[1:]
+        elif rest:
+            raise ValidationError(
+                "line %d: expected ',' between labels, got %r"
+                % (line_no, rest)
+            )
+    return labels
+
+
+def _family_of(sample_name: str, families: Dict[str, Dict]) -> Optional[str]:
+    if sample_name in families:
+        return sample_name
+    for suffix in ("_bucket", "_sum", "_count"):
+        if sample_name.endswith(suffix):
+            base = sample_name[: -len(suffix)]
+            if base in families and families[base]["type"] == "histogram":
+                return base
+    return None
+
+
+def parse_prometheus(text: str) -> Dict[str, Dict]:
+    """Strictly parse a text exposition page.
+
+    Returns ``{family: {"help", "type", "samples": [(name, labels,
+    value)]}}`` or raises :class:`ValidationError`.  Stricter than
+    Prometheus itself: HELP must precede TYPE, samples must follow
+    their family's TYPE, histograms must have cumulative buckets with a
+    ``+Inf`` bucket equal to ``_count``.
+    """
+    if not text:
+        raise ValidationError("empty exposition")
+    if not text.endswith("\n"):
+        raise ValidationError("exposition must end with a newline")
+    families: Dict[str, Dict] = {}
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        if line == "":
+            raise ValidationError("line %d: blank line" % line_no)
+        if line.startswith("# HELP "):
+            parts = line[len("# HELP "):].split(" ", 1)
+            if len(parts) != 2 or not METRIC_NAME_RE.match(parts[0]):
+                raise ValidationError("line %d: malformed HELP" % line_no)
+            name = parts[0]
+            if name in families:
+                raise ValidationError(
+                    "line %d: duplicate HELP for %s" % (line_no, name)
+                )
+            families[name] = {"help": parts[1], "type": None, "samples": []}
+            continue
+        if line.startswith("# TYPE "):
+            parts = line[len("# TYPE "):].split(" ")
+            if len(parts) != 2 or parts[1] not in KINDS:
+                raise ValidationError("line %d: malformed TYPE" % line_no)
+            name, kind = parts
+            family = families.get(name)
+            if family is None:
+                raise ValidationError(
+                    "line %d: TYPE %s before its HELP" % (line_no, name)
+                )
+            if family["type"] is not None:
+                raise ValidationError(
+                    "line %d: duplicate TYPE for %s" % (line_no, name)
+                )
+            family["type"] = kind
+            continue
+        if line.startswith("#"):
+            raise ValidationError(
+                "line %d: unrecognised comment %r" % (line_no, line)
+            )
+        match = SAMPLE_RE.match(line)
+        if match is None:
+            raise ValidationError("line %d: malformed sample %r" % (line_no, line))
+        sample_name = match.group("name")
+        family_name = _family_of(sample_name, families)
+        if family_name is None or families[family_name]["type"] is None:
+            raise ValidationError(
+                "line %d: sample %s without preceding HELP/TYPE"
+                % (line_no, sample_name)
+            )
+        labels = _parse_labels(match.group("labels") or "", line_no)
+        for label_name in labels:
+            if not LABEL_NAME_RE.match(label_name):
+                raise ValidationError(
+                    "line %d: bad label name %r" % (line_no, label_name)
+                )
+        value = _parse_value(match.group("value"), line_no)
+        families[family_name]["samples"].append((sample_name, labels, value))
+    for name, family in families.items():
+        if family["type"] is None:
+            raise ValidationError("family %s has HELP but no TYPE" % name)
+        if not family["samples"]:
+            raise ValidationError("family %s has no samples" % name)
+        if family["type"] == "histogram":
+            _check_histogram(name, family["samples"])
+    return families
+
+
+def _check_histogram(
+    name: str, samples: List[Tuple[str, Dict[str, str], float]]
+) -> None:
+    series: Dict[Tuple[Tuple[str, str], ...], Dict] = {}
+    for sample_name, labels, value in samples:
+        key = tuple(
+            sorted((k, v) for k, v in labels.items() if k != "le")
+        )
+        entry = series.setdefault(
+            key, {"buckets": [], "sum": None, "count": None}
+        )
+        if sample_name == name + "_bucket":
+            if "le" not in labels:
+                raise ValidationError(
+                    "histogram %s: bucket sample without le label" % name
+                )
+            bound = (
+                math.inf if labels["le"] == "+Inf" else float(labels["le"])
+            )
+            entry["buckets"].append((bound, value))
+        elif sample_name == name + "_sum":
+            entry["sum"] = value
+        elif sample_name == name + "_count":
+            entry["count"] = value
+        else:
+            raise ValidationError(
+                "histogram %s: stray sample %s" % (name, sample_name)
+            )
+    for key, entry in series.items():
+        buckets = sorted(entry["buckets"])
+        if not buckets or buckets[-1][0] != math.inf:
+            raise ValidationError(
+                "histogram %s%r: missing +Inf bucket" % (name, dict(key))
+            )
+        last = -1.0
+        for bound, count in buckets:
+            if count < last:
+                raise ValidationError(
+                    "histogram %s%r: non-cumulative buckets" % (name, dict(key))
+                )
+            last = count
+        if entry["count"] is None or entry["sum"] is None:
+            raise ValidationError(
+                "histogram %s%r: missing _sum/_count" % (name, dict(key))
+            )
+        if buckets[-1][1] != entry["count"]:
+            raise ValidationError(
+                "histogram %s%r: +Inf bucket != _count" % (name, dict(key))
+            )
+
+
+# ---------------------------------------------------------------------
+# Chrome trace-event JSON
+# ---------------------------------------------------------------------
+def validate_chrome_trace(doc: object) -> Dict[str, object]:
+    """Validate a Chrome trace-event document; returns a summary dict."""
+    if not isinstance(doc, dict):
+        raise ValidationError("trace document is not a JSON object")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        raise ValidationError("traceEvents missing or empty")
+    processes = set()
+    trace_ids = set()
+    complete = 0
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ValidationError("event %d is not an object" % index)
+        phase = event.get("ph")
+        if phase == "M":
+            if event.get("name") != "process_name" or "args" not in event:
+                raise ValidationError("event %d: malformed metadata" % index)
+            continue
+        if phase != "X":
+            raise ValidationError(
+                "event %d: unsupported phase %r" % (index, phase)
+            )
+        for field in ("name", "pid", "tid", "ts", "dur"):
+            if field not in event:
+                raise ValidationError(
+                    "event %d: missing %s" % (index, field)
+                )
+        if not isinstance(event["ts"], (int, float)) or event["ts"] < 0:
+            raise ValidationError("event %d: bad ts" % index)
+        if not isinstance(event["dur"], (int, float)) or event["dur"] < 0:
+            raise ValidationError("event %d: bad dur" % index)
+        complete += 1
+        processes.add(event["pid"])
+        args = event.get("args")
+        if isinstance(args, dict) and args.get("trace_id"):
+            trace_ids.add(args["trace_id"])
+    if complete == 0:
+        raise ValidationError("no complete ('X') events")
+    return {
+        "events": complete,
+        "processes": len(processes),
+        "trace_ids": sorted(trace_ids),
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point: exit 0 on a valid document, 1 with a reason."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.validate",
+        description="Validate /metrics or Chrome-trace exports (CI gate).",
+    )
+    sub = parser.add_subparsers(dest="format", required=True)
+    for name, help_text in (
+        ("metrics", "a Prometheus text exposition file"),
+        ("trace", "a Chrome trace-event JSON file"),
+    ):
+        p = sub.add_parser(name, help="validate " + help_text)
+        p.add_argument("path", help="file to validate")
+    args = parser.parse_args(argv)
+    with open(args.path, "r", encoding="utf-8") as handle:
+        raw = handle.read()
+    try:
+        if args.format == "metrics":
+            families = parse_prometheus(raw)
+            print(
+                "OK: %d metric families, %d samples"
+                % (
+                    len(families),
+                    sum(len(f["samples"]) for f in families.values()),
+                )
+            )
+        else:
+            summary = validate_chrome_trace(json.loads(raw))
+            print(
+                "OK: %d events across %d processes, trace ids: %s"
+                % (
+                    summary["events"],
+                    summary["processes"],
+                    ", ".join(summary["trace_ids"]) or "(none)",
+                )
+            )
+    except (ValidationError, json.JSONDecodeError) as error:
+        print("INVALID: %s" % error, file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CI
+    sys.exit(main())

@@ -13,22 +13,28 @@ behind a long batch job on the *same* worker would wait out the sweep.
 Separate lanes mean batch load can saturate its own workers without
 ever standing in front of an interactive request.
 
-Endpoints (HTTP/1.1, ``Connection: close``, JSON bodies):
+Endpoints (HTTP/1.1, keep-alive, JSON bodies):
 
 =========================  =============================================
 ``POST /jobs``             submit a wire request; the job id is the
                            request's content fingerprint, so duplicate
-                           submissions *join* the live job
+                           submissions *join* the live job.  Tracing is
+                           on by default (``"trace": false`` opts out)
 ``GET /jobs/<id>``         status (+ result once finished)
 ``GET /jobs/<id>/events``  chunked NDJSON progress stream — replayed
                            from the start, then live; the engine-side
                            ``elapsed_s`` clock is preserved verbatim
+``GET /jobs/<id>/trace``   the job's spans — every process on one
+                           timeline — plus a ready-made Chrome
+                           trace-event document (Perfetto-loadable)
 ``DELETE /jobs/<id>``      cancel; cancelling a finished job returns
                            the finished result (cancellation is not
                            an eraser)
-``GET /healthz``           lane liveness, retry/respawn/quarantine
+``GET /healthz``           lane liveness (per-lane ``degraded`` flags,
+                           last-quarantine timestamp), retry/respawn
                            counters, quarantined job records
-``GET /metrics``           Prometheus text exposition
+``GET /metrics``           Prometheus text exposition, including
+                           per-stage latency histograms fed by spans
 =========================  =============================================
 
 Threading model: the asyncio loop runs in one dedicated thread and owns
@@ -52,6 +58,9 @@ from typing import Dict, List, Optional
 from ..api.config import EngineConfig
 from ..api.progress import ProgressEvent
 from ..core.result import SynthesisResult
+from ..obs.export import SPAN_STAGES, chrome_trace, stage_summary
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import TraceContext, new_span_id
 from ..service.checkpoint import CheckpointStore
 from ..service.client import ServiceClient
 from ..service.pool import CHECKPOINTS_SUBDIR
@@ -79,6 +88,9 @@ FINISHED_RECORDS_KEPT = 1024
 #: Completions between best-effort history/prune maintenance passes.
 MAINTENANCE_EVERY = 8
 
+#: Seconds a kept-alive connection may sit idle between requests.
+KEEPALIVE_IDLE_S = 10.0
+
 
 class _JobRecord:
     """Loop-thread-owned state of one submitted job."""
@@ -97,10 +109,16 @@ class _JobRecord:
         "error",
         "handle",
         "joined",
+        "trace_id",
+        "root_span_id",
+        "server_spans",
     )
 
     def __init__(self, job_id: str, wire: WireRequest, klass: str,
-                 priority: int, shard_workers: int) -> None:
+                 priority: int, shard_workers: int,
+                 trace_id: Optional[str] = None,
+                 root_span_id: Optional[str] = None,
+                 server_spans: Optional[List[dict]] = None) -> None:
         self.job_id = job_id
         self.wire = wire
         self.klass = klass
@@ -108,6 +126,11 @@ class _JobRecord:
         self.priority = priority
         self.shard_workers = shard_workers
         self.submitted_monotonic = time.monotonic()
+        #: Observability identity of this job (None when untraced) plus
+        #: the spans the *server* recorded — the root job span first.
+        self.trace_id = trace_id
+        self.root_span_id = root_span_id
+        self.server_spans: List[dict] = server_spans or []
         #: Every progress event seen so far, already in wire form —
         #: late ``/events`` subscribers replay these before going live.
         self.events: List[dict] = []
@@ -131,6 +154,8 @@ class _JobRecord:
             "shard_workers": self.shard_workers,
             "events": len(self.events),
         }
+        if self.trace_id is not None:
+            data["trace_id"] = self.trace_id
         if self.result is not None:
             data["result"] = self.result.to_dict()
         if self.error is not None:
@@ -199,6 +224,20 @@ class SynthesisServer:
             Path(store_dir) / "history.json" if store_dir is not None else None
         )
         self.history = WorkloadHistory(path=history_path)
+        # Observability ------------------------------------------------
+        self.obs = MetricsRegistry()
+        self._stage_seconds = self.obs.histogram(
+            "repro_stage_seconds",
+            "Per-stage span durations (queue wait, staging, level "
+            "builds, checkpoint replay/save, store writes).",
+        )
+        self._job_seconds = self.obs.histogram(
+            "repro_job_seconds",
+            "End-to-end job wall-clock (submit to completion), per class.",
+        )
+        #: Plane-cache traffic summed over finished jobs (drives the
+        #: hit-rate gauge on /metrics).
+        self._plane_totals = {"builds": 0, "hits": 0}
         # Loop-thread state --------------------------------------------
         self._records: "OrderedDict[str, _JobRecord]" = OrderedDict()
         self._status_counts: Dict[str, int] = {}
@@ -252,6 +291,18 @@ class SynthesisServer:
         async def close() -> None:
             self._server.close()
             await self._server.wait_closed()
+            # Kept-alive connections may be parked in an idle read;
+            # cancel them and wait for their transports to finish
+            # closing so the loop stops clean.
+            tasks = [
+                task
+                for task in asyncio.all_tasks()
+                if task is not asyncio.current_task()
+            ]
+            for task in tasks:
+                task.cancel()
+            await asyncio.gather(*tasks, return_exceptions=True)
+            await asyncio.sleep(0)
 
         asyncio.run_coroutine_threadsafe(close(), self._loop).result(
             timeout=10.0
@@ -290,28 +341,53 @@ class SynthesisServer:
     # Connection handling (loop thread)
     # ------------------------------------------------------------------
     async def _handle_connection(self, reader, writer) -> None:
+        """Serve requests off one connection until it goes quiet.
+
+        HTTP/1.1 keep-alive: fixed-length responses leave the
+        connection open for the next request (a polling client reuses
+        one TCP connection for its whole backoff loop), while chunked
+        event streams and protocol errors are connection-terminal.
+        """
         try:
-            try:
-                request = await http11.read_request(reader)
-            except ProtocolError as exc:
-                await http11.send_response(writer, 400, {"error": str(exc)})
-                return
-            if request is None:
-                return
-            self._last_activity = time.monotonic()
-            try:
-                await self._route(request, reader, writer)
-            except ProtocolError as exc:
-                await http11.send_response(writer, 400, {"error": str(exc)})
-            except (ConnectionError, BrokenPipeError):
-                pass
-            except Exception as exc:  # pragma: no cover - defensive
+            first = True
+            while True:
                 try:
-                    await http11.send_response(
-                        writer, 500, {"error": "internal error: %s" % exc}
+                    request = await http11.read_request(
+                        reader,
+                        idle_timeout=None if first else KEEPALIVE_IDLE_S,
                     )
+                except ProtocolError as exc:
+                    await http11.send_response(
+                        writer, 400, {"error": str(exc)}, close=True
+                    )
+                    return
+                if request is None:
+                    return
+                first = False
+                writer.close_after_response = request.wants_close
+                self._last_activity = time.monotonic()
+                try:
+                    terminal = await self._route(request, reader, writer)
+                except ProtocolError as exc:
+                    await http11.send_response(
+                        writer, 400, {"error": str(exc)}, close=True
+                    )
+                    return
                 except (ConnectionError, BrokenPipeError):
-                    pass
+                    return
+                except Exception as exc:  # pragma: no cover - defensive
+                    try:
+                        await http11.send_response(
+                            writer,
+                            500,
+                            {"error": "internal error: %s" % exc},
+                            close=True,
+                        )
+                    except (ConnectionError, BrokenPipeError):
+                        pass
+                    return
+                if terminal or request.wants_close:
+                    return
         finally:
             try:
                 writer.close()
@@ -319,16 +395,17 @@ class SynthesisServer:
             except (ConnectionError, BrokenPipeError, OSError):
                 pass
 
-    async def _route(self, request: Request, reader, writer) -> None:
+    async def _route(self, request: Request, reader, writer) -> bool:
+        """Dispatch one request; True when the connection must close."""
         path, method = request.path, request.method
         if path == "/jobs":
             if method != "POST":
                 await http11.send_response(
                     writer, 405, {"error": "use POST /jobs"}
                 )
-                return
+                return False
             await self._post_job(request, writer)
-            return
+            return False
         job_id, sub = http11.split_job_path(path)
         if job_id is not None:
             if sub is None and method == "GET":
@@ -336,15 +413,20 @@ class SynthesisServer:
             elif sub is None and method == "DELETE":
                 await self._delete_job(job_id, writer)
             elif sub == "events" and method == "GET":
+                # Chunked stream: the zero-length chunk is the only
+                # end-of-stream marker, so the connection closes after.
                 await self._stream_events(job_id, reader, writer)
+                return True
+            elif sub == "trace" and method == "GET":
+                await self._get_trace(job_id, writer)
             else:
                 await http11.send_response(
                     writer, 405, {"error": "unsupported job operation"}
                 )
-            return
+            return False
         if path == "/healthz" and method == "GET":
             await http11.send_response(writer, 200, self.health())
-            return
+            return False
         if path == "/metrics" and method == "GET":
             await http11.send_response(
                 writer,
@@ -352,15 +434,17 @@ class SynthesisServer:
                 self.metrics_text(),
                 content_type="text/plain; version=0.0.4",
             )
-            return
+            return False
         await http11.send_response(
             writer, 404, {"error": "no such path %s" % path}
         )
+        return False
 
     # ------------------------------------------------------------------
     # POST /jobs
     # ------------------------------------------------------------------
     async def _post_job(self, request: Request, writer) -> None:
+        parse_started = request.received_s or time.time()
         payload = request.json()
         if not isinstance(payload, dict):
             raise ProtocolError("job payload must be a JSON object")
@@ -371,6 +455,14 @@ class SynthesisServer:
             wire = WireRequest.from_json_dict(payload)
         except (KeyError, TypeError, ValueError) as exc:
             raise ProtocolError("malformed wire request: %s" % exc)
+        parse_ended = time.time()
+        # Tracing is on by default at the server edge (the overhead is
+        # a handful of dict records per job); ``"trace": false`` in the
+        # payload opts a submission out.  A client-supplied context is
+        # always honoured.
+        trace_enabled = (
+            wire.trace_ctx is not None or bool(payload.get("trace", True))
+        )
         job_id = wire.fingerprint()
 
         record = self._records.get(job_id)
@@ -396,7 +488,9 @@ class SynthesisServer:
             interactive_threshold=self.interactive_threshold,
             latency_target_s=self.latency_target_s,
         )
+        admission_started = time.time()
         admission = self.admission.try_admit(klass)
+        admission_ended = time.time()
         if not admission.admitted:
             retry_after = max(1, int(admission.retry_after_s or 1))
             await http11.send_response(
@@ -425,7 +519,52 @@ class SynthesisServer:
         priority = (
             PRIORITY_HIGH if klass == CLASS_INTERACTIVE else PRIORITY_NORMAL
         )
-        record = _JobRecord(job_id, wire, klass, priority, shards)
+        trace_id = root_span_id = None
+        server_spans: List[dict] = []
+        if trace_enabled:
+            # Root span of the whole job; everything downstream (pool
+            # queue-wait, worker-job, engine levels, shard emits) hangs
+            # off it via the child context that rides the wire.
+            ctx = wire.trace_ctx or TraceContext.mint()
+            trace_id, root_span_id = ctx.trace_id, new_span_id()
+
+            def server_span(name, start_s, end_s, **args):
+                return {
+                    "name": name,
+                    "trace_id": trace_id,
+                    "span_id": new_span_id(),
+                    "parent_id": root_span_id,
+                    "start_s": start_s,
+                    "end_s": end_s,
+                    "process": "server",
+                    "args": args,
+                }
+
+            server_spans = [
+                {
+                    "name": "job",
+                    "trace_id": trace_id,
+                    "span_id": root_span_id,
+                    "parent_id": ctx.parent_span_id,
+                    "start_s": parse_started,
+                    "end_s": None,  # closed by _complete
+                    "process": "server",
+                    "args": {"job_id": job_id, "class": klass},
+                },
+                server_span("http-parse", parse_started, parse_ended),
+                server_span(
+                    "admission", admission_started, admission_ended,
+                    **{"class": klass},
+                ),
+            ]
+            wire = dataclasses.replace(
+                wire, trace_ctx=ctx.child(root_span_id)
+            )
+        record = _JobRecord(
+            job_id, wire, klass, priority, shards,
+            trace_id=trace_id, root_span_id=root_span_id,
+            server_spans=server_spans,
+        )
         self._records[job_id] = record
         while len(self._records) > FINISHED_RECORDS_KEPT * 2:
             # Evict the oldest *finished* record; live ones stay.
@@ -442,6 +581,7 @@ class SynthesisServer:
             # Collector thread → loop thread.
             loop.call_soon_threadsafe(self._on_event, _job_id, event)
 
+        submit_started = time.time()
         try:
             handle = self.lanes[klass].submit(
                 wire, priority=priority, on_progress=on_progress
@@ -453,6 +593,19 @@ class SynthesisServer:
                 writer, 503, {"error": "submit failed: %s" % exc}
             )
             return
+        if trace_enabled:
+            record.server_spans.append(
+                {
+                    "name": "pool-submit",
+                    "trace_id": trace_id,
+                    "span_id": new_span_id(),
+                    "parent_id": root_span_id,
+                    "start_s": submit_started,
+                    "end_s": time.time(),
+                    "process": "server",
+                    "args": {"class": klass},
+                }
+            )
         record.handle = handle
         if handle.done:
             # Stored-result fast path: the pool answered from disk and
@@ -531,6 +684,24 @@ class SynthesisServer:
             if result.status != "cancelled":
                 self.history.record(record.wire.staging_fingerprint(), result)
         elapsed = time.monotonic() - record.submitted_monotonic
+        if record.root_span_id is not None and record.server_spans:
+            record.server_spans[0]["end_s"] = time.time()
+            record.server_spans[0]["args"]["state"] = record.state
+            for span in self._job_spans(record):
+                stage = SPAN_STAGES.get(str(span.get("name")))
+                if stage is None:
+                    continue
+                start = float(span.get("start_s", 0.0))
+                end = float(span.get("end_s") or start)
+                self._stage_seconds.observe(
+                    max(0.0, end - start), stage=stage
+                )
+        self._job_seconds.observe(elapsed, **{"class": record.klass})
+        if result is not None and isinstance(result.extra, dict):
+            plane = result.extra.get("plane_stats")
+            if isinstance(plane, dict):
+                self._plane_totals["builds"] += int(plane.get("builds", 0))
+                self._plane_totals["hits"] += int(plane.get("hits", 0))
         self.latency.record(record.klass, elapsed)
         self.admission.release(record.klass)
         self._status_counts[record.state] = (
@@ -597,6 +768,51 @@ class SynthesisServer:
         await http11.send_response(writer, 202, data)
 
     # ------------------------------------------------------------------
+    # GET /jobs/<id>/trace
+    # ------------------------------------------------------------------
+    def _job_spans(self, record: _JobRecord) -> List[dict]:
+        """Server spans + the spans that came back with the result."""
+        spans = list(record.server_spans)
+        result = record.result
+        if result is not None and isinstance(result.extra, dict):
+            trace = result.extra.get("trace")
+            # Guard on the trace id: a result answered from the store
+            # may carry the trace of the run that produced it.
+            if (
+                isinstance(trace, dict)
+                and trace.get("trace_id") == record.trace_id
+            ):
+                spans.extend(trace.get("spans") or [])
+        return spans
+
+    def trace_document(self, record: _JobRecord) -> dict:
+        """The ``/jobs/<id>/trace`` document (also used by the CLI)."""
+        spans = self._job_spans(record)
+        return {
+            "job_id": record.job_id,
+            "trace_id": record.trace_id,
+            "root_span_id": record.root_span_id,
+            "state": record.state,
+            "spans": spans,
+            "stages": stage_summary(spans),
+            "chrome_trace": chrome_trace(spans),
+        }
+
+    async def _get_trace(self, job_id: str, writer) -> None:
+        record = self._records.get(job_id)
+        if record is None:
+            await http11.send_response(
+                writer, 404, {"error": "unknown job %s" % job_id}
+            )
+            return
+        if record.trace_id is None:
+            await http11.send_response(
+                writer, 404, {"error": "job %s was not traced" % job_id}
+            )
+            return
+        await http11.send_response(writer, 200, self.trace_document(record))
+
+    # ------------------------------------------------------------------
     # GET /jobs/<id>/events
     # ------------------------------------------------------------------
     async def _stream_events(self, job_id: str, reader, writer) -> None:
@@ -649,23 +865,41 @@ class SynthesisServer:
         """The ``/healthz`` document (also handy for in-process tests)."""
         lanes = {}
         counters = {"retries": 0, "respawns": 0, "quarantined": 0}
+        last_quarantine = None
         for klass, lane in self.lanes.items():
             liveness = lane.liveness()
             liveness["queue_depth"] = lane.queue_depth
             liveness["live_jobs"] = lane.live_jobs
+            # A lane whose pool has zero live workers (every process
+            # died in a respawn storm, or respawns are still racing the
+            # reaper) must say so explicitly — claiming health while
+            # unable to serve is the one lie /healthz must never tell.
+            liveness["degraded"] = int(liveness.get("alive") or 0) == 0
             lanes[klass] = liveness
             stats = lane.stats
             for key in counters:
                 counters[key] += int(stats.get(key, 0))
+            lane_quarantine = liveness.get("last_quarantine_at")
+            if lane_quarantine is not None and (
+                last_quarantine is None or lane_quarantine > last_quarantine
+            ):
+                last_quarantine = lane_quarantine
         # Both lanes share one store directory, hence one quarantine —
         # read it once through either lane.
         quarantine = self.lanes[CLASS_INTERACTIVE].quarantine_records()
-        healthy = all(lane.get("alive", 0) > 0 for lane in lanes.values())
+        for entry in quarantine:
+            stamp = entry.get("quarantined_at")
+            if stamp is not None and (
+                last_quarantine is None or stamp > last_quarantine
+            ):
+                last_quarantine = stamp
+        healthy = not any(lane["degraded"] for lane in lanes.values())
         return {
             "status": "ok" if healthy else "degraded",
             "lanes": lanes,
             "counters": counters,
             "quarantine": quarantine,
+            "last_quarantine_at": last_quarantine,
             "admission": self.admission.depth_snapshot(),
             "latency": self.latency.snapshot(),
             "jobs": dict(self._status_counts),
@@ -679,6 +913,9 @@ class SynthesisServer:
         def metric(name: str, help_text: str, kind: str, samples) -> None:
             lines.append("# HELP %s %s" % (name, help_text))
             lines.append("# TYPE %s %s" % (name, kind))
+            # A family with no samples yet still scrapes as zero — the
+            # strict parser (repro.obs.validate) rejects empty families.
+            samples = list(samples) or [({}, 0)]
             for labels, value in samples:
                 label_text = (
                     "{%s}" % ",".join(
@@ -752,7 +989,33 @@ class SynthesisServer:
             "gauge",
             utilisation_samples,
         )
-        return "\n".join(lines) + "\n"
+        if self.store_dir is not None:
+            store = CheckpointStore(
+                os.path.join(self.store_dir, CHECKPOINTS_SUBDIR)
+            )
+            keys = store.keys()
+            metric(
+                "repro_checkpoint_store_keys",
+                "Checkpointed queries currently on disk.",
+                "gauge",
+                [({}, len(keys))],
+            )
+            metric(
+                "repro_checkpoint_store_bytes",
+                "Bytes the checkpoint store occupies on disk.",
+                "gauge",
+                [({}, sum(store.size_of(key) for key in keys))],
+            )
+        builds = self._plane_totals["builds"]
+        hits = self._plane_totals["hits"]
+        metric(
+            "repro_plane_cache_hit_rate",
+            "Packed-plane cache hits over lookups, across finished jobs.",
+            "gauge",
+            [({}, "%.4f" % (hits / max(1, hits + builds)))],
+        )
+        # Span-fed stage/job histograms (repro.obs.metrics registry).
+        return "\n".join(lines) + "\n" + self.obs.render()
 
     # ------------------------------------------------------------------
     def _prune_checkpoints(self) -> None:

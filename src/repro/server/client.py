@@ -17,7 +17,7 @@ from __future__ import annotations
 import http.client
 import json
 import time
-from typing import Dict, Iterator, Optional
+from typing import Iterator, Optional
 from urllib.parse import urlsplit
 
 from ..api.progress import ProgressEvent
@@ -58,8 +58,16 @@ def poll_intervals(
 
 
 class HttpServiceClient:
-    """One server address, no connection reuse (the server closes per
-    response anyway), no background threads."""
+    """One server address, one kept-alive connection, no threads.
+
+    Fixed-length calls (submit/status/cancel/healthz/metrics) reuse a
+    single persistent HTTP connection — a polling ``result()`` loop
+    costs one TCP handshake total, not one per poll.  A connection the
+    server has quietly closed (idle timeout, restart) is detected on
+    the next call and retried once on a fresh connection.  The chunked
+    ``/events`` stream is connection-terminal by design and always uses
+    its own dedicated connection.
+    """
 
     def __init__(self, address: str, timeout: float = 30.0) -> None:
         split = urlsplit(
@@ -70,15 +78,32 @@ class HttpServiceClient:
         self.host = split.hostname or "127.0.0.1"
         self.port = split.port or 80
         self.timeout = timeout
+        self._connection: Optional[http.client.HTTPConnection] = None
+
+    def close(self) -> None:
+        """Drop the persistent connection (reopened on the next call)."""
+        if self._connection is not None:
+            try:
+                self._connection.close()
+            except Exception:  # pragma: no cover - best-effort teardown
+                pass
+            self._connection = None
+
+    def __enter__(self) -> "HttpServiceClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
-    def _request(
+    def _fresh_request(
         self,
         method: str,
         path: str,
         body: Optional[dict] = None,
         timeout: Optional[float] = None,
     ):
+        """One-shot connection + response (the ``/events`` stream)."""
         connection = http.client.HTTPConnection(
             self.host, self.port,
             timeout=self.timeout if timeout is None else timeout,
@@ -90,28 +115,66 @@ class HttpServiceClient:
         connection.request(method, path, body=payload, headers=headers)
         return connection, connection.getresponse()
 
+    def _persistent_response(
+        self, method: str, path: str, body: Optional[dict] = None
+    ) -> http.client.HTTPResponse:
+        """Issue a request on the kept-alive connection.
+
+        Retries exactly once on a fresh connection when the old one
+        turns out to be stale (the server idle-closed it between
+        polls); a failure on the fresh connection is a real error.
+        """
+        payload = (
+            json.dumps(body).encode("utf-8") if body is not None else None
+        )
+        headers = {"Content-Type": "application/json"} if payload else {}
+        for attempt in (0, 1):
+            if self._connection is None:
+                self._connection = http.client.HTTPConnection(
+                    self.host, self.port, timeout=self.timeout
+                )
+            try:
+                self._connection.request(
+                    method, path, body=payload, headers=headers
+                )
+                return self._connection.getresponse()
+            except (
+                http.client.BadStatusLine,
+                http.client.CannotSendRequest,
+                ConnectionError,
+                BrokenPipeError,
+                OSError,
+            ):
+                self.close()
+                if attempt:
+                    raise
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _finish_response(self, response: http.client.HTTPResponse) -> None:
+        """Honour the server's connection disposition after a read."""
+        if response.will_close:
+            self.close()
+
     def _json_call(
         self, method: str, path: str, body: Optional[dict] = None
     ) -> dict:
-        connection, response = self._request(method, path, body)
+        response = self._persistent_response(method, path, body)
+        raw = response.read()
+        self._finish_response(response)
         try:
-            raw = response.read()
-            try:
-                data = json.loads(raw.decode("utf-8")) if raw else {}
-            except ValueError:
-                data = {"raw": raw.decode("utf-8", "replace")}
-            if response.status == 429:
-                retry_after = float(
-                    response.getheader("Retry-After")
-                    or data.get("retry_after_s")
-                    or 1.0
-                )
-                raise OverloadedError(data, retry_after)
-            if response.status >= 400:
-                raise ServerError(response.status, data)
-            return data
-        finally:
-            connection.close()
+            data = json.loads(raw.decode("utf-8")) if raw else {}
+        except ValueError:
+            data = {"raw": raw.decode("utf-8", "replace")}
+        if response.status == 429:
+            retry_after = float(
+                response.getheader("Retry-After")
+                or data.get("retry_after_s")
+                or 1.0
+            )
+            raise OverloadedError(data, retry_after)
+        if response.status >= 400:
+            raise ServerError(response.status, data)
+        return data
 
     # ------------------------------------------------------------------
     def submit(
@@ -135,6 +198,10 @@ class HttpServiceClient:
     def status(self, job_id: str) -> dict:
         """GET the job document."""
         return self._json_call("GET", "/jobs/%s" % job_id)
+
+    def trace(self, job_id: str) -> dict:
+        """GET the job's trace document (spans + Chrome trace JSON)."""
+        return self._json_call("GET", "/jobs/%s/trace" % job_id)
 
     def cancel(self, job_id: str) -> dict:
         """DELETE the job; a finished job returns its result untouched."""
@@ -186,7 +253,7 @@ class HttpServiceClient:
         generator mid-stream closes the connection — the server notices
         and releases the subscription.
         """
-        connection, response = self._request(
+        connection, response = self._fresh_request(
             "GET",
             "/jobs/%s/events" % job_id,
             timeout=timeout if timeout is not None else 300.0,
@@ -217,13 +284,12 @@ class HttpServiceClient:
 
     def metrics(self) -> str:
         """GET /metrics (raw Prometheus text)."""
-        connection, response = self._request("GET", "/metrics")
-        try:
-            if response.status >= 400:
-                raise ServerError(response.status, response.read())
-            return response.read().decode("utf-8")
-        finally:
-            connection.close()
+        response = self._persistent_response("GET", "/metrics")
+        raw = response.read()
+        self._finish_response(response)
+        if response.status >= 400:
+            raise ServerError(response.status, raw)
+        return raw.decode("utf-8")
 
 
 __all__ = [

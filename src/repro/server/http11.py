@@ -9,18 +9,21 @@ nothing more:
 * request parsing — request line, headers, ``Content-Length`` body,
   with hard limits so a malformed or hostile peer cannot balloon
   memory;
-* fixed-length JSON responses (``Connection: close`` — the load
-  generator measures whole round trips, and one-shot connections keep
-  the state machine trivial);
+* fixed-length JSON responses, ``Connection: keep-alive`` by default so
+  a polling client reuses one TCP connection across its whole
+  status-poll loop (``close=True`` for terminal responses);
 * ``Transfer-Encoding: chunked`` writing for the ``/events`` stream,
   one chunk per progress event, flushed eagerly so a client sees each
-  level as the engine finishes it.
+  level as the engine finishes it.  Chunked streams stay
+  connection-terminal (``Connection: close``) — the zero-length chunk
+  is the only unambiguous end-of-stream signal either side has.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
@@ -61,6 +64,15 @@ class Request:
     query: Dict[str, str] = field(default_factory=dict)
     headers: Dict[str, str] = field(default_factory=dict)
     body: bytes = b""
+    #: Epoch stamp of the moment the request line arrived — the start
+    #: of the server's ``http-parse`` span (idle keep-alive time spent
+    #: waiting for the peer is deliberately excluded).
+    received_s: float = 0.0
+
+    @property
+    def wants_close(self) -> bool:
+        """True when the peer asked for ``Connection: close``."""
+        return self.headers.get("connection", "").lower() == "close"
 
     def json(self) -> object:
         """The body parsed as JSON (:class:`ProtocolError` on garbage)."""
@@ -73,16 +85,28 @@ class Request:
 async def read_request(
     reader: asyncio.StreamReader,
     timeout: float = REQUEST_TIMEOUT_S,
+    idle_timeout: Optional[float] = None,
 ) -> Optional[Request]:
-    """Parse one request off the stream; None on a clean EOF."""
+    """Parse one request off the stream; None on a clean EOF.
+
+    ``idle_timeout`` replaces ``timeout`` for the *request line* only:
+    on a kept-alive connection, a peer that sends nothing more is idle,
+    not malformed, so expiry returns None (close quietly) instead of
+    raising.  Once the request line arrives, the head and body must
+    still complete within ``timeout``.
+    """
     try:
         request_line = await asyncio.wait_for(
-            reader.readline(), timeout=timeout
+            reader.readline(),
+            timeout=timeout if idle_timeout is None else idle_timeout,
         )
     except asyncio.TimeoutError:
+        if idle_timeout is not None:
+            return None
         raise ProtocolError("timed out waiting for the request line")
     if not request_line:
         return None
+    received_s = time.time()
     if len(request_line) > MAX_REQUEST_LINE:
         raise ProtocolError("request line too long")
     parts = request_line.decode("latin-1").strip().split()
@@ -137,6 +161,7 @@ async def read_request(
         query=query,
         headers=headers,
         body=body,
+        received_s=received_s,
     )
 
 
@@ -145,11 +170,12 @@ def _head(
     extra_headers: Optional[Dict[str, str]],
     content_length: Optional[int],
     content_type: str,
+    close: bool = True,
 ) -> bytes:
     lines = [
         "HTTP/1.1 %d %s" % (status, _REASONS.get(status, "Unknown")),
         "Content-Type: %s" % content_type,
-        "Connection: close",
+        "Connection: %s" % ("close" if close else "keep-alive"),
     ]
     if content_length is not None:
         lines.append("Content-Length: %d" % content_length)
@@ -164,9 +190,15 @@ async def send_response(
     payload: object,
     headers: Optional[Dict[str, str]] = None,
     content_type: str = "application/json",
+    close: bool = False,
 ) -> None:
     """One complete fixed-length response (payload JSON-encoded unless
-    it is already ``bytes``/``str``)."""
+    it is already ``bytes``/``str``).  Keep-alive unless ``close`` —
+    or unless the connection loop marked the writer
+    ``close_after_response`` (the peer sent ``Connection: close``), so
+    every handler honours the peer's wish without plumbing it through.
+    """
+    close = close or bool(getattr(writer, "close_after_response", False))
     if isinstance(payload, bytes):
         body = payload
     elif isinstance(payload, str):
@@ -175,7 +207,7 @@ async def send_response(
         body = (
             json.dumps(payload, indent=2, sort_keys=True) + "\n"
         ).encode("utf-8")
-    writer.write(_head(status, headers, len(body), content_type))
+    writer.write(_head(status, headers, len(body), content_type, close=close))
     writer.write(body)
     await writer.drain()
 

@@ -45,6 +45,8 @@ from ..api.config import EngineConfig, SynthesisRequest
 from ..api.registry import BackendRegistry, default_registry
 from ..api.session import Session
 from ..core.result import SynthesisResult
+from ..obs.export import stage_summary, trace_payload
+from ..obs.trace import TraceContext, Tracer, new_span_id
 from ..testing.faults import fault_point
 from .checkpoint import CheckpointStore
 from .queue import Job, JobHandle, JobQueue
@@ -127,8 +129,32 @@ def _worker_main(
         request = wire.to_request().replace(
             cancel=local_cancel.is_set, on_progress=forward_progress
         )
+        tracer = None
+        if wire.trace_ctx is not None:
+            # Seed this process's recorder with the submitter's context:
+            # the worker-job span hangs off the server's root span, and
+            # every engine/session span nests under it.  The worker owns
+            # draining — the session sees a live tracer and leaves the
+            # harvest to us (see api.session._tracer_for).
+            tracer = Tracer(
+                wire.trace_ctx.trace_id,
+                process="pool-worker-%d" % worker_id,
+                parent_span_id=wire.trace_ctx.parent_span_id,
+            )
+            request = request.replace(tracer=tracer)
         try:
+            job_span = (
+                tracer.start("worker-job", job_id=job_id)
+                if tracer is not None
+                else None
+            )
             result = session.synthesize(request)
+            if job_span is not None:
+                tracer.finish(job_span, status=result.status)
+                if isinstance(result.extra, dict):
+                    result.extra["trace"] = trace_payload(
+                        tracer.trace_id, tracer.drain()
+                    )
             fault_point("pool.worker.after_job")
             result_queue.put(
                 ("done", worker_id, job_id, result, _session_stats(session))
@@ -272,6 +298,12 @@ class WorkerPool:
         self._jobs_by_id: Dict[str, Job] = {}
         self._cancel_events: Dict[str, object] = {}
         self._pending_final_events: Dict[str, object] = {}
+        #: Traced jobs only: submit epoch (for the queue-wait span) and
+        #: parent-side spans waiting to join the result's trace.
+        self._submitted_at: Dict[str, float] = {}
+        self._parent_spans: Dict[str, List[dict]] = {}
+        #: Epoch of the most recent quarantine (surfaced by /healthz).
+        self.last_quarantine_at: Optional[float] = None
         self._mp = multiprocessing.get_context()
         self._manager = None
         self._result_queue = None
@@ -431,6 +463,8 @@ class WorkerPool:
             self._jobs_by_id.clear()
             self._cancel_events.clear()
             self._pending_final_events.clear()
+            self._submitted_at.clear()
+            self._parent_spans.clear()
             self._manager = None
             self._result_queue = None
             self._collector = None
@@ -485,6 +519,12 @@ class WorkerPool:
         wire = WireRequest.of(
             request, default_config=self.config, registry=self.registry
         )
+        # In-process minting point: a traced config without an explicit
+        # context (e.g. ServiceClient.submit with ``trace=True``) gets a
+        # fresh root trace here — the fingerprint ignores it, so dedup
+        # against untraced submissions is unaffected.
+        if wire.config.trace and wire.trace_ctx is None:
+            wire = dataclasses_replace(wire, trace_ctx=TraceContext.mint())
         stored_lookup = None
         if self.reuse_results and self.result_store is not None:
             stored_lookup = self.result_store.load_result
@@ -496,6 +536,13 @@ class WorkerPool:
             with self._lock:
                 self.stats["result_hits"] += 1
             return handle
+        if wire.trace_ctx is not None:
+            with self._lock:
+                # setdefault: a deduplicated resubmission must not reset
+                # the original submission's queue-wait clock.
+                self._submitted_at.setdefault(
+                    handle._job.job_id, time.time()
+                )
         if cancel_probe is not None:
             handle._job.cancel_probes.append(cancel_probe)
             self._poll_cancel_probes(handle._job)
@@ -628,9 +675,36 @@ class WorkerPool:
                 worker.inflight.add(job.job_id)
                 worker.load += job.slots
                 worker.mark_warm(job.staging_fp)
+                self._record_queue_wait(job)
                 worker.task_queue.put(
                     ("job", job.job_id, job.wire, cancel_event)
                 )
+
+    def _record_queue_wait(self, job: Job) -> None:
+        """Close a traced job's queue-wait span at dispatch time.
+
+        Parent-side span (the worker never sees how long the job sat in
+        the queue); joined onto the result's trace in :meth:`_on_done`.
+        Called under ``self._lock`` from :meth:`_dispatch`; a retry
+        dispatch finds no submit epoch (popped the first time) and
+        records nothing, so the span measures the *first* wait only.
+        """
+        ctx = job.wire.trace_ctx
+        submitted = self._submitted_at.pop(job.job_id, None)
+        if ctx is None or submitted is None:
+            return
+        self._parent_spans.setdefault(job.job_id, []).append(
+            {
+                "name": "queue-wait",
+                "trace_id": ctx.trace_id,
+                "span_id": new_span_id(),
+                "parent_id": ctx.parent_span_id,
+                "start_s": submitted,
+                "end_s": time.time(),
+                "process": "pool",
+                "args": {"job_id": job.job_id},
+            }
+        )
 
     def _cancel_running(self, job: Job) -> None:
         """JobQueue hook: deliver cancellation to a running job."""
@@ -721,6 +795,7 @@ class WorkerPool:
                     job = self._jobs_by_id.pop(job_id, None)
                     self._cancel_events.pop(job_id, None)
                     self._pending_final_events.pop(job_id, None)
+                    self._parent_spans.pop(job_id, None)
                     if job is not None:
                         orphaned.append(job)
                 worker.inflight.clear()
@@ -803,15 +878,18 @@ class WorkerPool:
 
     def _quarantine(self, job: Job, error: str) -> None:
         """Record a poison job (kills every worker it touches) on disk."""
+        quarantined_at = time.time()
         if self.store_dir is None:
             with self._lock:
                 self.stats["quarantined"] += 1
+                self.last_quarantine_at = quarantined_at
             return
         record = {
             "job_id": job.job_id,
             "fingerprint": job.fingerprint,
             "attempts": job.attempts,
             "error": error,
+            "quarantined_at": quarantined_at,
             "request": job.wire.to_json_dict(),
         }
         path = (
@@ -829,6 +907,7 @@ class WorkerPool:
             traceback.print_exc()
         with self._lock:
             self.stats["quarantined"] += 1
+            self.last_quarantine_at = quarantined_at
 
     def _poll_cancel_probes(self, job: Optional[Job] = None) -> None:
         """Deliver cancellations requested through request-level
@@ -896,19 +975,48 @@ class WorkerPool:
                 slots=job.slots if job is not None else 1,
             )
             final_event = self._pending_final_events.pop(job_id, None)
+            parent_spans = self._parent_spans.pop(job_id, [])
+            self._submitted_at.pop(job_id, None)
             self.stats["completed"] += 1
         if job is None:  # pragma: no cover - defensive
             return
         if isinstance(result.extra, dict):
             result.extra["attempts"] = job.attempts
+        ctx = job.wire.trace_ctx
         # Persist deterministic outcomes only: a cancelled verdict is an
         # operational accident, not the content-addressed answer.  A
         # failing store write (full disk) must not block the answer.
         if self.result_store is not None and result.status != "cancelled":
+            write_started = time.time() if ctx is not None else None
             try:
                 self.result_store.save_result(job.fingerprint, result)
             except OSError:
                 traceback.print_exc()
+            if write_started is not None:
+                parent_spans.append(
+                    {
+                        "name": "result-store-write",
+                        "trace_id": ctx.trace_id,
+                        "span_id": new_span_id(),
+                        "parent_id": ctx.parent_span_id,
+                        "start_s": write_started,
+                        "end_s": time.time(),
+                        "process": "pool",
+                        "args": {"fingerprint": job.fingerprint},
+                    }
+                )
+        # Parent-side spans join the worker's trace after persistence —
+        # queue wait and store writes are per-submission operational
+        # events, not part of the content-addressed answer.
+        if parent_spans and isinstance(result.extra, dict):
+            trace = result.extra.get("trace")
+            if isinstance(trace, dict):
+                trace["spans"] = list(trace.get("spans") or []) + parent_spans
+                trace["stages"] = stage_summary(trace["spans"])
+            elif ctx is not None:
+                result.extra["trace"] = trace_payload(
+                    ctx.trace_id, parent_spans
+                )
         self.queue.finish(job, result)
         if final_event is not None:
             self._emit_progress(
@@ -926,6 +1034,8 @@ class WorkerPool:
                 slots=job.slots if job is not None else 1,
             )
             self._pending_final_events.pop(job_id, None)
+            self._parent_spans.pop(job_id, None)
+            self._submitted_at.pop(job_id, None)
             self.stats["failed"] += 1
         if job is not None:
             self.queue.fail(job, text)
@@ -958,6 +1068,7 @@ class WorkerPool:
             "dead": len(workers) - alive,
             "load": load,
             "capacity": alive * self.per_worker_depth,
+            "last_quarantine_at": self.last_quarantine_at,
         }
 
     def quarantine_records(self) -> List[Dict[str, object]]:
@@ -990,6 +1101,7 @@ class WorkerPool:
                     "job_id": record.get("job_id"),
                     "attempts": record.get("attempts"),
                     "error": record.get("error"),
+                    "quarantined_at": record.get("quarantined_at"),
                 }
             )
         return records

@@ -276,10 +276,16 @@ class StoreBackedSession(Session):
             engine.cost_fn,
             engine.use_guide_table,
         )
+        tracer = engine.tracer
+        restore_span = (
+            tracer.start("checkpoint-restore") if tracer is not None else None
+        )
         try:
             levels = self.checkpoint_store.load_levels(key)
         except Exception:
             levels = []
+        if restore_span is not None:
+            tracer.finish(restore_span, levels=len(levels))
         if levels and levels[0].cost == engine.cost_fn.literal:
             try:
                 engine.restore_levels(levels)
@@ -302,6 +308,11 @@ class StoreBackedSession(Session):
             # what makes kill-at-any-level resume work.
             if cost > state["last"]:
                 state["last"] = cost
+                span = (
+                    engine.tracer.start("checkpoint-save", cost=cost)
+                    if engine.tracer is not None
+                    else None
+                )
                 try:
                     if store.append_level(
                         key, engine.level_checkpoint(cost, start, end)
@@ -309,6 +320,9 @@ class StoreBackedSession(Session):
                         session.checkpoint_saves += 1
                 except OSError:
                     pass
+                finally:
+                    if span is not None:
+                        engine.tracer.finish(span)
             if previous is not None:
                 return previous(cost, start, end)
             return False

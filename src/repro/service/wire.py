@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 from ..api.config import EngineConfig, SynthesisRequest
+from ..obs.trace import TraceContext
 from ..regex.cost import CostFunction
 from ..spec import Spec
 
@@ -70,6 +71,10 @@ class WireRequest:
     max_generated: Optional[int] = None
     time_limit: Optional[float] = None
     config: EngineConfig = EngineConfig()
+    #: Observability identity (trace id + parent span); rides the wire
+    #: so worker processes record spans against the submitter's trace,
+    #: but never enters the fingerprint (it is not part of the question).
+    trace_ctx: Optional[TraceContext] = None
 
     @classmethod
     def of(cls, request, default_config=None, registry=None) -> "WireRequest":
@@ -101,6 +106,7 @@ class WireRequest:
             max_generated=request.max_generated,
             time_limit=request.time_limit,
             config=config,
+            trace_ctx=request.trace_ctx,
         )
 
     def to_request(self) -> SynthesisRequest:
@@ -113,6 +119,7 @@ class WireRequest:
             max_generated=self.max_generated,
             time_limit=self.time_limit,
             config=self.config,
+            trace_ctx=self.trace_ctx,
         )
 
     # ------------------------------------------------------------------
@@ -120,7 +127,7 @@ class WireRequest:
     # ------------------------------------------------------------------
     def to_json_dict(self) -> Dict[str, object]:
         """JSON-serialisable canonical form (drives the fingerprint)."""
-        return {
+        payload: Dict[str, object] = {
             "spec": self.spec.to_dict(),
             "cost_fn": list(self.cost_fn.as_tuple()) if self.cost_fn else None,
             "max_cost": self.max_cost,
@@ -134,8 +141,14 @@ class WireRequest:
                 "check_uniqueness": self.config.check_uniqueness,
                 "max_generated": self.config.max_generated,
                 "shard_workers": self.config.shard_workers,
+                "trace": self.config.trace,
             },
         }
+        # Only emitted when present so untraced payloads keep the exact
+        # shape every pre-tracing client and store produced.
+        if self.trace_ctx is not None:
+            payload["trace_ctx"] = self.trace_ctx.to_json_dict()
+        return payload
 
     @classmethod
     def from_json_dict(cls, data: Dict[str, object]) -> "WireRequest":
@@ -161,7 +174,9 @@ class WireRequest:
                 check_uniqueness=config_data.get("check_uniqueness", True),
                 max_generated=config_data.get("max_generated"),
                 shard_workers=int(config_data.get("shard_workers") or 1),
+                trace=bool(config_data.get("trace", False)),
             ),
+            trace_ctx=TraceContext.from_json_dict(data.get("trace_ctx")),
         )
 
     # ------------------------------------------------------------------
@@ -176,12 +191,16 @@ class WireRequest:
         answer (the sharded engine is bit-identical by construction), so
         submissions differing only in fan-out share one fingerprint —
         and pre-sharding stores keep answering their old requests.
+        ``trace``/``trace_ctx`` are excluded on the same grounds: a
+        traced run answers bit-identically, so it must dedupe against
+        (and be answered by) untraced runs of the same question.
         """
         payload = self.to_json_dict()
+        payload.pop("trace_ctx", None)
         payload["config"] = {
             key: value
             for key, value in payload["config"].items()
-            if key != "shard_workers"
+            if key not in ("shard_workers", "trace")
         }
         return _sha256_of(payload)
 

@@ -1,5 +1,7 @@
 """CLI tests (fast subcommands only)."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -417,3 +419,56 @@ class TestServerAndClientCommands:
                      "--server", "http://127.0.0.1:9"])
         assert code == 3
         assert "repro client" in capsys.readouterr().err
+
+
+class TestReportCommand:
+    def write_artifact(self, tmp_path):
+        payload = {
+            "benchmark": "widget throughput",
+            "scale": "quick",
+            "speedup": 2.5,
+            "lanes": {"batch": 1},
+            "results": [
+                {"name": "a", "seconds": 0.5},
+                {"name": "b", "seconds": 1.25, "extra_col": 7},
+            ],
+        }
+        (tmp_path / "BENCH_widget.json").write_text(
+            json.dumps(payload), encoding="utf-8"
+        )
+
+    def test_renders_markdown_tables(self, tmp_path, capsys):
+        self.write_artifact(tmp_path)
+        assert main(["report", "--dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "# Benchmark report" in out
+        assert "## BENCH_widget.json" in out
+        assert "| benchmark | widget throughput |" in out
+        assert "| lanes.batch | 1 |" in out
+        # The records table unions the rows' columns.
+        assert "| name | seconds | extra_col |" in out
+
+    def test_out_writes_the_file(self, tmp_path, capsys):
+        self.write_artifact(tmp_path)
+        report = tmp_path / "report.md"
+        assert main(["report", "--dir", str(tmp_path),
+                     "--out", str(report)]) == 0
+        assert "wrote" in capsys.readouterr().out
+        assert "widget throughput" in report.read_text(encoding="utf-8")
+
+    def test_empty_directory_is_not_an_error(self, tmp_path, capsys):
+        assert main(["report", "--dir", str(tmp_path)]) == 0
+        assert "no BENCH_*.json artifacts" in capsys.readouterr().out
+
+    def test_unreadable_artifact_is_reported_inline(self, tmp_path, capsys):
+        (tmp_path / "BENCH_bad.json").write_text("{nope", encoding="utf-8")
+        assert main(["report", "--dir", str(tmp_path)]) == 0
+        assert "unreadable" in capsys.readouterr().out
+
+
+class TestTraceCommand:
+    def test_server_refused_connection_is_a_clean_error(self, capsys):
+        code = main(["trace", "deadbeef",
+                     "--server", "http://127.0.0.1:9"])
+        assert code == 3
+        assert "repro trace" in capsys.readouterr().err

@@ -72,6 +72,7 @@ class TestCiContract:
             "service-smoke",
             "load-smoke",
             "recovery-smoke",
+            "obs-smoke",
             "examples-smoke",
         }
 
@@ -102,6 +103,7 @@ class TestCiContract:
             "service-smoke",
             "load-smoke",
             "recovery-smoke",
+            "obs-smoke",
         ):
             setup = next(
                 s
@@ -160,7 +162,8 @@ class TestNightlyContract:
                 full_scale_targets.add(str(step["run"]))
         joined = " && ".join(full_scale_targets)
         for suite in ("bench_kernels", "bench_session", "bench_shard",
-                      "bench_service", "bench_recovery", "bench_load"):
+                      "bench_service", "bench_recovery", "bench_load",
+                      "bench_obs"):
             assert suite in joined, "nightly misses %s" % suite
         runs = " && ".join(str(s.get("run", "")) for s in steps)
         assert "check_perf_ceilings" in runs
@@ -175,3 +178,36 @@ class TestNightlyContract:
         assert upload["with"]["path"] == "BENCH_*.json"
         assert upload["with"]["if-no-files-found"] == "error"
         assert upload.get("if") == "always()"
+
+    def test_renders_and_uploads_the_markdown_report(self):
+        steps = load("nightly.yml")["jobs"]["full-bench"]["steps"]
+        runs = " && ".join(str(s.get("run", "")) for s in steps)
+        assert "repro report" in runs
+        uploads = [
+            s
+            for s in steps
+            if str(s.get("uses", "")).startswith("actions/upload-artifact")
+        ]
+        # The report upload comes after the raw-JSON upload, so the raw
+        # artifacts survive even when report rendering breaks.
+        report = uploads[-1]
+        assert report["with"]["path"] == "BENCH-report.md"
+        assert report.get("if") == "always()"
+
+
+class TestObsSmokeContract:
+    def test_validates_both_export_formats(self):
+        steps = load("ci.yml")["jobs"]["obs-smoke"]["steps"]
+        runs = " && ".join(str(s.get("run", "")) for s in steps)
+        assert "repro.obs.validate trace" in runs
+        assert "repro.obs.validate metrics" in runs
+        assert "repro trace" in runs
+        assert "test_obs" in runs
+        upload = next(
+            s
+            for s in steps
+            if str(s.get("uses", "")).startswith("actions/upload-artifact")
+        )
+        assert "trace.json" in upload["with"]["path"]
+        assert "metrics.txt" in upload["with"]["path"]
+        assert "BENCH_obs.json" in upload["with"]["path"]
