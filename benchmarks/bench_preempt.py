@@ -1,0 +1,244 @@
+"""Preemption benchmarks: bounded interactive latency under batch load.
+
+The evidence behind the preemptive scheduler:
+
+* **interactive latency** — the same interactive queries served three
+  ways: on an otherwise idle server (baseline), against a CPU-heavy
+  batch job with admission-triggered preemption on, and against the
+  same batch job with preemption off (the contrast run).  The artifact
+  records the latency distributions; the asserted bound is the PR's
+  acceptance bar: interactive p99 with preemption stays within 2x the
+  interactive-only baseline.
+* **preempted answers are exact** — a batch job is preempted mid-level
+  by an interactive admission, resumes from its partial checkpoint and
+  runs to completion; its answer must be bit-identical to the same
+  query served undisturbed, with the preemption visible in the result's
+  ``extra`` counters and on the server's ``/healthz``.
+
+:func:`test_preempt_bench_artifact` writes ``BENCH_preempt.json`` to
+the repo root.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+import time
+
+from _bench_utils import REPO_ROOT, is_full
+from repro import EngineConfig, Spec, SynthesisRequest
+from repro.server import HttpServiceClient, SynthesisServer
+
+#: ~0.15 s of scalar CPU: long enough that preemption overheads are a
+#: fraction of the latency, short enough to sample many rounds.
+INTERACTIVE_SPEC = Spec(
+    positive=["00", "0101", "0101011"], negative=["", "1", "011", "0010"]
+)
+#: ~1.8 s of scalar CPU — the batch job the interactive traffic must
+#: not wait behind.
+BATCH_SPEC = Spec(
+    positive=["00110100", "11001011"], negative=["0", "11", "1001001"]
+)
+
+SCALAR = EngineConfig(backend="scalar")
+
+#: Job ids are content-addressed (a resubmitted identical request is
+#: the same job), so each measured round salts the request with a
+#: distinct — and unreachably large — generation budget.
+_NONCE_BASE = 10_000_000
+_nonce_counter = [0]
+
+
+def _salted(config):
+    _nonce_counter[0] += 1
+    return config.replace(max_generated=_NONCE_BASE + _nonce_counter[0])
+
+#: The batch job is preempted this long after submission — far inside
+#: its run, so every round really does interrupt mid-enumeration.
+BATCH_HEAD_START_S = 0.4
+
+
+def _rounds():
+    if is_full():
+        return {"baseline": 12, "preempt": 8, "no_preempt": 5}
+    return {"baseline": 4, "preempt": 4, "no_preempt": 3}
+
+
+def _percentile(samples, fraction):
+    ordered = sorted(samples)
+    return ordered[min(len(ordered) - 1, int(fraction * len(ordered)))]
+
+
+def _stats(samples):
+    return {
+        "rounds": len(samples),
+        "p50_s": _percentile(samples, 0.50),
+        "p99_s": _percentile(samples, 0.99),
+        "max_s": max(samples),
+        "samples_s": samples,
+    }
+
+
+def _server(root, name, **kwargs):
+    """A one-worker-per-lane server with slots sized so that *every*
+    interactive admission finds its lane saturated (and so triggers a
+    preemption attempt when enabled)."""
+    return SynthesisServer(
+        store_dir=os.path.join(root, name),
+        interactive_workers=1,
+        batch_workers=1,
+        per_worker_depth=1,
+        reuse_results=False,
+        # A preempted batch attempt re-enters its lane after this long;
+        # keeping it beyond the interactive runtime means one measured
+        # query runs on a machine the batch job has fully yielded.
+        retry_backoff_s=1.0,
+        retry_jitter=0.0,
+        **kwargs,
+    )
+
+
+def _measure_interactive(client):
+    started = time.perf_counter()
+    job = client.submit(
+        SynthesisRequest(spec=INTERACTIVE_SPEC, config=_salted(SCALAR)),
+        klass="interactive",
+    )
+    done = client.result(job["job_id"], timeout=120)
+    latency = time.perf_counter() - started
+    assert done["state"] == "done"
+    return latency
+
+
+def _submit_batch(client):
+    job = client.submit(
+        SynthesisRequest(spec=BATCH_SPEC, config=_salted(SCALAR)), klass="batch"
+    )
+    time.sleep(BATCH_HEAD_START_S)
+    return job["job_id"]
+
+
+def _bench_latency(root, preempt, rounds, name):
+    """Interactive latency against a live batch job, per preempt mode.
+
+    Checkpoints are off so every round is a cold, identical query —
+    warm level-restores would otherwise make later rounds incomparable
+    to earlier ones.
+    """
+    latencies = []
+    with _server(
+        root, name, checkpoints=False, preempt_on_saturation=preempt
+    ).start() as server:
+        with HttpServiceClient(server.address) as client:
+            for _ in range(rounds):
+                batch_id = _submit_batch(client)
+                latencies.append(_measure_interactive(client))
+                client.cancel(batch_id)
+                client.result(batch_id, timeout=120)
+            health = client.healthz()
+    triggered = health["preemptions_triggered"]
+    if preempt:
+        assert triggered == rounds, (
+            "every interactive admission must preempt the running batch "
+            "job (%d of %d rounds did)" % (triggered, rounds))
+    else:
+        assert triggered == 0
+    return _stats(latencies), health
+
+
+def _bench_baseline(root, rounds):
+    """The same interactive queries on an otherwise idle server."""
+    latencies = []
+    with _server(
+        root, "baseline", checkpoints=False, preempt_on_saturation=True
+    ).start() as server:
+        with HttpServiceClient(server.address) as client:
+            for _ in range(rounds):
+                latencies.append(_measure_interactive(client))
+    return _stats(latencies)
+
+
+def _result_identity(document):
+    result = document["result"]
+    return tuple(
+        result[key]
+        for key in (
+            "status", "regex", "cost", "generated", "unique_cs",
+            "levels_built",
+        )
+    )
+
+
+def _bench_preempted_identity(root):
+    """Preempt a store-backed batch job mid-level; its resumed answer
+    must be bit-identical to the undisturbed reference."""
+    with _server(
+        root, "ref", checkpoints=True, preempt_on_saturation=True
+    ).start() as server:
+        with HttpServiceClient(server.address) as client:
+            job = client.submit(
+                SynthesisRequest(spec=BATCH_SPEC, config=_salted(SCALAR)),
+                klass="batch",
+            )
+            reference = client.result(job["job_id"], timeout=300)
+    with _server(
+        root, "preempted", checkpoints=True, preempt_on_saturation=True
+    ).start() as server:
+        with HttpServiceClient(server.address) as client:
+            batch_id = _submit_batch(client)
+            _measure_interactive(client)  # triggers the preemption
+            preempted = client.result(batch_id, timeout=300)
+            health = client.healthz()
+    assert _result_identity(preempted) == _result_identity(reference), (
+        "a preempted batch job must finish bit-identical to an "
+        "undisturbed run")
+    extra = preempted["result"]["extra"]
+    assert extra["preemptions"] >= 1, "the preemption must be on record"
+    assert health["counters"]["preemptions"] >= 1
+    return {
+        "reference_regex": reference["result"]["regex"],
+        "preemptions": extra["preemptions"],
+        "attempts": extra["attempts"],
+        "partial_resumes": extra.get("partial_resumes", 0),
+    }
+
+
+def test_preempt_bench_artifact():
+    """Measure preemptive scheduling and record the evidence."""
+    rounds = _rounds()
+    root = tempfile.mkdtemp(prefix="repro-bench-preempt-")
+    try:
+        baseline = _bench_baseline(root, rounds["baseline"])
+        with_preempt, health = _bench_latency(
+            root, True, rounds["preempt"], "preempt"
+        )
+        without_preempt, _ = _bench_latency(
+            root, False, rounds["no_preempt"], "no-preempt"
+        )
+        identity = _bench_preempted_identity(root)
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+    ratio = with_preempt["p99_s"] / baseline["p99_s"]
+    assert ratio <= 2.0, (
+        "interactive p99 under batch load with preemption must stay "
+        "within 2x the interactive-only baseline (%.3fs vs %.3fs, "
+        "%.2fx)" % (with_preempt["p99_s"], baseline["p99_s"], ratio))
+    artifact = {
+        "benchmark": "preemptive scheduling",
+        "scale": "full" if is_full() else "quick",
+        "cpu_count": os.cpu_count(),
+        "interactive_baseline": baseline,
+        "interactive_under_batch_with_preempt": with_preempt,
+        "interactive_under_batch_no_preempt": without_preempt,
+        "p99_ratio_vs_baseline": ratio,
+        "preemptions_triggered": health["preemptions_triggered"],
+        "preempted_identity": identity,
+    }
+    (REPO_ROOT / "BENCH_preempt.json").write_text(
+        json.dumps(artifact, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    print("\nBENCH_preempt.json:")
+    print(json.dumps(artifact, indent=2, sort_keys=True))

@@ -83,6 +83,13 @@ class SynthesisRequest:
     a time limit or a private budget are always served individually —
     they never join a shared batch sweep.
 
+    ``preempt`` is the preemption probe: polled at the engine's safe
+    points, a truthy return makes the run checkpoint mid-level (when a
+    durable store is attached) and stop with ``status="preempted"`` —
+    unlike ``cancel`` the work is meant to continue later, resuming
+    from the checkpoint.  Like every hook it never crosses the wire
+    fingerprint.
+
     ``trace_ctx`` is the portable trace identity
     (:class:`~repro.obs.trace.TraceContext`) minted where the request
     entered the system; ``tracer`` is the live per-process recorder
@@ -100,6 +107,7 @@ class SynthesisRequest:
     time_limit: Optional[float] = None
     on_progress: Optional[Callable[[object], None]] = None
     cancel: Optional[Callable[[], object]] = None
+    preempt: Optional[Callable[[], object]] = None
     config: Optional[EngineConfig] = None
     tag: Optional[str] = None
     trace_ctx: Optional[object] = None

@@ -42,6 +42,7 @@ from ..core.engine import (
     OP_EPSILON,
     STATUS_BUDGET,
     STATUS_NOT_FOUND,
+    STATUS_PREEMPTED,
     STATUS_SUCCESS,
     SearchEngine,
     cs_solves,
@@ -290,6 +291,8 @@ class Session:
             engine.on_level = stream
         if request.cancel is not None:
             engine.cancel_check = request.cancel
+        if request.preempt is not None:
+            engine.preempt_check = request.preempt
         if request.time_limit is not None:
             engine.deadline = started + request.time_limit
         self._attach_durability(engine)
@@ -315,6 +318,8 @@ class Session:
                 "sharded_emits": engine.sharded_emits,
                 "resumed_levels": engine.resumed_levels,
                 "shard_failovers": engine.shard_failovers,
+                "partial_resumes": engine.partial_resumes,
+                "partial_checkpoints": engine.partial_checkpoints,
                 "phase_seconds": _phase_breakdown(
                     engine, staging_seconds, elapsed
                 ),
@@ -333,7 +338,10 @@ class Session:
             )
             result.cost = engine.solution_cost
         self.stats.requests_served += 1
-        if request.on_progress is not None:
+        # A preempted run has no final answer to announce — the job is
+        # going back in the queue, so no ``done`` event is emitted (the
+        # eventual completed attempt emits it).
+        if request.on_progress is not None and status != STATUS_PREEMPTED:
             request.on_progress(
                 ProgressEvent(
                     cost=engine._current_cost,
@@ -392,6 +400,7 @@ class Session:
         if (
             request.on_progress is not None
             or request.cancel is not None
+            or request.preempt is not None
             or request.time_limit is not None
             or request.max_generated is not None
             or request.trace_ctx is not None

@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -451,7 +452,7 @@ def _submit_over_http(args: argparse.Namespace, wire) -> int:
     """`repro submit --server URL`: route through the HTTP service."""
     from .server.client import HttpServiceClient, OverloadedError, ServerError
 
-    client = HttpServiceClient(args.server)
+    client = HttpServiceClient(args.server, auth_token=args.auth_token)
     if args.cancel is not None:
         try:
             answer = client.cancel(args.cancel)
@@ -570,6 +571,10 @@ def _cmd_server(args: argparse.Namespace) -> int:
         reuse_results=args.reuse_results,
         checkpoint_budget_bytes=args.checkpoint_budget,
         checkpoints=args.checkpoints,
+        auth_token=args.auth_token,
+        preempt_on_saturation=args.preempt,
+        brownout_enter_after_s=args.brownout_after,
+        brownout_exit_after_s=args.brownout_exit_after,
     )
     with server:
         print("repro server: listening on %s" % server.address)
@@ -588,7 +593,7 @@ def _cmd_server(args: argparse.Namespace) -> int:
 def _cmd_client(args: argparse.Namespace) -> int:
     from .server.client import HttpServiceClient, OverloadedError, ServerError
 
-    client = HttpServiceClient(args.server)
+    client = HttpServiceClient(args.server, auth_token=args.auth_token)
     try:
         if args.action == "health":
             print(json.dumps(client.healthz(), indent=2, sort_keys=True))
@@ -662,7 +667,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     from .obs.export import waterfall
     from .server.client import HttpServiceClient, ServerError
 
-    client = HttpServiceClient(args.server)
+    client = HttpServiceClient(args.server, auth_token=args.auth_token)
     try:
         document = client.trace(args.job_id)
     except (ServerError, OSError) as exc:
@@ -750,6 +755,14 @@ def _cmd_suite(args: argparse.Namespace) -> int:
                                            bench.n_pos, bench.n_neg))
         print("   ", bench.spec)
     return 0
+
+
+def _add_auth_token_arg(p: argparse.ArgumentParser,
+                        help_text: str) -> None:
+    """``--auth-token`` with the ``REPRO_AUTH_TOKEN`` env default."""
+    p.add_argument("--auth-token", dest="auth_token", metavar="TOKEN",
+                   default=os.environ.get("REPRO_AUTH_TOKEN"),
+                   help=help_text)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -867,6 +880,21 @@ def build_parser() -> argparse.ArgumentParser:
                    help="LRU-evict checkpoint journals beyond this many "
                         "bytes (applied at startup and periodically; "
                         "accepts K/M/G suffixes)")
+    p.add_argument("--no-preempt", action="store_false",
+                   dest="preempt",
+                   help="never preempt batch jobs for saturated "
+                        "interactive admissions (trades interactive "
+                        "p99 for batch throughput)")
+    p.add_argument("--brownout-after", type=float, default=2.0,
+                   dest="brownout_after", metavar="SECONDS",
+                   help="shed batch submissions after the interactive "
+                        "lane has been saturated this long")
+    p.add_argument("--brownout-exit-after", type=float, default=5.0,
+                   dest="brownout_exit_after", metavar="SECONDS",
+                   help="leave brownout once the interactive lane has "
+                        "been calm this long")
+    _add_auth_token_arg(p, "require this bearer token on every request "
+                           "(default: $REPRO_AUTH_TOKEN; unset = open)")
     p.set_defaults(func=_cmd_server)
 
     p = sub.add_parser("client",
@@ -900,6 +928,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="block (with backoff) until the job finishes")
     p.add_argument("--timeout", type=float, default=300.0,
                    help="--wait timeout in seconds")
+    _add_auth_token_arg(p, "bearer token for an authenticated server "
+                           "(default: $REPRO_AUTH_TOKEN)")
     p.set_defaults(func=_cmd_client)
 
     p = sub.add_parser("submit",
@@ -934,6 +964,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cancel", default=None, metavar="JOB_ID",
                    help="cancel a previously submitted job id instead of "
                         "submitting")
+    _add_auth_token_arg(p, "bearer token when submitting over --server "
+                           "(default: $REPRO_AUTH_TOKEN)")
     p.set_defaults(func=_cmd_submit)
 
     p = sub.add_parser("trace",
@@ -944,6 +976,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default=None, metavar="PATH",
                    help="also write Chrome trace-event JSON here "
                         "(loadable at https://ui.perfetto.dev)")
+    _add_auth_token_arg(p, "bearer token for an authenticated server "
+                           "(default: $REPRO_AUTH_TOKEN)")
     p.set_defaults(func=_cmd_trace)
 
     p = sub.add_parser("report",

@@ -49,6 +49,7 @@ STATUS_NOT_FOUND = "not_found"
 STATUS_OOM = "oom"
 STATUS_BUDGET = "budget"
 STATUS_CANCELLED = "cancelled"
+STATUS_PREEMPTED = "preempted"
 
 
 class BudgetExhausted(Exception):
@@ -102,6 +103,70 @@ class LevelCheckpoint:
         )
 
 
+@dataclass
+class PartialLevelCheckpoint:
+    """Progress *inside* a cost level, in replayable form.
+
+    Snapshotted at a safe point of the emit loop (all candidates up to
+    the cut fully deduped, solution-checked and stored; none beyond it
+    touched).  Because enumeration order is fully deterministic, the
+    position needs no emit-loop machinery: ``level_progress`` — the
+    number of candidates the level had generated at the snapshot — is a
+    complete cursor.  A resuming engine adopts the stored rows, then
+    structurally fast-forwards the level's emit steps past exactly that
+    many candidates, so rework is bounded by the snapshot interval.
+    Like full level checkpoints, partials are spec-independent.
+    """
+
+    cost: int
+    rows: np.ndarray  # (n, lanes) uint64 — rows stored so far this level
+    ops: np.ndarray  # (n,) int64
+    lefts: np.ndarray  # (n,) int64
+    rights: np.ndarray  # (n,) int64
+    ordinals: np.ndarray  # (n,) int64, 1-based absolute
+    generated_total: int  # cumulative ``generated`` at the snapshot
+    level_progress: int  # candidates generated within this level so far
+
+    def to_payload(self) -> dict:
+        """A plain-dict form (what the checkpoint journal pickles)."""
+        return {
+            "cost": int(self.cost),
+            "rows": self.rows,
+            "ops": self.ops,
+            "lefts": self.lefts,
+            "rights": self.rights,
+            "ordinals": self.ordinals,
+            "generated_total": int(self.generated_total),
+            "level_progress": int(self.level_progress),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "PartialLevelCheckpoint":
+        return cls(
+            cost=int(payload["cost"]),
+            rows=np.asarray(payload["rows"], dtype=np.uint64),
+            ops=np.asarray(payload["ops"], dtype=np.int64),
+            lefts=np.asarray(payload["lefts"], dtype=np.int64),
+            rights=np.asarray(payload["rights"], dtype=np.int64),
+            ordinals=np.asarray(payload["ordinals"], dtype=np.int64),
+            generated_total=int(payload["generated_total"]),
+            level_progress=int(payload["level_progress"]),
+        )
+
+
+def _pair_candidates(
+    pairing: Tuple[Tuple[int, int], Tuple[int, int], bool]
+) -> int:
+    """Candidate count of one ``(left, right, triangular)`` pairing —
+    the closed form the mid-level fast-forward skips whole steps with
+    (mirrors :func:`repro.core.shard.total_pair_candidates`)."""
+    (l0, l1), (r0, r1), triangular = pairing
+    if triangular:
+        n = l1 - l0
+        return n * (n - 1) // 2
+    return (l1 - l0) * (r1 - r0)
+
+
 def cs_solves(cs: int, pos_mask: int, neg_mask: int, max_errors: int) -> bool:
     """Does a CS satisfy the (possibly error-relaxed) mask pair?
 
@@ -132,6 +197,17 @@ class SweepCancelled(Exception):
     callback returns a truthy value, a :attr:`SearchEngine.cancel_check`
     fires, or the wall-clock :attr:`SearchEngine.deadline` passes.  The
     run ends with status :data:`STATUS_CANCELLED`.
+    """
+
+
+class SweepPreempted(Exception):
+    """Internal control-flow signal: the preemption probe fired.
+
+    Raised at the next safe point after :attr:`SearchEngine.preempt_check`
+    returns truthy — *after* a partial checkpoint has been handed to
+    :attr:`SearchEngine.on_partial` (when armed), so the engine's owner
+    can requeue the job and a later run resumes from that point.  The
+    run ends with status :data:`STATUS_PREEMPTED`.
     """
 
 
@@ -207,7 +283,27 @@ class SearchEngine:
         #: Cost levels adopted from checkpoints instead of enumerated
         #: (see :meth:`restore_levels`).
         self.resumed_levels = 0
+        #: Mid-level resumes performed from a partial checkpoint (0 or 1
+        #: per run; see :meth:`restore_partial`).
+        self.partial_resumes = 0
+        #: Partial checkpoints handed to :attr:`on_partial` this run.
+        self.partial_checkpoints = 0
         self._restored_levels: List[LevelCheckpoint] = []
+        self._restored_partial: Optional[PartialLevelCheckpoint] = None
+        #: Pending fast-forward: candidates of the current level already
+        #: accounted for by an adopted partial checkpoint.
+        self._level_skip = 0
+        #: ``(cost, cache_start, generated_at_level_start)`` of a
+        #: partially-adopted level, so the sweep loop attributes the
+        #: whole level (adopted prefix included) to one stats entry and
+        #: one level mark.
+        self._partial_base: Optional[Tuple[int, int, int]] = None
+        # Safe-point bookkeeping (armed only while _build_level runs).
+        self._partial_active = False
+        self._level_start_cache = 0
+        self._level_start_generated = 0
+        self._last_partial_generated = 0
+        self._last_partial_monotonic = 0.0
         self._checks_disabled = False
         self.status: Optional[str] = None
         self.solution: Optional[Tuple[int, int, int]] = None  # provenance triple
@@ -237,6 +333,25 @@ class SearchEngine:
         #: Optional ``time.perf_counter()`` deadline, checked between
         #: cost levels.
         self.deadline: Optional[float] = None
+        #: Optional preemption probe, polled at emit-loop safe points
+        #: and between levels.  When it fires, a partial checkpoint is
+        #: written (if :attr:`on_partial` is armed) and the run stops
+        #: with status :data:`STATUS_PREEMPTED` — the caller requeues
+        #: the request and a later run resumes from the checkpoint.
+        self.preempt_check: Optional[Callable[[], object]] = None
+        #: Optional partial-checkpoint sink ``(PartialLevelCheckpoint)
+        #: -> None``: called at safe points every
+        #: :attr:`partial_every_candidates` candidates or
+        #: :attr:`partial_every_s` seconds while a level is being built,
+        #: and right before a preemption stop.  The durability layer
+        #: points this at the checkpoint journal.
+        self.on_partial: Optional[
+            Callable[[PartialLevelCheckpoint], object]
+        ] = None
+        #: Interval knobs for :attr:`on_partial` (either may be None;
+        #: with both None only preemption writes partials).
+        self.partial_every_candidates: Optional[int] = None
+        self.partial_every_s: Optional[float] = None
         #: Optional :class:`repro.obs.trace.Tracer`.  When set, the
         #: sweep records spans (checkpoint replay, seed level, one span
         #: per cost level with dedupe/solve/store deltas, shard
@@ -267,16 +382,19 @@ class SearchEngine:
         left: Tuple[int, int],
         right: Tuple[int, int],
         triangular: bool,
+        skip: int = 0,
     ) -> bool:
         """Build all ``op`` candidates over the Cartesian product of two
         cached index ranges (upper-triangular, diagonal excluded, when
-        ``triangular``); return True iff a solution was found."""
+        ``triangular``), except the first ``skip`` (already adopted from
+        a partial checkpoint); return True iff a solution was found."""
         raise NotImplementedError
 
     def _emit_pair_group(
         self,
         op: int,
         pairings: List[Tuple[Tuple[int, int], Tuple[int, int], bool]],
+        skip: int = 0,
     ) -> bool:
         """Build all ``op`` candidates of one cost level — every
         ``(left, right, triangular)`` operand pairing, in order.
@@ -285,16 +403,19 @@ class SearchEngine:
         partitioned across the shard worker pool; everything else takes
         :meth:`_emit_pair_group_serial`.  Both paths produce the same
         enumeration-visible state, so the dispatch is invisible in the
-        results.
+        results.  A group entered with a mid-level resume offset
+        (``skip > 0``) always runs serially — the offset is consumed
+        once per run, and the serial path is bit-identical anyway.
         """
-        if self._sharding_applies(pairings):
+        if skip == 0 and self._sharding_applies(pairings):
             return self._emit_pair_group_sharded(op, pairings)
-        return self._emit_pair_group_serial(op, pairings)
+        return self._emit_pair_group_serial(op, pairings, skip)
 
     def _emit_pair_group_serial(
         self,
         op: int,
         pairings: List[Tuple[Tuple[int, int], Tuple[int, int], bool]],
+        skip: int = 0,
     ) -> bool:
         """The in-process emit of a pair group.
 
@@ -303,8 +424,15 @@ class SearchEngine:
         into shared solution-check/dedupe/store batches (candidate order
         is unchanged, so results stay bit-identical).
         """
-        for left, right, triangular in pairings:
-            if self._emit_pairs(op, left, right, triangular):
+        for pairing in pairings:
+            left, right, triangular = pairing
+            if skip:
+                count = _pair_candidates(pairing)
+                if skip >= count:
+                    skip -= count
+                    continue
+            pair_skip, skip = skip, 0
+            if self._emit_pairs(op, left, right, triangular, pair_skip):
                 return True
         return False
 
@@ -491,6 +619,9 @@ class SearchEngine:
         except SweepCancelled:
             self.status = STATUS_CANCELLED
             return self.status
+        except SweepPreempted:
+            self.status = STATUS_PREEMPTED
+            return self.status
         finally:
             # Shard workers live for one run; engines are per-request
             # objects, so the pool must not outlive the sweep.
@@ -522,6 +653,10 @@ class SearchEngine:
             raise SweepCancelled()
         if self._cancel_requested():
             raise SweepCancelled()
+        if self.preempt_check is not None and self.preempt_check():
+            # The level just completed (and was journaled by any
+            # on_level checkpoint hook), so no partial record is needed.
+            raise SweepPreempted()
 
     # ------------------------------------------------------------------
     # Level checkpointing (shared half)
@@ -552,6 +687,77 @@ class SearchEngine:
             ordinals=ordinals,
             generated_total=int(self.generated),
         )
+
+    def restore_partial(self, partial: PartialLevelCheckpoint) -> None:
+        """Arm the next :meth:`run` to resume mid-level from ``partial``.
+
+        Used together with :meth:`restore_levels`: the partial must
+        cover the cost right after the last restored complete level.
+        The stored prefix is adopted exactly as enumeration left it and
+        the level's emit loop fast-forwards past the already-generated
+        candidates, so the finished level — and everything after it —
+        is bit-identical to an uninterrupted run.
+        """
+        if self.generated or self.levels_built or len(self.cache):
+            raise RuntimeError("restore_partial must precede the sweep")
+        self._restored_partial = partial
+
+    def partial_checkpoint(self) -> PartialLevelCheckpoint:
+        """Snapshot the current level's progress (safe points only)."""
+        start = self._level_start_cache
+        rows, ops, lefts, rights, ordinals = self._level_payload(
+            start, len(self.cache)
+        )
+        return PartialLevelCheckpoint(
+            cost=self._current_cost,
+            rows=rows,
+            ops=ops,
+            lefts=lefts,
+            rights=rights,
+            ordinals=ordinals,
+            generated_total=int(self.generated),
+            level_progress=int(self.generated - self._level_start_generated),
+        )
+
+    def _write_partial(self) -> None:
+        if self.on_partial is not None:
+            self.on_partial(self.partial_checkpoint())
+            self.partial_checkpoints += 1
+        self._last_partial_generated = self.generated
+        self._last_partial_monotonic = time.monotonic()
+
+    def _safe_point(self) -> None:
+        """Emit-loop safe point: candidates so far are fully stored.
+
+        Engines call this at batch boundaries (the vector engine's
+        accumulator is empty, the scalar engine between candidates).
+        Preemption stops the sweep here after journaling a partial
+        checkpoint; otherwise a partial is written when the configured
+        candidate/second interval has elapsed.
+        """
+        if not self._partial_active or self.otf:
+            # OnTheFly mode stops storing rows, so a partial snapshot
+            # could no longer describe the level; preemption then waits
+            # for the level boundary.
+            return
+        if self.preempt_check is not None and self.preempt_check():
+            self._write_partial()
+            raise SweepPreempted()
+        if self.on_partial is None:
+            return
+        every = self.partial_every_candidates
+        if (
+            every is not None
+            and self.generated - self._last_partial_generated >= every
+        ):
+            self._write_partial()
+            return
+        every_s = self.partial_every_s
+        if (
+            every_s is not None
+            and time.monotonic() - self._last_partial_monotonic >= every_s
+        ):
+            self._write_partial()
 
     def _replay_restored(self, max_cost: int) -> Optional[int]:
         """Adopt the armed checkpoints; returns the next cost to build.
@@ -626,7 +832,63 @@ class SearchEngine:
             prev_total = self.generated
             next_cost = cost + 1
             self._after_level(cost, start, len(self.cache))
+        partial = self._restored_partial
+        self._restored_partial = None
+        if (
+            partial is not None
+            and partial.cost == next_cost
+            and next_cost <= max_cost
+        ):
+            self._adopt_partial(partial)
+            if self.status == STATUS_SUCCESS:
+                return None
         return next_cost
+
+    def _adopt_partial(self, partial: PartialLevelCheckpoint) -> None:
+        """Adopt a partial level's stored prefix and arm the emit-loop
+        fast-forward (mirrors :meth:`_replay_restored` semantics: budget
+        cut by ordinal, solution scan under the *current* spec)."""
+        cost = partial.cost
+        self._current_cost = cost
+        budget = self.max_generated
+        n = int(partial.ordinals.shape[0])
+        cut = n
+        if budget is not None:
+            cut = int(np.searchsorted(partial.ordinals, budget, side="right"))
+        hit = None
+        if not self._checks_disabled:
+            hit = self._scan_restored(partial, cut)
+        start = len(self.cache)
+        level_start_generated = (
+            partial.generated_total - partial.level_progress
+        )
+        if hit is not None:
+            self._adopt_restored(partial, 0, hit)
+            self.generated = int(partial.ordinals[hit])
+            self.level_stats.append(
+                {
+                    "cost": cost,
+                    "generated": self.generated - level_start_generated,
+                    "stored": len(self.cache) - start,
+                    "otf": False,
+                }
+            )
+            self._record_solution(
+                int(partial.ops[hit]),
+                int(partial.lefts[hit]),
+                int(partial.rights[hit]),
+                cost,
+            )
+            return
+        if budget is not None and partial.generated_total >= budget:
+            self._adopt_restored(partial, 0, cut)
+            self.generated = budget
+            raise BudgetExhausted()
+        self._adopt_restored(partial, 0, n)
+        self.generated = int(partial.generated_total)
+        self._level_skip = int(partial.level_progress)
+        self._partial_base = (cost, start, level_start_generated)
+        self.partial_resumes += 1
 
     def _run(self, max_cost: int) -> str:
         # An already-cancelled run (a job cancelled while queued, or a
@@ -674,11 +936,28 @@ class SearchEngine:
                 return self.status
             start = len(self.cache)
             generated_before = self.generated
+            if (
+                self._partial_base is not None
+                and self._partial_base[0] == cost
+            ):
+                # Resuming mid-level from a partial checkpoint: the
+                # adopted prefix belongs to this level's cache range,
+                # stats entry and level mark.
+                _, start, generated_before = self._partial_base
+                self._partial_base = None
             self._current_cost = cost
-            if self.tracer is None:
-                solved = self._build_level(cost)
-            else:
-                solved = self._build_level_traced(cost)
+            self._level_start_cache = start
+            self._level_start_generated = generated_before
+            self._last_partial_generated = self.generated
+            self._last_partial_monotonic = time.monotonic()
+            self._partial_active = not self.otf
+            try:
+                if self.tracer is None:
+                    solved = self._build_level(cost)
+                else:
+                    solved = self._build_level_traced(cost)
+            finally:
+                self._partial_active = False
             self.level_stats.append(
                 {
                     "cost": cost,
@@ -754,22 +1033,46 @@ class SearchEngine:
             )
 
     def _build_level(self, cost: int) -> bool:
-        """Build every candidate of ``cost``: ``?``, ``*``, ``·``, ``+``."""
+        """Build every candidate of ``cost``: ``?``, ``*``, ``·``, ``+``.
+
+        When resuming mid-level from a partial checkpoint,
+        ``self._level_skip`` holds the number of already-adopted
+        candidates: whole emit steps are skipped structurally (their
+        candidate counts are closed-form), and the step containing the
+        resume point is entered with the residual offset — rework is
+        bounded by one kernel batch, never a whole step.
+        """
         cf = self.cost_fn
         levels = self.cache.levels
         c1 = cf.literal
+        skip = self._level_skip
+        self._level_skip = 0
 
         # Question mark.
         bounds = levels.bounds(cost - cf.question)
         if bounds is not None and bounds[0] < bounds[1]:
-            if self._emit_unary(OP_QUESTION, bounds[0], bounds[1]):
-                return True
+            n = bounds[1] - bounds[0]
+            if skip >= n:
+                skip -= n
+            else:
+                lo = bounds[0] + skip
+                skip = 0
+                if self._emit_unary(OP_QUESTION, lo, bounds[1]):
+                    return True
+                self._safe_point()
 
         # Kleene star.
         bounds = levels.bounds(cost - cf.star)
         if bounds is not None and bounds[0] < bounds[1]:
-            if self._emit_unary(OP_STAR, bounds[0], bounds[1]):
-                return True
+            n = bounds[1] - bounds[0]
+            if skip >= n:
+                skip -= n
+            else:
+                lo = bounds[0] + skip
+                skip = 0
+                if self._emit_unary(OP_STAR, lo, bounds[1]):
+                    return True
+                self._safe_point()
 
         # Concatenation: all ordered pairs (L, R) with L + R = budget.
         budget = cost - cf.concat
@@ -785,8 +1088,15 @@ class SearchEngine:
             if left[0] == left[1] or right[0] == right[1]:
                 continue
             pairings.append((left, right, False))
-        if pairings and self._emit_pair_group(OP_CONCAT, pairings):
-            return True
+        if pairings:
+            total = sum(_pair_candidates(p) for p in pairings)
+            if skip >= total:
+                skip -= total
+            else:
+                group_skip, skip = skip, 0
+                if self._emit_pair_group(OP_CONCAT, pairings, group_skip):
+                    return True
+                self._safe_point()
 
         # Union: commutative, so only pairs with L ≤ R (and i < j on the
         # diagonal — ``r + r`` never yields a new CS nor a new solution,
@@ -804,6 +1114,13 @@ class SearchEngine:
             if left[0] == left[1] or right[0] == right[1]:
                 continue
             pairings.append((left, right, left_cost == right_cost))
-        if pairings and self._emit_pair_group(OP_UNION, pairings):
-            return True
+        if pairings:
+            total = sum(_pair_candidates(p) for p in pairings)
+            if skip >= total:
+                skip -= total
+            else:
+                group_skip, skip = skip, 0
+                if self._emit_pair_group(OP_UNION, pairings, group_skip):
+                    return True
+                self._safe_point()
         return False

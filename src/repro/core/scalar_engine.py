@@ -94,6 +94,9 @@ class ScalarEngine(SearchEngine):
         if not self.otf and self.check_uniqueness:
             if not self._seen.insert(cs):
                 self._check_budget()
+                # A dedupe-rejected candidate is fully processed too —
+                # counting it keeps the partial interval an exact bound.
+                self._safe_point()
                 return False
         if self.solves_int(cs):
             self._record_solution(op, left, right, self._current_cost)
@@ -107,6 +110,9 @@ class ScalarEngine(SearchEngine):
         # so a solution at exactly the budget boundary is still found —
         # the vectorised engine truncates batches to the same boundary.
         self._check_budget()
+        # Every fully-processed candidate is a safe point here (the
+        # scalar engine has no batch accumulator).
+        self._safe_point()
         return False
 
     # ------------------------------------------------------------------
@@ -135,18 +141,37 @@ class ScalarEngine(SearchEngine):
         left: Tuple[int, int],
         right: Tuple[int, int],
         triangular: bool,
+        skip: int = 0,
     ) -> bool:
+        # A mid-level resume offset walks whole left-operand rows off
+        # ``skip`` (each row's candidate count is closed-form) and
+        # enters the row containing the resume point at the residual
+        # column — candidate order is untouched.
         cs_list = self._cache.cs_list
         if op == OP_CONCAT:
             for i in range(left[0], left[1]):
+                if skip:
+                    row = right[1] - right[0]
+                    if skip >= row:
+                        skip -= row
+                        continue
+                j_start = right[0] + skip
+                skip = 0
                 left_cs = cs_list[i]
-                for j in range(right[0], right[1]):
+                for j in range(j_start, right[1]):
                     if self._handle(self._concat(left_cs, cs_list[j]), op, i, j):
                         return True
         else:  # OP_UNION
             for i in range(left[0], left[1]):
-                left_cs = cs_list[i]
                 j_start = i + 1 if triangular else right[0]
+                if skip:
+                    row = right[1] - j_start
+                    if skip >= row:
+                        skip -= row
+                        continue
+                j_start += skip
+                skip = 0
+                left_cs = cs_list[i]
                 for j in range(j_start, right[1]):
                     if self._handle(left_cs | cs_list[j], op, i, j):
                         return True

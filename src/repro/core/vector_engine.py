@@ -59,6 +59,7 @@ from .engine import (
     OP_UNION,
     BudgetExhausted,
     SearchEngine,
+    _pair_candidates,
 )
 from .hashset import PackedKeySet
 from .shard import LaneMatcher
@@ -387,6 +388,11 @@ class VectorEngine(SearchEngine):
         if truncated:
             raise BudgetExhausted()
         self._check_budget()
+        # The batch is fully stored and the fused-emit accumulator is
+        # empty whenever this runs (``_flush`` drains it before calling
+        # in), so this is a safe point for partial checkpoints and
+        # preemption.
+        self._safe_point()
         return False
 
     def _store_rows(
@@ -472,6 +478,7 @@ class VectorEngine(SearchEngine):
         self,
         op: int,
         pairings: List[Tuple[Tuple[int, int], Tuple[int, int], bool]],
+        skip: int = 0,
     ) -> bool:
         """All same-constructor pairings of a level, fused.
 
@@ -480,17 +487,28 @@ class VectorEngine(SearchEngine):
         batches even when individual pairings are tiny — the batched
         stages' fixed costs amortise across the whole level.  A solution
         found mid-level flushes exactly like the per-pairing emit would:
-        the first satisfying candidate in order wins.
+        the first satisfying candidate in order wins.  A mid-level
+        resume offset skips whole pairings structurally and enters the
+        pairing containing the resume point at the residual offset.
         """
         self._accum.clear()
         self._accum_rows = 0
         try:
-            for left, right, triangular in pairings:
+            for pairing in pairings:
+                left, right, triangular = pairing
+                if skip:
+                    count = _pair_candidates(pairing)
+                    if skip >= count:
+                        skip -= count
+                        continue
+                pair_skip, skip = skip, 0
                 if op == OP_CONCAT:
-                    if self._emit_concat_pairs(left, right):
+                    if self._emit_concat_pairs(left, right, pair_skip):
                         return True
                 else:
-                    if self._emit_union_pairs(left, right, triangular):
+                    if self._emit_union_pairs(
+                        left, right, triangular, pair_skip
+                    ):
                         return True
             return self._flush(op)
         finally:
@@ -503,10 +521,11 @@ class VectorEngine(SearchEngine):
         left: Tuple[int, int],
         right: Tuple[int, int],
         triangular: bool,
+        skip: int = 0,
     ) -> bool:
         """One pairing on its own (kept for the `SearchEngine` surface);
         the level loop goes through :meth:`_emit_pair_group`."""
-        return self._emit_pair_group(op, [(left, right, triangular)])
+        return self._emit_pair_group(op, [(left, right, triangular)], skip)
 
     # ------------------------------------------------------------------
     # Intra-query sharding hooks (see repro.core.shard)
@@ -595,10 +614,16 @@ class VectorEngine(SearchEngine):
                     yield i0, i0 + 1, c0, min(c0 + cb, b8)
 
     def _emit_concat_pairs(
-        self, left: Tuple[int, int], right: Tuple[int, int]
+        self, left: Tuple[int, int], right: Tuple[int, int], skip: int = 0
     ) -> bool:
         """All concat candidates of one ``(left level, right level)``
-        pairing, gathered from the levels' cached planes."""
+        pairing, gathered from the levels' cached planes.
+
+        A mid-level resume offset (``skip``) drops whole pair blocks
+        without building them; only the block containing the resume
+        point is assembled and sliced past the already-adopted prefix —
+        rework is bounded by one block.
+        """
         kernels = self._kernels
         n_a = left[1] - left[0]
         n_b = right[1] - right[0]
@@ -609,14 +634,17 @@ class VectorEngine(SearchEngine):
         lanes = kernels.lanes
         right_all = None
         for i0, i1, c0, c1 in self._concat_blocks(n_a, n_b, b8):
+            j_lo = c0 * 8
+            j_hi = min(c1 * 8, n_b)
+            width = j_hi - j_lo
+            if skip >= (i1 - i0) * width:
+                skip -= (i1 - i0) * width
+                continue
             planes = kernels.concat_pair_planes(
                 left_planes, right_planes[:, c0:c1], i0, i1
             )
             cb8 = c1 - c0
             padded = unbitslice_rows(planes, (i1 - i0) * cb8 * 8, lanes)
-            j_lo = c0 * 8
-            j_hi = min(c1 * 8, n_b)
-            width = j_hi - j_lo
             rows = (
                 padded.reshape(i1 - i0, cb8 * 8, lanes)[:, :width]
                 .reshape(-1, lanes)
@@ -635,6 +663,11 @@ class VectorEngine(SearchEngine):
                     right[0] + j_lo, right[0] + j_hi, dtype=np.int64
                 )
             b_idx = np.tile(j_range, i1 - i0)
+            if skip:
+                rows = rows[skip:]
+                a_idx = a_idx[skip:]
+                b_idx = b_idx[skip:]
+                skip = 0
             if self._push(OP_CONCAT, rows, a_idx, b_idx):
                 return True
         return False
@@ -689,10 +722,23 @@ class VectorEngine(SearchEngine):
             i = i2
 
     def _emit_union_pairs(
-        self, left: Tuple[int, int], right: Tuple[int, int], triangular: bool
+        self,
+        left: Tuple[int, int],
+        right: Tuple[int, int],
+        triangular: bool,
+        skip: int = 0,
     ) -> bool:
         matrix = self._cache.matrix
         for a_idx, b_idx in self._union_blocks(left, right, triangular):
+            if skip:
+                # Mid-level resume: drop already-adopted pairs before
+                # any rows are gathered.
+                if skip >= a_idx.size:
+                    skip -= a_idx.size
+                    continue
+                a_idx = a_idx[skip:]
+                b_idx = b_idx[skip:]
+                skip = 0
             rows = matrix.take(a_idx, axis=0)
             rows |= matrix.take(b_idx, axis=0)
             if self._push(OP_UNION, rows, a_idx, b_idx):

@@ -48,6 +48,7 @@ from __future__ import annotations
 
 import asyncio
 import dataclasses
+import hmac
 import os
 import threading
 import time
@@ -90,6 +91,18 @@ MAINTENANCE_EVERY = 8
 
 #: Seconds a kept-alive connection may sit idle between requests.
 KEEPALIVE_IDLE_S = 10.0
+
+
+#: ``result.extra`` keys forwarded in the HTTP job document — the
+#: scalar scheduling/durability counters, never the heavyweight
+#: payloads (trace, level stats) that have endpoints of their own.
+_WIRE_EXTRA_KEYS = (
+    "attempts",
+    "preemptions",
+    "resumed_levels",
+    "partial_resumes",
+    "partial_checkpoints",
+)
 
 
 class _JobRecord:
@@ -158,6 +171,19 @@ class _JobRecord:
             data["trace_id"] = self.trace_id
         if self.result is not None:
             data["result"] = self.result.to_dict()
+            extra = getattr(self.result, "extra", None)
+            if isinstance(extra, dict):
+                # The scheduling/durability story of this particular
+                # job — how many attempts it took, whether it was
+                # preempted, what it resumed from — is exactly what an
+                # HTTP client cannot reconstruct any other way.
+                wire_extra = {
+                    key: extra[key]
+                    for key in _WIRE_EXTRA_KEYS
+                    if key in extra
+                }
+                if wire_extra:
+                    data["result"]["extra"] = wire_extra
         if self.error is not None:
             data["error"] = self.error
         return data
@@ -184,6 +210,12 @@ class SynthesisServer:
         shard_width_threshold: int = DEFAULT_SHARD_WIDTH_THRESHOLD,
         checkpoint_budget_bytes: Optional[int] = None,
         checkpoints: bool = True,
+        auth_token: Optional[str] = None,
+        preempt_on_saturation: bool = True,
+        brownout_enter_after_s: float = 2.0,
+        brownout_exit_after_s: float = 5.0,
+        retry_backoff_s: float = 0.05,
+        retry_jitter: float = 0.25,
     ) -> None:
         self.host = host
         self.port = port
@@ -193,6 +225,12 @@ class SynthesisServer:
         self.max_shard_workers = max_shard_workers
         self.shard_width_threshold = shard_width_threshold
         self.checkpoint_budget_bytes = checkpoint_budget_bytes
+        #: Bearer token every request must present (None = open server).
+        self.auth_token = auth_token
+        #: Preempt the longest-running batch attempt when an interactive
+        #: submission finds its lane saturated (set False to disable).
+        self.preempt_on_saturation = preempt_on_saturation
+        self.preemptions_triggered = 0
         lane_workers = {
             CLASS_INTERACTIVE: max(1, interactive_workers),
             CLASS_BATCH: max(1, batch_workers),
@@ -206,6 +244,8 @@ class SynthesisServer:
                 per_worker_depth=per_worker_depth,
                 reuse_results=reuse_results,
                 checkpoints=checkpoints,
+                retry_backoff_s=retry_backoff_s,
+                retry_jitter=retry_jitter,
             )
             for klass in CLASSES
         }
@@ -218,7 +258,11 @@ class SynthesisServer:
         bounds.setdefault(CLASS_BATCH, 32)
         self.latency = LatencyTracker()
         self.admission = AdmissionController(
-            slots=slots, max_queue=bounds, latency=self.latency
+            slots=slots,
+            max_queue=bounds,
+            latency=self.latency,
+            brownout_enter_after_s=brownout_enter_after_s,
+            brownout_exit_after_s=brownout_exit_after_s,
         )
         history_path = (
             Path(store_dir) / "history.json" if store_dir is not None else None
@@ -397,6 +441,22 @@ class SynthesisServer:
 
     async def _route(self, request: Request, reader, writer) -> bool:
         """Dispatch one request; True when the connection must close."""
+        if self.auth_token is not None:
+            supplied = request.headers.get("authorization") or ""
+            expected = "Bearer %s" % self.auth_token
+            # Constant-time compare: a timing oracle on the token
+            # would let a remote caller recover it byte by byte.
+            if not hmac.compare_digest(
+                supplied.encode("utf-8", "replace"),
+                expected.encode("utf-8"),
+            ):
+                await http11.send_response(
+                    writer,
+                    401,
+                    {"error": "missing or invalid bearer token"},
+                    headers={"WWW-Authenticate": "Bearer"},
+                )
+                return False
         path, method = request.path, request.method
         if path == "/jobs":
             if method != "POST":
@@ -505,6 +565,23 @@ class SynthesisServer:
             )
             return
 
+        # Latency protection: an interactive admission that finds its
+        # lane saturated evicts the longest-running batch attempt — the
+        # batch job checkpoints mid-level and requeues, freeing cores
+        # for the interactive burst while losing almost no work.
+        preempted_job = None
+        preempt_started = preempt_ended = None
+        if (
+            klass == CLASS_INTERACTIVE
+            and self.preempt_on_saturation
+            and self.admission.interactive_saturated()
+        ):
+            preempt_started = time.time()
+            preempted_job = self.lanes[CLASS_BATCH].preempt_longest_running()
+            preempt_ended = time.time()
+            if preempted_job is not None:
+                self.preemptions_triggered += 1
+
         shards = choose_shard_workers(
             wire,
             self.history,
@@ -557,6 +634,15 @@ class SynthesisServer:
                     **{"class": klass},
                 ),
             ]
+            if preempted_job is not None:
+                server_spans.append(
+                    server_span(
+                        "preempt-batch",
+                        preempt_started,
+                        preempt_ended,
+                        preempted_job_id=preempted_job,
+                    )
+                )
             wire = dataclasses.replace(
                 wire, trace_ctx=ctx.child(root_span_id)
             )
@@ -864,7 +950,12 @@ class SynthesisServer:
     def health(self) -> dict:
         """The ``/healthz`` document (also handy for in-process tests)."""
         lanes = {}
-        counters = {"retries": 0, "respawns": 0, "quarantined": 0}
+        counters = {
+            "retries": 0,
+            "respawns": 0,
+            "quarantined": 0,
+            "preemptions": 0,
+        }
         last_quarantine = None
         for klass, lane in self.lanes.items():
             liveness = lane.liveness()
@@ -901,6 +992,8 @@ class SynthesisServer:
             "quarantine": quarantine,
             "last_quarantine_at": last_quarantine,
             "admission": self.admission.depth_snapshot(),
+            "brownout": self.admission.brownout_snapshot(),
+            "preemptions_triggered": self.preemptions_triggered,
             "latency": self.latency.snapshot(),
             "jobs": dict(self._status_counts),
             "history_profiles": len(self.history),
@@ -948,6 +1041,37 @@ class SynthesisServer:
             "Submissions rejected with 429, per class.",
             "counter",
             [({"class": k}, depth[k]["rejected"]) for k in CLASSES],
+        )
+        brownout = self.admission.brownout_snapshot()
+        metric(
+            "repro_brownout_active",
+            "1 while batch admissions are being shed to protect the "
+            "interactive lane.",
+            "gauge",
+            [({}, 1 if brownout["active"] else 0)],
+        )
+        metric(
+            "repro_brownout_rejections_total",
+            "Batch submissions shed while brownout was active.",
+            "counter",
+            [({}, brownout["rejections"])],
+        )
+        metric(
+            "repro_preemptions_total",
+            "Running attempts preempted to a mid-level checkpoint, "
+            "per lane.",
+            "counter",
+            [
+                ({"class": klass},
+                 int(self.lanes[klass].stats.get("preemptions", 0)))
+                for klass in CLASSES
+            ],
+        )
+        metric(
+            "repro_preemption_triggers_total",
+            "Interactive admissions that evicted a batch attempt.",
+            "counter",
+            [({}, self.preemptions_triggered)],
         )
         metric(
             "repro_jobs_total",

@@ -69,7 +69,12 @@ class HttpServiceClient:
     its own dedicated connection.
     """
 
-    def __init__(self, address: str, timeout: float = 30.0) -> None:
+    def __init__(
+        self,
+        address: str,
+        timeout: float = 30.0,
+        auth_token: Optional[str] = None,
+    ) -> None:
         split = urlsplit(
             address if "//" in address else "http://%s" % address
         )
@@ -78,7 +83,14 @@ class HttpServiceClient:
         self.host = split.hostname or "127.0.0.1"
         self.port = split.port or 80
         self.timeout = timeout
+        self.auth_token = auth_token
         self._connection: Optional[http.client.HTTPConnection] = None
+
+    def _headers(self, payload: Optional[bytes]) -> dict:
+        headers = {"Content-Type": "application/json"} if payload else {}
+        if self.auth_token is not None:
+            headers["Authorization"] = "Bearer %s" % self.auth_token
+        return headers
 
     def close(self) -> None:
         """Drop the persistent connection (reopened on the next call)."""
@@ -111,8 +123,9 @@ class HttpServiceClient:
         payload = (
             json.dumps(body).encode("utf-8") if body is not None else None
         )
-        headers = {"Content-Type": "application/json"} if payload else {}
-        connection.request(method, path, body=payload, headers=headers)
+        connection.request(
+            method, path, body=payload, headers=self._headers(payload)
+        )
         return connection, connection.getresponse()
 
     def _persistent_response(
@@ -127,7 +140,7 @@ class HttpServiceClient:
         payload = (
             json.dumps(body).encode("utf-8") if body is not None else None
         )
-        headers = {"Content-Type": "application/json"} if payload else {}
+        headers = self._headers(payload)
         for attempt in (0, 1):
             if self._connection is None:
                 self._connection = http.client.HTTPConnection(

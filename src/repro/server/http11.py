@@ -42,6 +42,7 @@ _REASONS = {
     202: "Accepted",
     204: "No Content",
     400: "Bad Request",
+    401: "Unauthorized",
     404: "Not Found",
     405: "Method Not Allowed",
     409: "Conflict",

@@ -23,7 +23,11 @@ policy is unit-testable without sockets or worker processes:
   burns them).
 * :class:`AdmissionController` — per-class concurrency bookkeeping with
   a bounded queue: past the bound a submission is *rejected* with a
-  suggested Retry-After instead of growing an unbounded backlog.
+  suggested Retry-After instead of growing an unbounded backlog.  Under
+  *sustained* interactive saturation it additionally enters **brownout**
+  — a degraded mode that sheds batch admissions outright until the
+  interactive lane has been calm for a while — so a standing batch flood
+  cannot keep the interactive lane pinned at its queue bound.
 * :class:`LatencyTracker` — per-class p50/p99 over a sliding window,
   feeding both ``/metrics`` and the Retry-After estimate.
 """
@@ -33,9 +37,10 @@ from __future__ import annotations
 import json
 import math
 import threading
+import time
 from collections import deque
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional
 
 #: Workload classes.
 CLASS_INTERACTIVE = "interactive"
@@ -337,6 +342,15 @@ class AdmissionController:
     overload degrades to fast 429s instead of an unbounded queue whose
     every entry times out.  The suggested Retry-After is the backlog
     drained at the class's measured p50 (1s floor when unmeasured).
+
+    **Brownout.**  When the interactive lane has been *saturated*
+    (``live >= slots``) continuously for ``brownout_enter_after_s``,
+    the controller enters brownout: batch submissions are shed with
+    ``reason="brownout"`` regardless of batch capacity, while
+    interactive admissions keep their normal bounds.  Brownout exits
+    after the interactive lane has been below saturation continuously
+    for ``brownout_exit_after_s`` (hysteresis, so the mode does not
+    flap on a single completion).  The clock is injectable for tests.
     """
 
     def __init__(
@@ -344,6 +358,9 @@ class AdmissionController:
         slots: Dict[str, int],
         max_queue: Dict[str, int],
         latency: Optional[LatencyTracker] = None,
+        brownout_enter_after_s: float = 2.0,
+        brownout_exit_after_s: float = 5.0,
+        clock: Callable[[], float] = time.monotonic,
     ) -> None:
         self.slots = dict(slots)
         self.max_queue = dict(max_queue)
@@ -351,16 +368,64 @@ class AdmissionController:
         self._lock = threading.Lock()
         self._live: Dict[str, int] = {klass: 0 for klass in CLASSES}
         self.rejected: Dict[str, int] = {klass: 0 for klass in CLASSES}
+        self.brownout_enter_after_s = float(brownout_enter_after_s)
+        self.brownout_exit_after_s = float(brownout_exit_after_s)
+        self._clock = clock
+        self.brownout_active = False
+        self.brownout_rejections = 0
+        self._saturated_since: Optional[float] = None
+        self._calm_since: Optional[float] = None
 
     def live(self, klass: str) -> int:
         """Jobs currently admitted (queued or running) in ``klass``."""
         with self._lock:
             return self._live.get(klass, 0)
 
+    # -- brownout state machine ---------------------------------------
+    def _saturated_locked(self) -> bool:
+        slots = max(1, self.slots.get(CLASS_INTERACTIVE, 1))
+        return self._live.get(CLASS_INTERACTIVE, 0) >= slots
+
+    def _update_brownout_locked(self, now: float) -> None:
+        if self._saturated_locked():
+            self._calm_since = None
+            if self._saturated_since is None:
+                self._saturated_since = now
+            if (
+                not self.brownout_active
+                and now - self._saturated_since >= self.brownout_enter_after_s
+            ):
+                self.brownout_active = True
+        else:
+            self._saturated_since = None
+            if self._calm_since is None:
+                self._calm_since = now
+            if (
+                self.brownout_active
+                and now - self._calm_since >= self.brownout_exit_after_s
+            ):
+                self.brownout_active = False
+
+    def interactive_saturated(self) -> bool:
+        """Is the interactive lane at (or past) its concurrency quota?"""
+        with self._lock:
+            return self._saturated_locked()
+
     def try_admit(self, klass: str) -> Admission:
         """Admit (and count) one job, or reject with a Retry-After."""
         capacity = self.slots.get(klass, 1) + self.max_queue.get(klass, 0)
+        now = self._clock()
         with self._lock:
+            self._update_brownout_locked(now)
+            if klass == CLASS_BATCH and self.brownout_active:
+                self.brownout_rejections += 1
+                self.rejected[klass] = self.rejected.get(klass, 0) + 1
+                return Admission(
+                    admitted=False,
+                    klass=klass,
+                    retry_after_s=max(1.0, self.brownout_exit_after_s),
+                    reason="brownout",
+                )
             live = self._live.get(klass, 0)
             if live >= capacity:
                 self.rejected[klass] = self.rejected.get(klass, 0) + 1
@@ -373,12 +438,14 @@ class AdmissionController:
                     % (klass, live, capacity),
                 )
             self._live[klass] = live + 1
+            self._update_brownout_locked(now)
         return Admission(admitted=True, klass=klass)
 
     def release(self, klass: str) -> None:
         """One admitted job finished (any terminal state)."""
         with self._lock:
             self._live[klass] = max(0, self._live.get(klass, 0) - 1)
+            self._update_brownout_locked(self._clock())
 
     def retry_after(self, klass: str, queued: int) -> float:
         """Seconds until the class's backlog plausibly has room."""
@@ -399,6 +466,15 @@ class AdmissionController:
                     "rejected": self.rejected.get(klass, 0),
                 }
                 for klass in CLASSES
+            }
+
+    def brownout_snapshot(self) -> Dict[str, object]:
+        """Brownout mode state for ``/metrics`` and ``/healthz``."""
+        with self._lock:
+            self._update_brownout_locked(self._clock())
+            return {
+                "active": self.brownout_active,
+                "rejections": self.brownout_rejections,
             }
 
 

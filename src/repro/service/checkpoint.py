@@ -30,6 +30,17 @@ so recovery is never worse than a shorter resume.  Concurrent appenders
 (pool siblings finishing the same level) serialise on the lock file and
 dedupe by cost, and since enumeration is deterministic they would write
 identical payloads anyway.
+
+Alongside completed levels the journal also carries **partial-level**
+records (:class:`~repro.core.engine.PartialLevelCheckpoint`): the
+emit-loop progress inside the level currently being built, written at
+the engine's safe points so a SIGKILL — or a preemption — mid-wide-level
+resumes from the last partial instead of the level start.  Manifest
+records carry ``"kind": "level" | "partial"`` (absent means level, for
+journals written before partials existed).  Only the newest partial is
+manifest-reachable; superseded partials become orphan journal bytes like
+any torn append, and a completed level drops every partial at or below
+its cost.
 """
 
 from __future__ import annotations
@@ -44,7 +55,7 @@ from pathlib import Path
 from typing import List, Optional
 
 from ..core.cache import cache_version_fingerprint
-from ..core.engine import LevelCheckpoint
+from ..core.engine import LevelCheckpoint, PartialLevelCheckpoint
 from ..regex.cost import CostFunction
 from ..testing.faults import fault_point
 from .store import atomic_write_bytes
@@ -125,17 +136,27 @@ class CheckpointStore:
             if not isinstance(record, dict):
                 return out
             try:
+                kind = record.get("kind", "level")
+                if kind not in ("level", "partial"):
+                    return out
                 out.append(
                     {
                         "cost": int(record["cost"]),
                         "offset": int(record["offset"]),
                         "length": int(record["length"]),
                         "generated_total": int(record["generated_total"]),
+                        "kind": kind,
                     }
                 )
             except (KeyError, TypeError, ValueError):
                 return out
         return out
+
+    @staticmethod
+    def _record_order(record: dict):
+        # Levels sort before a partial of the same cost (a partial always
+        # describes the level right after the last complete one).
+        return (record["cost"], 0 if record["kind"] == "level" else 1)
 
     def _write_manifest(self, key: str, records: List[dict]) -> None:
         payload = json.dumps(
@@ -145,44 +166,109 @@ class CheckpointStore:
 
     # ------------------------------------------------------------------
     def levels_recorded(self, key: str) -> List[int]:
-        """Costs the manifest currently lists (cheap; no payload reads)."""
-        return [record["cost"] for record in self._read_manifest(key)]
+        """Level costs the manifest currently lists (no payload reads)."""
+        return [
+            record["cost"]
+            for record in self._read_manifest(key)
+            if record["kind"] == "level"
+        ]
+
+    def _journal_record(self, key: str, payload: bytes) -> int:
+        """Append one digest-framed record; returns its journal offset."""
+        digest = hashlib.sha256(payload).digest()
+        with open(self._journal_path(key), "ab") as handle:
+            offset = handle.tell()
+            handle.write(_HEADER.pack(_RECORD_MAGIC, len(payload)))
+            handle.write(digest)
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        return offset
 
     def append_level(self, key: str, level: LevelCheckpoint) -> bool:
         """Journal one completed level; returns False when its cost is
-        already recorded (a pool sibling got there first)."""
+        already recorded (a pool sibling got there first).
+
+        A completed level supersedes every partial at or below its cost:
+        those manifest records are dropped in the same atomic rewrite,
+        their journal bytes becoming unreachable orphans.
+        """
         with self._locked(key):
             records = self._read_manifest(key)
-            if any(record["cost"] == level.cost for record in records):
+            if any(
+                record["cost"] == level.cost and record["kind"] == "level"
+                for record in records
+            ):
                 return False
             payload = pickle.dumps(
                 level.to_payload(), protocol=pickle.HIGHEST_PROTOCOL
             )
-            digest = hashlib.sha256(payload).digest()
-            with open(self._journal_path(key), "ab") as handle:
-                offset = handle.tell()
-                handle.write(_HEADER.pack(_RECORD_MAGIC, len(payload)))
-                handle.write(digest)
-                handle.write(payload)
-                handle.flush()
-                os.fsync(handle.fileno())
+            offset = self._journal_record(key, payload)
             # A crash here (the injection point) loses only the manifest
             # update: the journal bytes become unreachable orphans and
             # the level is re-journalled at the end of the file later.
             fault_point("checkpoint.append")
+            records = [
+                record
+                for record in records
+                if not (
+                    record["kind"] == "partial"
+                    and record["cost"] <= level.cost
+                )
+            ]
             records.append(
                 {
                     "cost": int(level.cost),
                     "offset": offset,
                     "length": len(payload),
                     "generated_total": int(level.generated_total),
+                    "kind": "level",
                 }
             )
-            records.sort(key=lambda record: record["cost"])
+            records.sort(key=self._record_order)
             self._write_manifest(key, records)
             return True
 
-    def _read_record(self, handle, record: dict) -> Optional[LevelCheckpoint]:
+    def append_partial(
+        self, key: str, partial: PartialLevelCheckpoint
+    ) -> bool:
+        """Journal the current mid-level progress snapshot.
+
+        Keeps at most one partial per key — the newest one replaces any
+        older partial in the manifest.  Returns False when a completed
+        level already covers the partial's cost (nothing to resume).
+        """
+        with self._locked(key):
+            records = self._read_manifest(key)
+            if any(
+                record["kind"] == "level" and record["cost"] >= partial.cost
+                for record in records
+            ):
+                return False
+            payload = pickle.dumps(
+                partial.to_payload(), protocol=pickle.HIGHEST_PROTOCOL
+            )
+            offset = self._journal_record(key, payload)
+            # Same crash window as append_level: dying here orphans the
+            # fresh bytes and keeps the previous partial reachable.
+            fault_point("checkpoint.append_partial")
+            records = [
+                record for record in records if record["kind"] != "partial"
+            ]
+            records.append(
+                {
+                    "cost": int(partial.cost),
+                    "offset": offset,
+                    "length": len(payload),
+                    "generated_total": int(partial.generated_total),
+                    "kind": "partial",
+                }
+            )
+            records.sort(key=self._record_order)
+            self._write_manifest(key, records)
+            return True
+
+    def _read_record(self, handle, record: dict, cls=LevelCheckpoint):
         """One verified journal record, or None when it fails any check."""
         try:
             handle.seek(record["offset"])
@@ -198,7 +284,7 @@ class CheckpointStore:
                 return None
             if hashlib.sha256(payload).digest() != digest:
                 return None
-            level = LevelCheckpoint.from_payload(pickle.loads(payload))
+            level = cls.from_payload(pickle.loads(payload))
         except Exception:
             return None
         if level.cost != record["cost"]:
@@ -216,7 +302,11 @@ class CheckpointStore:
         manifest is rewritten to match (self-healing) — the bad tail is
         simply re-enumerated and re-journalled by the next run.
         """
-        records = self._read_manifest(key)
+        records = [
+            record
+            for record in self._read_manifest(key)
+            if record["kind"] == "level"
+        ]
         if not records:
             return []
         levels: List[LevelCheckpoint] = []
@@ -242,6 +332,45 @@ class CheckpointStore:
         if upto_cost is not None:
             levels = [level for level in levels if level.cost <= upto_cost]
         return levels
+
+    def load_partial(self, key: str) -> Optional[PartialLevelCheckpoint]:
+        """The manifest's partial record, verified, or None.
+
+        A usable partial describes the cost right after the last
+        *consecutive* complete level (the engine re-checks that before
+        adopting it, so a stale or orphaned partial degrades to a
+        level-start resume, never a wrong one).  A partial that fails
+        its digest is dropped from the manifest on the spot — the level
+        prefix stays intact.
+        """
+        records = self._read_manifest(key)
+        partial_records = [r for r in records if r["kind"] == "partial"]
+        if not partial_records:
+            return None
+        record = partial_records[-1]
+        try:
+            handle = open(self._journal_path(key), "rb")
+        except OSError:
+            return None
+        with handle:
+            partial = self._read_record(
+                handle, record, cls=PartialLevelCheckpoint
+            )
+        if partial is None:
+            # Torn or bit-rotten: drop just the partial record so the
+            # next run resumes from the intact level prefix.
+            try:
+                with self._locked(key):
+                    current = self._read_manifest(key)
+                    survivors = [
+                        r for r in current if r["kind"] != "partial"
+                    ]
+                    if len(survivors) != len(current):
+                        self._write_manifest(key, survivors)
+            except OSError:
+                pass
+            return None
+        return partial
 
     # ------------------------------------------------------------------
     # GC / size budgeting

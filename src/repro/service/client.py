@@ -38,8 +38,18 @@ class ServiceClient:
         max_staged_per_worker: Optional[int] = 64,
         retry_max_attempts: int = 3,
         retry_backoff_s: float = 0.05,
+        retry_jitter: float = 0.25,
         checkpoints: bool = True,
+        partial_every_candidates: Optional[int] = None,
+        partial_every_s: Optional[float] = None,
     ) -> None:
+        pool_kwargs = {}
+        # None keeps the pool's defaults (the store-backed session's
+        # cadence constants) rather than disabling the intervals.
+        if partial_every_candidates is not None:
+            pool_kwargs["partial_every_candidates"] = partial_every_candidates
+        if partial_every_s is not None:
+            pool_kwargs["partial_every_s"] = partial_every_s
         self.pool = WorkerPool(
             workers=workers,
             config=config,
@@ -50,7 +60,9 @@ class ServiceClient:
             max_staged_per_worker=max_staged_per_worker,
             retry_max_attempts=retry_max_attempts,
             retry_backoff_s=retry_backoff_s,
+            retry_jitter=retry_jitter,
             checkpoints=checkpoints,
+            **pool_kwargs,
         )
 
     # ------------------------------------------------------------------
@@ -103,6 +115,14 @@ class ServiceClient:
     def cancel(self, job_id: str) -> bool:
         """Cancel a job by id."""
         return self.pool.cancel(job_id)
+
+    def preempt(self, job_id: str) -> bool:
+        """Ask a running job to checkpoint and yield its worker."""
+        return self.pool.preempt(job_id)
+
+    def preempt_longest_running(self) -> Optional[str]:
+        """Preempt the oldest running attempt; returns its job id."""
+        return self.pool.preempt_longest_running()
 
     # ------------------------------------------------------------------
     @property

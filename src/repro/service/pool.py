@@ -15,8 +15,14 @@ answers any job bit-identically, so stealing never changes results.
 Plumbing (all standard ``multiprocessing``):
 
 * one task queue per worker (so affinity routing is explicit),
-* one shared result queue drained by a collector thread in the parent
-  (job results, forwarded progress events, worker stats),
+* one result queue per worker, drained by a collector thread in the
+  parent (job results, forwarded progress events, worker stats).  The
+  result path is deliberately *not* shared: a ``multiprocessing.Queue``
+  write lock dies with whichever process holds it, so with a shared
+  queue one SIGKILLed worker whose feeder thread was mid-write would
+  deadlock every other worker's reporting.  Per-worker queues confine
+  that poisoning to the dead worker, and the reaper replaces its queue
+  along with its process,
 * one ``Manager`` providing per-job cancellation events; inside the
   worker a tiny watchdog thread mirrors the cross-process event into a
   process-local flag that the engine's ``cancel_check`` polls for free.
@@ -31,7 +37,9 @@ from __future__ import annotations
 import atexit
 import json
 import multiprocessing
+import multiprocessing.connection
 import os
+import random
 import threading
 import time
 import traceback
@@ -75,6 +83,8 @@ def _worker_main(
     store_dir: Optional[str],
     max_staged: Optional[int],
     checkpoints: bool,
+    partial_every_candidates: Optional[int],
+    partial_every_s: Optional[float],
     task_queue,
     result_queue,
 ) -> None:
@@ -94,22 +104,31 @@ def _worker_main(
         max_staged=max_staged,
         staging_store=staging_store,
         checkpoint_store=checkpoint_store,
+        partial_every_candidates=partial_every_candidates,
+        partial_every_s=partial_every_s,
     )
     while True:
         message = task_queue.get()
         if message[0] == "shutdown":
             break
-        _, job_id, wire, cancel_event = message
+        _, job_id, wire, cancel_event, preempt_event = message
         fault_point("pool.worker.before_job")
         local_cancel = threading.Event()
+        local_preempt = threading.Event()
         stop_watchdog = threading.Event()
 
         def watch() -> None:
+            # One watchdog mirrors both cross-process control events
+            # into process-local flags the engine's probes poll for
+            # free: ``cancel`` stops the job for good, ``preempt``
+            # checkpoints it at the next safe point and hands it back.
             while not stop_watchdog.is_set():
                 try:
                     if cancel_event.is_set():
                         local_cancel.set()
                         return
+                    if preempt_event.is_set():
+                        local_preempt.set()
                 except (BrokenPipeError, EOFError, ConnectionError):
                     return
                 stop_watchdog.wait(_WATCHDOG_POLL_S)
@@ -127,7 +146,9 @@ def _worker_main(
             result_queue.put(("progress", worker_id, job_id, event))
 
         request = wire.to_request().replace(
-            cancel=local_cancel.is_set, on_progress=forward_progress
+            cancel=local_cancel.is_set,
+            preempt=local_preempt.is_set,
+            on_progress=forward_progress,
         )
         tracer = None
         if wire.trace_ctx is not None:
@@ -155,6 +176,11 @@ def _worker_main(
                     result.extra["trace"] = trace_payload(
                         tracer.trace_id, tracer.drain()
                     )
+            if result.status == "preempted":
+                # The injection point for dying between the preemption
+                # checkpoint and the handback — the reaper then retries
+                # the job, which resumes from the same partial record.
+                fault_point("pool.worker.preempt")
             fault_point("pool.worker.after_job")
             result_queue.put(
                 ("done", worker_id, job_id, result, _session_stats(session))
@@ -181,6 +207,8 @@ def _session_stats(session: Session) -> Dict[str, int]:
         snapshot["store_saves"] = session.store_saves
         snapshot["checkpoint_loads"] = session.checkpoint_loads
         snapshot["checkpoint_saves"] = session.checkpoint_saves
+        snapshot["partial_saves"] = session.partial_saves
+        snapshot["partial_loads"] = session.partial_loads
         snapshot["resumed_queries"] = session.resumed_queries
     return snapshot
 
@@ -188,13 +216,16 @@ def _session_stats(session: Session) -> Dict[str, int]:
 class _WorkerState:
     """Parent-side bookkeeping for one worker process."""
 
-    __slots__ = ("worker_id", "process", "task_queue", "inflight", "load",
-                 "warm", "served", "stats", "dead", "_warm_capacity")
+    __slots__ = ("worker_id", "process", "task_queue", "result_queue",
+                 "inflight", "load", "warm", "served", "stats", "dead",
+                 "_warm_capacity")
 
-    def __init__(self, worker_id: int, process, task_queue, warm_capacity):
+    def __init__(self, worker_id: int, process, task_queue, result_queue,
+                 warm_capacity):
         self.worker_id = worker_id
         self.process = process
         self.task_queue = task_queue
+        self.result_queue = result_queue
         self.inflight: set = set()
         #: Slot-weighted in-flight load (a sharded job claims
         #: ``job.slots`` slots of this worker's depth, not one).
@@ -246,7 +277,14 @@ class WorkerPool:
         reuse_results: bool = False,
         retry_max_attempts: int = 3,
         retry_backoff_s: float = 0.05,
+        retry_jitter: float = 0.25,
         checkpoints: bool = True,
+        partial_every_candidates: Optional[int] = (
+            StoreBackedSession.PARTIAL_EVERY_CANDIDATES
+        ),
+        partial_every_s: Optional[float] = (
+            StoreBackedSession.PARTIAL_EVERY_S
+        ),
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -268,7 +306,17 @@ class WorkerPool:
         #: Base of the exponential retry backoff (delay of retry *n* is
         #: ``retry_backoff_s * 2**(n-1)``).
         self.retry_backoff_s = retry_backoff_s
+        if retry_jitter < 0:
+            raise ValueError("retry_jitter must be >= 0")
+        #: Random jitter fraction on every backoff delay (a delay of
+        #: ``d`` becomes ``d * uniform(1, 1 + retry_jitter)``), so jobs
+        #: orphaned or preempted together don't requeue in lockstep.
+        self.retry_jitter = retry_jitter
         self.checkpoints = checkpoints
+        #: Mid-level checkpoint cadence handed to every worker session
+        #: (see :class:`~repro.service.store.StoreBackedSession`).
+        self.partial_every_candidates = partial_every_candidates
+        self.partial_every_s = partial_every_s
         # The parent only touches results (dedup fast path + persisting
         # answers); staging stores live worker-side, in each worker's
         # StoreBackedSession.
@@ -289,6 +337,7 @@ class WorkerPool:
             "retries": 0,
             "quarantined": 0,
             "respawns": 0,
+            "preemptions": 0,
         }
         self._lock = threading.RLock()
         #: job_id → (job, backoff timer) for jobs waiting out a retry
@@ -297,6 +346,10 @@ class WorkerPool:
         self._workers: List[_WorkerState] = []
         self._jobs_by_id: Dict[str, Job] = {}
         self._cancel_events: Dict[str, object] = {}
+        self._preempt_events: Dict[str, object] = {}
+        #: job_id → monotonic dispatch epoch of the current attempt
+        #: (what "longest-running" means to the preemption picker).
+        self._dispatched_at: Dict[str, float] = {}
         self._pending_final_events: Dict[str, object] = {}
         #: Traced jobs only: submit epoch (for the queue-wait span) and
         #: parent-side spans waiting to join the result's trace.
@@ -306,7 +359,6 @@ class WorkerPool:
         self.last_quarantine_at: Optional[float] = None
         self._mp = multiprocessing.get_context()
         self._manager = None
-        self._result_queue = None
         self._collector: Optional[threading.Thread] = None
         self._collector_stop = threading.Event()
         self._atexit_hook = None
@@ -322,9 +374,9 @@ class WorkerPool:
             if self._started:
                 return self
             self._manager = self._mp.Manager()
-            self._result_queue = self._mp.Queue()
             for worker_id in range(self.n_workers):
                 task_queue = self._mp.Queue()
+                result_queue = self._mp.Queue()
                 # Workers are NOT daemonic: a daemonic process may not
                 # spawn children, and a job configured with
                 # ``shard_workers >= 2`` fans out inside its worker (see
@@ -333,10 +385,12 @@ class WorkerPool:
                 # below replaces the daemon flag's normal-exit cleanup;
                 # a hard-killed parent orphans children under either
                 # flag, so no safety is lost.
-                process = self._spawn_process(worker_id, task_queue)
+                process = self._spawn_process(
+                    worker_id, task_queue, result_queue
+                )
                 self._workers.append(
                     _WorkerState(
-                        worker_id, process, task_queue,
+                        worker_id, process, task_queue, result_queue,
                         self.max_staged_per_worker,
                     )
                 )
@@ -353,7 +407,7 @@ class WorkerPool:
             self._started = True
         return self
 
-    def _spawn_process(self, worker_id: int, task_queue):
+    def _spawn_process(self, worker_id: int, task_queue, result_queue):
         """Start one worker process (initial spawn and respawn share it)."""
         process = self._mp.Process(
             target=_worker_main,
@@ -363,8 +417,10 @@ class WorkerPool:
                 self.store_dir,
                 self.max_staged_per_worker,
                 self.checkpoints,
+                self.partial_every_candidates,
+                self.partial_every_s,
                 task_queue,
-                self._result_queue,
+                result_queue,
             ),
             daemon=False,
             name="repro-worker-%d" % worker_id,
@@ -408,15 +464,10 @@ class WorkerPool:
             if worker.process.is_alive():  # pragma: no cover - safety net
                 worker.process.terminate()
                 worker.process.join(timeout=5)
-        # Let the collector drain the final per-worker stats messages,
-        # then stop it.
-        # Stop the collector via sentinel AND flag: the sentinel stops
-        # it after everything already queued (workers' farewell stats)
-        # is drained; the flag guarantees exit within one poll tick
-        # even if the sentinel is lost to a stream a killed worker
-        # corrupted mid-write.
+        # Stop the collector: the flag is honoured only after a sweep
+        # that drained nothing, so everything already queued (the
+        # workers' farewell stats) is processed first.
         self._collector_stop.set()
-        self._result_queue.put(("__exit__",))
         if self._collector is not None:
             self._collector.join(timeout=10)
         self._manager.shutdown()
@@ -428,8 +479,8 @@ class WorkerPool:
         for worker in self._workers:
             worker.task_queue.close()
             worker.task_queue.cancel_join_thread()
-        self._result_queue.close()
-        self._result_queue.cancel_join_thread()
+            worker.result_queue.close()
+            worker.result_queue.cancel_join_thread()
         # Whatever is still unanswered now (``wait=False`` with jobs in
         # flight, or a worker terminated past the join timeout) will
         # never get a worker reply — fail it so blocked
@@ -462,11 +513,12 @@ class WorkerPool:
             self._workers = []
             self._jobs_by_id.clear()
             self._cancel_events.clear()
+            self._preempt_events.clear()
+            self._dispatched_at.clear()
             self._pending_final_events.clear()
             self._submitted_at.clear()
             self._parent_spans.clear()
             self._manager = None
-            self._result_queue = None
             self._collector = None
             self._started = False
             self._closing = False
@@ -575,6 +627,67 @@ class WorkerPool:
         return JobHandle(job, self.queue).cancel()
 
     # ------------------------------------------------------------------
+    # Preemption: checkpoint a running job and hand its worker back
+    # ------------------------------------------------------------------
+    def preempt(self, job_id: str) -> bool:
+        """Ask a running job to yield at its next safe point.
+
+        The worker checkpoints mid-level (when a store is attached) and
+        returns the job with ``status="preempted"``; the pool requeues
+        it at its prior priority to resume from the checkpoint.  True
+        iff the signal was delivered to a running job (idempotent — a
+        second call on the same attempt is a no-op that still returns
+        True).
+        """
+        with self._lock:
+            event = self._preempt_events.get(job_id)
+        if event is None:
+            return False
+        try:
+            event.set()
+        except (BrokenPipeError, EOFError, ConnectionError):
+            return False  # pool tearing down
+        return True
+
+    def preempt_longest_running(self) -> Optional[str]:
+        """Preempt the running job whose current attempt is oldest.
+
+        The admission layer's lever when the interactive lane
+        saturates: the longest-running batch job is the one holding a
+        worker the longest and the one with the most checkpointed
+        progress to resume from.  Jobs already asked to yield are
+        skipped, so a saturation burst preempts distinct jobs instead
+        of hammering one.  Returns the preempted job id, or None when
+        nothing is preemptible.
+        """
+        with self._lock:
+            candidates = sorted(
+                (
+                    (dispatched, job_id)
+                    for job_id, dispatched in self._dispatched_at.items()
+                    if job_id in self._preempt_events
+                ),
+            )
+            picked = None
+            for _, job_id in candidates:
+                event = self._preempt_events[job_id]
+                try:
+                    if event.is_set():
+                        continue
+                except (BrokenPipeError, EOFError, ConnectionError):
+                    return None
+                picked = (job_id, event)
+                break
+        if picked is None:
+            return None
+        job_id, event = picked
+        try:
+            event.set()
+        except (BrokenPipeError, EOFError, ConnectionError):
+            return None
+        return job_id
+
+    # ------------------------------------------------------------------
     # Scheduling: universe affinity with work-stealing
     # ------------------------------------------------------------------
     @staticmethod
@@ -649,7 +762,18 @@ class WorkerPool:
             pending = self.queue.pending_in_order()
             if not pending:
                 return
-            alive = [w for w in self._workers if not w.dead]
+            # A crashed worker is only marked dead by the reaper on the
+            # collector's next idle tick; in that window a dispatch to
+            # it would land on a task queue the respawn then discards,
+            # stranding the job.  Checking process liveness here closes
+            # that window.
+            alive = [
+                w
+                for w in self._workers
+                if not w.dead
+                and w.process is not None
+                and w.process.is_alive()
+            ]
             if not alive:
                 return
             plan = self.plan_assignments(
@@ -670,14 +794,18 @@ class WorkerPool:
                 )
                 self.stats[key] += 1
                 cancel_event = self._manager.Event()
+                preempt_event = self._manager.Event()
                 self._cancel_events[job.job_id] = cancel_event
+                self._preempt_events[job.job_id] = preempt_event
+                self._dispatched_at[job.job_id] = time.monotonic()
                 self._jobs_by_id[job.job_id] = job
                 worker.inflight.add(job.job_id)
                 worker.load += job.slots
                 worker.mark_warm(job.staging_fp)
                 self._record_queue_wait(job)
                 worker.task_queue.put(
-                    ("job", job.job_id, job.wire, cancel_event)
+                    ("job", job.job_id, job.wire, cancel_event,
+                     preempt_event)
                 )
 
     def _record_queue_wait(self, job: Job) -> None:
@@ -719,49 +847,85 @@ class WorkerPool:
     # ------------------------------------------------------------------
     # Collector: results, progress, stats
     # ------------------------------------------------------------------
+    #: One collector sweep drains at most this many messages from a
+    #: single worker before moving on, so one chatty worker cannot
+    #: starve the others' results.
+    _COLLECT_BATCH = 128
+
     def _collect(self) -> None:
         while True:
-            try:
-                message = self._result_queue.get(timeout=0.5)
-            except Empty:  # idle tick
-                # The stop flag is honoured only once the queue is
-                # drained, so the workers' farewell "stats" messages
-                # (queued before the sentinel) are always processed;
-                # it is the fallback exit for a lost sentinel.
-                if self._collector_stop.is_set():
-                    return
-                self._reap_dead_workers()
-                self._poll_cancel_probes()
+            with self._lock:
+                queues = [w.result_queue for w in self._workers]
+            drained = 0
+            for queue in queues:
+                for _ in range(self._COLLECT_BATCH):
+                    try:
+                        message = queue.get_nowait()
+                    except Empty:
+                        break
+                    except Exception:
+                        # This one queue failed (torn down, or its
+                        # worker was killed mid-write): the reaper
+                        # respawns the worker with a fresh queue, and
+                        # the other workers' queues are untouched.
+                        traceback.print_exc()
+                        break
+                    drained += 1
+                    self._handle_message(message)
+            if drained:
                 continue
-            except Exception:
-                # The queue itself failed (torn down, or a worker was
-                # killed mid-write and corrupted the stream): no more
-                # messages can arrive, so stop — shutdown's orphan pass
-                # and the reaper answer anything still open.
-                traceback.print_exc()
+            # Idle tick.  The stop flag is honoured only once every
+            # queue is drained, so the workers' farewell "stats"
+            # messages are always processed.
+            if self._collector_stop.is_set():
                 return
-            kind = message[0]
-            if kind == "__exit__":
-                return
-            # A handler bug (or a failing store write) must never kill
-            # the collector — a dead collector hangs every handle and
-            # shutdown(wait=True) forever.
-            try:
-                if kind == "progress":
-                    _, worker_id, job_id, event = message
-                    self._on_progress(job_id, event)
-                elif kind == "done":
-                    _, worker_id, job_id, result, stats = message
-                    self._on_done(worker_id, job_id, result, stats)
-                elif kind == "error":
-                    _, worker_id, job_id, text = message
-                    self._on_error(worker_id, job_id, text)
-                elif kind == "stats":
-                    _, worker_id, stats = message
-                    with self._lock:
-                        self._workers[worker_id].stats = stats
-            except Exception:  # pragma: no cover - defensive
-                traceback.print_exc()
+            self._reap_dead_workers()
+            self._poll_cancel_probes()
+            self._wait_for_messages(queues, timeout=0.5)
+
+    def _handle_message(self, message) -> None:
+        # A handler bug (or a failing store write) must never kill
+        # the collector — a dead collector hangs every handle and
+        # shutdown(wait=True) forever.
+        kind = message[0]
+        try:
+            if kind == "progress":
+                _, worker_id, job_id, event = message
+                self._on_progress(job_id, event)
+            elif kind == "done":
+                _, worker_id, job_id, result, stats = message
+                self._on_done(worker_id, job_id, result, stats)
+            elif kind == "error":
+                _, worker_id, job_id, text = message
+                self._on_error(worker_id, job_id, text)
+            elif kind == "stats":
+                _, worker_id, stats = message
+                with self._lock:
+                    self._workers[worker_id].stats = stats
+        except Exception:  # pragma: no cover - defensive
+            traceback.print_exc()
+
+    @staticmethod
+    def _wait_for_messages(queues, timeout: float) -> None:
+        """Block until some worker's result pipe has data, or timeout.
+
+        ``multiprocessing.connection.wait`` on the queues' read pipes
+        keeps result delivery prompt without a busy poll; the plain
+        sleep is the fallback for a queue implementation without an
+        exposed reader pipe.
+        """
+        readers = [
+            reader
+            for reader in (getattr(q, "_reader", None) for q in queues)
+            if reader is not None
+        ]
+        if not readers:  # pragma: no cover - non-CPython fallback
+            time.sleep(min(timeout, 0.05))
+            return
+        try:
+            multiprocessing.connection.wait(readers, timeout=timeout)
+        except OSError:  # pragma: no cover - queue torn down mid-wait
+            time.sleep(0.01)
 
     def _reap_dead_workers(self) -> None:
         """Recover from workers that died without replying.
@@ -794,6 +958,8 @@ class WorkerPool:
                 for job_id in sorted(worker.inflight):
                     job = self._jobs_by_id.pop(job_id, None)
                     self._cancel_events.pop(job_id, None)
+                    self._preempt_events.pop(job_id, None)
+                    self._dispatched_at.pop(job_id, None)
                     self._pending_final_events.pop(job_id, None)
                     self._parent_spans.pop(job_id, None)
                     if job is not None:
@@ -821,14 +987,21 @@ class WorkerPool:
             self._dispatch()
 
     def _respawn_worker(self, worker: "_WorkerState") -> None:
-        """Replace a dead worker's process (and poisoned task queue)."""
+        """Replace a dead worker's process and both its queues — the
+        crash may have poisoned either one's lock or stream."""
         worker.task_queue.close()
         worker.task_queue.cancel_join_thread()
+        worker.result_queue.close()
+        worker.result_queue.cancel_join_thread()
         task_queue = self._mp.Queue()
-        process = self._spawn_process(worker.worker_id, task_queue)
+        result_queue = self._mp.Queue()
+        process = self._spawn_process(
+            worker.worker_id, task_queue, result_queue
+        )
         with self._lock:
             worker.process = process
             worker.task_queue = task_queue
+            worker.result_queue = result_queue
             # The replacement session starts cold; with a store it
             # warm-starts from disk, but the affinity map must not
             # promise memory-warmth the new process does not have.
@@ -840,13 +1013,26 @@ class WorkerPool:
     # Retry with backoff (worker deaths only — in-worker exceptions are
     # deterministic and fail immediately via _on_error)
     # ------------------------------------------------------------------
+    def _backoff_delay(self, round_number: int) -> float:
+        """The jittered exponential delay of backoff round ``n`` (1-based).
+
+        The jitter de-synchronises jobs backed off together — every
+        worker death or preemption wave orphans several jobs at once,
+        and without it they would all requeue in lockstep and contend
+        for the same freed capacity again.
+        """
+        delay = self.retry_backoff_s * (2 ** max(0, round_number - 1))
+        if self.retry_jitter:
+            delay *= 1.0 + random.random() * self.retry_jitter
+        return delay
+
     def _retry_or_fail(self, job: Job, error: str) -> None:
         with self._lock:
             if job.finished:
                 return  # a racing cancellation already settled it
             if job.attempts < self.retry_max_attempts:
                 self.stats["retries"] += 1
-                delay = self.retry_backoff_s * (2 ** max(0, job.attempts - 1))
+                delay = self._backoff_delay(job.attempts)
                 timer = threading.Timer(delay, self._requeue_job, args=(job,))
                 timer.daemon = True
                 self._retrying[job.job_id] = (job, timer)
@@ -856,12 +1042,17 @@ class WorkerPool:
         self._quarantine(job, error)
         self.queue.fail(job, "%s (attempts=%d)" % (error, job.attempts))
 
-    def _requeue_job(self, job: Job) -> None:
+    def _requeue_job(
+        self, job: Job, priority: Optional[int] = PRIORITY_HIGH
+    ) -> None:
         """Timer body: put a backed-off job back in the queue.
 
-        The retry is *escalated* to high priority — the job (and every
-        handle joined to it) has already waited out a full attempt, so
-        it must not queue behind traffic that arrived after it.
+        A crash retry is *escalated* to high priority — the job (and
+        every handle joined to it) has already waited out a full
+        attempt, so it must not queue behind traffic that arrived after
+        it.  A *preempted* job passes ``priority=None`` instead: it
+        yielded on purpose and resumes at its prior priority (jumping
+        the interactive lane it yielded to would defeat the point).
         """
         with self._lock:
             self._retrying.pop(job.job_id, None)
@@ -873,7 +1064,7 @@ class WorkerPool:
                 % job.attempts,
             )
             return
-        if self.queue.requeue(job, priority=PRIORITY_HIGH):
+        if self.queue.requeue(job, priority=priority):
             self._dispatch()
 
     def _quarantine(self, job: Job, error: str) -> None:
@@ -964,8 +1155,11 @@ class WorkerPool:
         if stats:
             worker.stats = stats
         self._cancel_events.pop(job_id, None)
+        self._preempt_events.pop(job_id, None)
+        self._dispatched_at.pop(job_id, None)
 
     def _on_done(self, worker_id, job_id, result, stats) -> None:
+        preempted = result.status == "preempted"
         with self._lock:
             job = self._jobs_by_id.pop(job_id, None)
             self._release_worker(
@@ -975,13 +1169,18 @@ class WorkerPool:
                 slots=job.slots if job is not None else 1,
             )
             final_event = self._pending_final_events.pop(job_id, None)
-            parent_spans = self._parent_spans.pop(job_id, [])
-            self._submitted_at.pop(job_id, None)
-            self.stats["completed"] += 1
+            if not preempted:
+                parent_spans = self._parent_spans.pop(job_id, [])
+                self._submitted_at.pop(job_id, None)
+                self.stats["completed"] += 1
         if job is None:  # pragma: no cover - defensive
+            return
+        if preempted:
+            self._on_preempted(job)
             return
         if isinstance(result.extra, dict):
             result.extra["attempts"] = job.attempts
+            result.extra["preemptions"] = job.preemptions
         ctx = job.wire.trace_ctx
         # Persist deterministic outcomes only: a cancelled verdict is an
         # operational accident, not the content-addressed answer.  A
@@ -1022,6 +1221,52 @@ class WorkerPool:
             self._emit_progress(
                 job, dataclasses_replace(final_event, incumbent=result)
             )
+        self._dispatch()
+
+    def _on_preempted(self, job: Job) -> None:
+        """A worker handed a job back mid-run: requeue it to resume.
+
+        The job goes back at its *prior* priority after a jittered
+        backoff (it yielded the worker on purpose; jumping ahead of the
+        traffic it yielded to would defeat the preemption).  The
+        interrupted dispatch is refunded from the crash-retry budget —
+        preemption is scheduling, not failure, and must never push a
+        job toward quarantine.  The checkpoint store holds its partial
+        progress, so the resumed attempt loses at most one checkpoint
+        interval of work.
+        """
+        with self._lock:
+            if job.finished:  # a racing cancellation settled it
+                self._dispatch()
+                return
+            self.stats["preemptions"] += 1
+            job.preemptions += 1
+            job.attempts = max(0, job.attempts - 1)
+            ctx = job.wire.trace_ctx
+            if ctx is not None:
+                now = time.time()
+                self._parent_spans.setdefault(job.job_id, []).append(
+                    {
+                        "name": "preempted",
+                        "trace_id": ctx.trace_id,
+                        "span_id": new_span_id(),
+                        "parent_id": ctx.parent_span_id,
+                        "start_s": now,
+                        "end_s": now,
+                        "process": "pool",
+                        "args": {
+                            "job_id": job.job_id,
+                            "preemptions": job.preemptions,
+                        },
+                    }
+                )
+            delay = self._backoff_delay(job.preemptions)
+            timer = threading.Timer(
+                delay, self._requeue_job, args=(job, None)
+            )
+            timer.daemon = True
+            self._retrying[job.job_id] = (job, timer)
+            timer.start()
         self._dispatch()
 
     def _on_error(self, worker_id, job_id, text) -> None:

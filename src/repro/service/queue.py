@@ -51,6 +51,7 @@ class Job:
         "seq",
         "state",
         "attempts",
+        "preemptions",
         "worker_id",
         "result",
         "error",
@@ -83,6 +84,11 @@ class Job:
         #: Dispatch count — 1 on the first run, +1 per retry after a
         #: worker death (surfaced in the result's ``extra["attempts"]``).
         self.attempts = 0
+        #: Times this job was preempted mid-run and requeued (surfaced
+        #: in the result's ``extra["preemptions"]``).  Preemptions are
+        #: deliberate scheduling, not failures: they never count
+        #: against the retry budget.
+        self.preemptions = 0
         self.worker_id: Optional[int] = None
         self.result: Optional[SynthesisResult] = None
         self.error: Optional[str] = None

@@ -220,6 +220,13 @@ class StoreBackedSession(Session):
     re-enumerating.  ``store_loads``/``store_saves`` count the traffic.
     """
 
+    #: Default mid-level checkpoint cadence: a partial is journalled
+    #: once this many candidates — or this many seconds — have passed
+    #: since the last safe-point snapshot.  Both bound the rework a
+    #: SIGKILL (or a preemption) can cost inside one wide level.
+    PARTIAL_EVERY_CANDIDATES = 250_000
+    PARTIAL_EVERY_S = 2.0
+
     def __init__(
         self,
         config: Optional[EngineConfig] = None,
@@ -227,14 +234,20 @@ class StoreBackedSession(Session):
         max_staged: Optional[int] = None,
         staging_store: Optional[StagingStore] = None,
         checkpoint_store=None,
+        partial_every_candidates: Optional[int] = PARTIAL_EVERY_CANDIDATES,
+        partial_every_s: Optional[float] = PARTIAL_EVERY_S,
     ) -> None:
         super().__init__(config, registry=registry, max_staged=max_staged)
         self.staging_store = staging_store
         self.checkpoint_store = checkpoint_store
+        self.partial_every_candidates = partial_every_candidates
+        self.partial_every_s = partial_every_s
         self.store_loads = 0
         self.store_saves = 0
         self.checkpoint_loads = 0
         self.checkpoint_saves = 0
+        self.partial_saves = 0
+        self.partial_loads = 0
         self.resumed_queries = 0
 
     def staging_for(self, spec: Spec) -> Tuple[Universe, GuideTable]:
@@ -286,14 +299,35 @@ class StoreBackedSession(Session):
             levels = []
         if restore_span is not None:
             tracer.finish(restore_span, levels=len(levels))
+        restored = False
         if levels and levels[0].cost == engine.cost_fn.literal:
             try:
                 engine.restore_levels(levels)
             except Exception:
                 pass
             else:
+                restored = True
                 self.checkpoint_loads += len(levels)
                 self.resumed_queries += 1
+        if restored:
+            # A mid-level partial right after the restored prefix lets
+            # the run skip into the interrupted level instead of
+            # rebuilding it from its start; the engine re-validates the
+            # cost adjacency before adopting it.
+            try:
+                partial = self.checkpoint_store.load_partial(key)
+            except Exception:
+                partial = None
+            if (
+                partial is not None
+                and partial.cost == levels[-1].cost + 1
+            ):
+                try:
+                    engine.restore_partial(partial)
+                except Exception:
+                    pass
+                else:
+                    self.partial_loads += 1
 
         store = self.checkpoint_store
         session = self
@@ -328,3 +362,22 @@ class StoreBackedSession(Session):
             return False
 
         engine.on_level = checkpoint_and_forward
+
+        def journal_partial(partial) -> None:
+            span = (
+                engine.tracer.start("partial-save", cost=partial.cost)
+                if engine.tracer is not None
+                else None
+            )
+            try:
+                if store.append_partial(key, partial):
+                    session.partial_saves += 1
+            except OSError:
+                pass
+            finally:
+                if span is not None:
+                    engine.tracer.finish(span)
+
+        engine.on_partial = journal_partial
+        engine.partial_every_candidates = self.partial_every_candidates
+        engine.partial_every_s = self.partial_every_s

@@ -1,0 +1,502 @@
+"""Preemption tests: partial checkpoints, the preempt protocol, brownout.
+
+The headline acceptance criteria live in
+:class:`TestPartialCheckpointResume` (a run killed at *any* partial
+checkpoint resumes mid-level and answers **bit-identically** to an
+uninterrupted run, on both backends, with the rework bounded by the
+checkpoint interval) and :class:`TestPoolPreemption` (a running pool
+job asked to yield checkpoints at the next safe point, requeues at its
+prior priority without burning a retry attempt, and its eventual answer
+is bit-identical to an unpreempted run).  The admission-layer pieces —
+brownout shedding and the saturation-triggered eviction — are tested
+pure in :class:`TestBrownout`, and bearer-token auth end-to-end in
+:class:`TestAuth`.
+"""
+
+import time
+
+import pytest
+
+from repro import EngineConfig, Session, Spec, SynthesisRequest
+from repro.core.engine import STATUS_PREEMPTED
+from repro.server import (
+    CLASS_BATCH,
+    CLASS_INTERACTIVE,
+    AdmissionController,
+    HttpServiceClient,
+    ServerError,
+    SynthesisServer,
+)
+from repro.service import CheckpointStore, ServiceClient, StoreBackedSession
+from repro.service.pool import WorkerPool
+from repro.testing import faults
+
+#: Small but non-trivial: five full cost levels before the solution.
+SPEC = Spec(positive=["00", "010", "0110"], negative=["", "11", "101"])
+
+#: ~1.5 s on the scalar backend — long enough that the parent can
+#: deterministically preempt the attempt mid-run.
+SLOW_SPEC = Spec(
+    positive=["00110100", "11001011"], negative=["0", "11", "1001001"]
+)
+
+BACKENDS = ("vector", "scalar")
+
+#: Result fields that must match bit-for-bit between an unpreempted
+#: run and one resumed from a partial checkpoint.
+IDENTITY_FIELDS = (
+    "status", "regex", "cost", "generated", "unique_cs", "levels_built",
+)
+
+#: The vector engine's emit accumulator: safe points are at most one
+#: flushed batch apart, so a partial interval is honoured within this.
+VECTOR_MAX_BATCH = 1 << 17
+
+
+@pytest.fixture(autouse=True)
+def clean_faults(monkeypatch):
+    """Every test starts and ends with no fault armed."""
+    monkeypatch.delenv(faults.ENV_FAULTS, raising=False)
+    monkeypatch.delenv(faults.ENV_FAULTS_DIR, raising=False)
+    faults.reset()
+    yield
+    faults.reset()
+
+
+def assert_identical(resumed, reference):
+    for field in IDENTITY_FIELDS:
+        assert getattr(resumed, field) == getattr(reference, field), field
+    assert resumed.extra["level_stats"] == reference.extra["level_stats"]
+
+
+def run_with_partials(backend, every=7):
+    """A solo run that records every level and partial checkpoint."""
+    engine = Session(EngineConfig(backend=backend)).make_engine(
+        SynthesisRequest(spec=SPEC)
+    )
+    levels, partials = [], []
+
+    def snap(cost, start, end):
+        levels.append((cost, engine.level_checkpoint(cost, start, end)))
+        return False
+
+    engine.on_level = snap
+    engine.on_partial = partials.append
+    engine.partial_every_candidates = every
+    status = engine.run(40)
+    reference = (
+        status, engine.generated, engine.levels_built, engine.level_stats,
+        engine.solution, engine.solution_cost, len(engine.cache),
+    )
+    return engine, levels, partials, reference
+
+
+# ----------------------------------------------------------------------
+# Mid-level resume from partial checkpoints (the tentpole)
+# ----------------------------------------------------------------------
+class TestPartialCheckpointResume:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_kill_at_every_partial_point_is_bit_identical(self, backend):
+        # Simulates a SIGKILL at each partial checkpoint in turn: a
+        # fresh engine restores the completed levels plus that partial
+        # and must finish exactly as the uninterrupted run did.
+        _, levels, partials, reference = run_with_partials(backend)
+        assert reference[0] == "success"
+        assert partials, "run produced no partial checkpoints"
+        for partial in partials:
+            engine = Session(EngineConfig(backend=backend)).make_engine(
+                SynthesisRequest(spec=SPEC)
+            )
+            engine.restore_levels(
+                [lv for cost, lv in levels if cost < partial.cost]
+            )
+            engine.restore_partial(partial)
+            status = engine.run(40)
+            assert engine.partial_resumes == 1
+            assert (
+                status, engine.generated, engine.levels_built,
+                engine.level_stats, engine.solution, engine.solution_cost,
+                len(engine.cache),
+            ) == reference, (partial.cost, partial.level_progress)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_rework_is_bounded_by_the_checkpoint_interval(self, backend):
+        # Consecutive partials within one level may be at most the
+        # interval plus one emit batch apart — that distance is exactly
+        # the work a crash between partials can lose.
+        every = 7
+        _, _, partials, _ = run_with_partials(backend, every=every)
+        slack = VECTOR_MAX_BATCH if backend == "vector" else 1
+        previous = {}
+        for partial in partials:
+            prior = previous.get(partial.cost)
+            if prior is not None:
+                assert partial.level_progress - prior <= every + slack
+            previous[partial.cost] = partial.level_progress
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_partials_reuse_across_backends(self, backend):
+        # Enumeration is backend-independent, so a partial written by
+        # one backend resumes on the other (same guarantee the level
+        # checkpoints already carry).
+        other = "scalar" if backend == "vector" else "vector"
+        _, levels, partials, _ = run_with_partials(backend)
+        reference = Session(EngineConfig(backend=other)).synthesize(SPEC)
+        partial = partials[-1]
+        engine = Session(EngineConfig(backend=other)).make_engine(
+            SynthesisRequest(spec=SPEC)
+        )
+        engine.restore_levels(
+            [lv for cost, lv in levels if cost < partial.cost]
+        )
+        engine.restore_partial(partial)
+        assert engine.run(40) == "success"
+        assert engine.solution_cost == reference.cost
+        assert engine.generated == reference.generated
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_preempt_probe_stops_with_a_partial(self, backend):
+        session = Session(EngineConfig(backend=backend))
+        engine = session.make_engine(SynthesisRequest(spec=SPEC))
+        partials = []
+        engine.on_partial = partials.append
+        calls = {"n": 0}
+
+        def preempt():
+            calls["n"] += 1
+            return calls["n"] > 5
+
+        engine.preempt_check = preempt
+        assert engine.run(40) == STATUS_PREEMPTED
+        assert engine.solution is None
+        # Mid-level preemption writes a partial; preemption probed at a
+        # level boundary needs none (the completed level is the resume
+        # point).  Either way there is something to resume from.
+        assert partials or engine.levels_built > 0
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_preempted_session_result_is_not_a_final_answer(self, backend):
+        events = []
+        calls = {"n": 0}
+        result = Session(EngineConfig(backend=backend)).synthesize(
+            SynthesisRequest(
+                spec=SPEC,
+                preempt=lambda: next_true(calls),
+                on_progress=events.append,
+            )
+        )
+        assert result.status == STATUS_PREEMPTED
+        assert result.regex is None
+        # The terminal done-event belongs to the attempt that finishes.
+        assert not any(event.done for event in events)
+
+
+def next_true(calls, after=5):
+    calls["n"] += 1
+    return calls["n"] > after
+
+
+# ----------------------------------------------------------------------
+# Partial records in the checkpoint store
+# ----------------------------------------------------------------------
+class TestStorePartials:
+    def make_partial(self, backend="vector"):
+        _, levels, partials, _ = run_with_partials(backend)
+        return levels, partials
+
+    def test_completed_level_supersedes_its_partials(self, tmp_path):
+        levels, partials = self.make_partial()
+        store = CheckpointStore(tmp_path)
+        completed = {cost for cost, _ in levels}
+        # The last partial sits in the (never-completed) solution level;
+        # supersession needs one whose level did finish.
+        partial = [p for p in partials if p.cost in completed][0]
+        for cost, level in levels:
+            if cost < partial.cost:
+                store.append_level("q", level)
+        assert store.append_partial("q", partial)
+        assert store.load_partial("q").cost == partial.cost
+        for cost, level in levels:
+            if cost == partial.cost:
+                store.append_level("q", level)
+        # The finished level covers everything the partial knew.
+        assert store.load_partial("q") is None
+        assert not store.append_partial("q", partial)
+
+    def test_newer_partial_replaces_older(self, tmp_path):
+        _, partials = self.make_partial()
+        first, last = partials[0], partials[-1]
+        store = CheckpointStore(tmp_path)
+        assert store.append_partial("q", first)
+        assert store.append_partial("q", last)
+        loaded = store.load_partial("q")
+        assert (loaded.cost, loaded.level_progress) == (
+            last.cost, last.level_progress
+        )
+        kinds = [r["kind"] for r in store._read_manifest("q")]
+        assert kinds.count("partial") == 1
+
+    def test_corrupt_partial_heals_and_keeps_levels(self, tmp_path):
+        levels, partials = self.make_partial()
+        store = CheckpointStore(tmp_path)
+        partial = partials[-1]
+        prior = [lv for cost, lv in levels if cost < partial.cost]
+        for level in prior:
+            store.append_level("q", level)
+        store.append_partial("q", partial)
+        journal = store._journal_path("q")
+        data = bytearray(journal.read_bytes())
+        data[-3] ^= 0xFF  # flip a bit inside the partial's payload
+        journal.write_bytes(bytes(data))
+        assert store.load_partial("q") is None  # digest mismatch → heal
+        restored = store.load_levels("q")
+        assert [lv.cost for lv in restored] == [lv.cost for lv in prior]
+
+    def test_kill_between_partial_journal_and_manifest(self, tmp_path):
+        # The new fault point: the partial's journal bytes land but the
+        # manifest never sees them — the store must stay consistent and
+        # simply not know about that partial.
+        levels, partials = self.make_partial()
+        store = CheckpointStore(tmp_path)
+        store.append_level("q", levels[0][1])
+        faults.inject("checkpoint.append_partial", "raise")
+        with pytest.raises(OSError):
+            store.append_partial("q", partials[-1])
+        assert store.load_partial("q") is None
+        assert [lv.cost for lv in store.load_levels("q")] == [1]
+        # And a later append works normally.
+        assert store.append_partial("q", partials[-1])
+        assert store.load_partial("q") is not None
+
+
+# ----------------------------------------------------------------------
+# Store-backed session: preempt, journal, resume
+# ----------------------------------------------------------------------
+class TestStoreBackedPreemption:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_preempted_run_resumes_bit_identically(self, backend, tmp_path):
+        config = EngineConfig(backend=backend)
+        reference = Session(config).synthesize(SPEC)
+        store = CheckpointStore(tmp_path)
+        preempted = StoreBackedSession(
+            config, checkpoint_store=store,
+            partial_every_candidates=10, partial_every_s=None,
+        )
+        calls = {"n": 0}
+        result = preempted.synthesize(
+            SynthesisRequest(spec=SPEC, preempt=lambda: next_true(calls, 12))
+        )
+        assert result.status == STATUS_PREEMPTED
+        assert preempted.partial_saves >= 1
+        resumed_session = StoreBackedSession(config, checkpoint_store=store)
+        resumed = resumed_session.synthesize(SPEC)
+        assert resumed_session.partial_loads == 1
+        assert resumed.extra["partial_resumes"] == 1
+        assert_identical(resumed, reference)
+
+
+# ----------------------------------------------------------------------
+# Pool protocol: preempt, requeue, resume; jittered backoff
+# ----------------------------------------------------------------------
+class TestBackoffJitter:
+    def test_delay_within_jitter_band(self):
+        pool = WorkerPool(workers=1, retry_backoff_s=0.1, retry_jitter=0.5)
+        for attempt in (1, 2, 3):
+            base = 0.1 * 2 ** (attempt - 1)
+            for _ in range(16):
+                delay = pool._backoff_delay(attempt)
+                assert base <= delay <= base * 1.5
+
+    def test_zero_jitter_is_deterministic(self):
+        pool = WorkerPool(workers=1, retry_backoff_s=0.1, retry_jitter=0.0)
+        assert pool._backoff_delay(1) == pytest.approx(0.1)
+        assert pool._backoff_delay(3) == pytest.approx(0.4)
+
+    def test_negative_jitter_is_rejected(self):
+        with pytest.raises(ValueError):
+            WorkerPool(workers=1, retry_jitter=-0.1)
+
+
+class TestPoolPreemption:
+    def arm(self, monkeypatch, tmp_path, spec):
+        monkeypatch.setenv(faults.ENV_FAULTS, spec)
+        monkeypatch.setenv(faults.ENV_FAULTS_DIR, str(tmp_path / "sentinels"))
+        (tmp_path / "sentinels").mkdir(exist_ok=True)
+        faults.reset()  # forked workers re-read the environment
+
+    def preempt_once_running(self, client, job_id, timeout=60.0):
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if client.preempt(job_id):
+                return True
+            time.sleep(0.01)
+        return False
+
+    def test_preempted_job_resumes_and_matches(self, tmp_path):
+        config = EngineConfig(backend="scalar")
+        reference = Session(config).synthesize(SLOW_SPEC)
+        with ServiceClient(
+            workers=1,
+            config=config,
+            store_dir=str(tmp_path / "store"),
+            retry_backoff_s=0.02,
+            partial_every_candidates=2_000,
+            partial_every_s=None,
+        ) as client:
+            handle = client.submit(SLOW_SPEC)
+            assert self.preempt_once_running(client, handle.job_id)
+            result = handle.result(timeout=120)
+            stats = client.stats
+        assert result.extra["preemptions"] == 1
+        # Preemption is scheduling, not failure: the retry budget is
+        # untouched and nothing lands in the crash counters.
+        assert result.extra["attempts"] == 1
+        assert stats["preemptions"] == 1
+        assert stats["retries"] == 0
+        assert stats["failed"] == 0
+        assert_identical(result, reference)
+
+    def test_worker_killed_after_preempt_still_recovers(
+        self, monkeypatch, tmp_path
+    ):
+        # The preempted result is computed, the partial is journaled,
+        # and then the worker dies before reporting — the crash-retry
+        # path takes over and resumes from the partial checkpoint.
+        self.arm(monkeypatch, tmp_path, "pool.worker.preempt:kill:1:once")
+        config = EngineConfig(backend="scalar")
+        reference = Session(config).synthesize(SLOW_SPEC)
+        with ServiceClient(
+            workers=1,
+            config=config,
+            store_dir=str(tmp_path / "store"),
+            retry_backoff_s=0.02,
+            partial_every_candidates=2_000,
+            partial_every_s=None,
+        ) as client:
+            handle = client.submit(SLOW_SPEC)
+            assert self.preempt_once_running(client, handle.job_id)
+            result = handle.result(timeout=120)
+            stats = client.stats
+        assert result.extra["attempts"] == 2
+        assert stats["retries"] == 1 and stats["respawns"] == 1
+        assert_identical(result, reference)
+
+    def test_preempt_unknown_job_is_false(self, tmp_path):
+        with ServiceClient(
+            workers=1, store_dir=str(tmp_path / "store")
+        ) as client:
+            assert not client.preempt("no-such-job")
+            assert client.preempt_longest_running() is None
+
+
+# ----------------------------------------------------------------------
+# Admission: brownout state machine (pure, injectable clock)
+# ----------------------------------------------------------------------
+class TestBrownout:
+    def controller(self, **kwargs):
+        self.now = [0.0]
+        kwargs.setdefault("slots", {CLASS_INTERACTIVE: 1, CLASS_BATCH: 1})
+        kwargs.setdefault("max_queue", {CLASS_INTERACTIVE: 4, CLASS_BATCH: 4})
+        kwargs.setdefault("brownout_enter_after_s", 2.0)
+        kwargs.setdefault("brownout_exit_after_s", 5.0)
+        return AdmissionController(clock=lambda: self.now[0], **kwargs)
+
+    def test_enters_only_after_sustained_saturation(self):
+        ac = self.controller()
+        assert ac.try_admit(CLASS_INTERACTIVE).admitted  # lane now full
+        assert ac.interactive_saturated()
+        assert ac.try_admit(CLASS_BATCH).admitted  # not sustained yet
+        self.now[0] = 1.9
+        assert ac.try_admit(CLASS_BATCH).admitted
+        self.now[0] = 2.1
+        verdict = ac.try_admit(CLASS_BATCH)
+        assert not verdict.admitted and verdict.reason == "brownout"
+        assert ac.brownout_snapshot() == {"active": True, "rejections": 1}
+
+    def test_interactive_admissions_unaffected(self):
+        ac = self.controller()
+        assert ac.try_admit(CLASS_INTERACTIVE).admitted
+        self.now[0] = 3.0
+        assert not ac.try_admit(CLASS_BATCH).admitted
+        assert ac.try_admit(CLASS_INTERACTIVE).admitted
+
+    def test_exit_needs_sustained_calm(self):
+        ac = self.controller()
+        assert ac.try_admit(CLASS_INTERACTIVE).admitted
+        self.now[0] = 3.0
+        assert not ac.try_admit(CLASS_BATCH).admitted
+        ac.release(CLASS_INTERACTIVE)  # calm starts at t=3
+        self.now[0] = 7.0
+        assert not ac.try_admit(CLASS_BATCH).admitted  # 4 s calm < 5 s
+        self.now[0] = 8.1
+        assert ac.try_admit(CLASS_BATCH).admitted
+        assert ac.brownout_snapshot()["active"] is False
+
+    def test_flap_resets_the_calm_clock(self):
+        ac = self.controller()
+        assert ac.try_admit(CLASS_INTERACTIVE).admitted
+        self.now[0] = 3.0
+        assert not ac.try_admit(CLASS_BATCH).admitted
+        ac.release(CLASS_INTERACTIVE)
+        self.now[0] = 6.0
+        assert ac.try_admit(CLASS_INTERACTIVE).admitted  # saturates again
+        ac.release(CLASS_INTERACTIVE)  # calm restarts at t=6
+        self.now[0] = 10.0
+        assert not ac.try_admit(CLASS_BATCH).admitted
+        self.now[0] = 11.5
+        assert ac.try_admit(CLASS_BATCH).admitted
+
+    def test_brownout_rejection_suggests_retry_after(self):
+        ac = self.controller()
+        assert ac.try_admit(CLASS_INTERACTIVE).admitted
+        self.now[0] = 3.0
+        verdict = ac.try_admit(CLASS_BATCH)
+        assert verdict.retry_after_s >= 1.0
+
+
+# ----------------------------------------------------------------------
+# Bearer-token auth end to end
+# ----------------------------------------------------------------------
+class TestAuth:
+    @pytest.fixture()
+    def server(self, tmp_path):
+        with SynthesisServer(
+            store_dir=str(tmp_path / "store"),
+            interactive_workers=1,
+            batch_workers=1,
+            auth_token="open-sesame",
+        ) as server:
+            yield server
+
+    def test_missing_or_wrong_token_is_401(self, server):
+        for client in (
+            HttpServiceClient(server.address),
+            HttpServiceClient(server.address, auth_token="wrong"),
+        ):
+            with client:
+                with pytest.raises(ServerError) as err:
+                    client.healthz()
+                assert err.value.status == 401
+
+    def test_bearer_token_grants_access(self, server):
+        with HttpServiceClient(
+            server.address, auth_token="open-sesame"
+        ) as client:
+            health = client.healthz()
+            assert health["status"] == "ok"
+            assert health["brownout"] == {"active": False, "rejections": 0}
+            result = client.synthesize(SPEC, timeout=120)
+            assert result["status"] == "success"
+
+    def test_metrics_exports_preemption_families(self, server):
+        with HttpServiceClient(
+            server.address, auth_token="open-sesame"
+        ) as client:
+            text = client.metrics()
+        for family in (
+            "repro_brownout_active",
+            "repro_brownout_rejections_total",
+            "repro_preemptions_total",
+            "repro_preemption_triggers_total",
+        ):
+            assert family in text, family

@@ -280,7 +280,13 @@ class TestHttpBitIdentity:
         over_http = client.result(job["job_id"], timeout=120)["result"]
         with ServiceClient(workers=1, config=EngineConfig(backend=backend)) as sc:
             in_process = sc.synthesize(wire).to_dict()
-        # Wall-clock is the only field allowed to differ.
+        # The job document additionally forwards the scheduling
+        # counters from ``result.extra`` (attempts, preemptions, ...)
+        # that a bare ``to_dict`` does not carry.
+        extra = over_http.pop("extra")
+        assert extra["attempts"] == 1
+        assert extra["preemptions"] == 0
+        # Wall-clock is the only remaining field allowed to differ.
         for key in set(in_process) | set(over_http):
             if key == "elapsed_seconds":
                 continue

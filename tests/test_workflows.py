@@ -72,6 +72,7 @@ class TestCiContract:
             "service-smoke",
             "load-smoke",
             "recovery-smoke",
+            "preempt-smoke",
             "obs-smoke",
             "examples-smoke",
         }
@@ -103,6 +104,7 @@ class TestCiContract:
             "service-smoke",
             "load-smoke",
             "recovery-smoke",
+            "preempt-smoke",
             "obs-smoke",
         ):
             setup = next(
@@ -163,7 +165,7 @@ class TestNightlyContract:
         joined = " && ".join(full_scale_targets)
         for suite in ("bench_kernels", "bench_session", "bench_shard",
                       "bench_service", "bench_recovery", "bench_load",
-                      "bench_obs"):
+                      "bench_obs", "bench_preempt"):
             assert suite in joined, "nightly misses %s" % suite
         runs = " && ".join(str(s.get("run", "")) for s in steps)
         assert "check_perf_ceilings" in runs
